@@ -1,0 +1,21 @@
+"""Ablation: EBH hash factor alpha."""
+
+from conftest import run_once
+
+from repro.bench.ablations import run_ablation_alpha
+
+
+def test_ablation_alpha(benchmark, scale):
+    rows = run_once(benchmark, lambda: run_ablation_alpha(scale))
+    by_alpha = {r["alpha"]: r for r in rows}
+    # alpha = 1 degenerates to plain linear interpolation, which cannot
+    # scatter locally dense keys: its probing work must exceed alpha=131's.
+    assert by_alpha[1]["probes_per_op"] >= by_alpha[131]["probes_per_op"]
+
+
+def main() -> None:
+    run_ablation_alpha()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Ablation: DARE fitness via trained critic vs analytic evaluation."""
+
+from conftest import run_once
+
+from repro.bench.ablations import run_ablation_critic
+
+
+def test_ablation_critic(benchmark, scale):
+    rows = run_once(benchmark, lambda: run_ablation_critic(scale, training_rounds=3))
+    by_fitness = {r["fitness"]: r for r in rows}
+    analytic = by_fitness["analytic"]
+    critic = by_fitness["trained critic"]
+    # The critic is a learned surrogate of the analytic evaluation: its
+    # structures must stay in the same cost ballpark (the paper's point is
+    # that the critic makes construction *cheaper*, not better).
+    assert critic["cost"] < 4.0 * analytic["cost"]
+    assert critic["nodes"] > 0
+
+
+def main() -> None:
+    run_ablation_critic()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Ablation: interval lock vs a single global lock under retraining."""
+
+from conftest import run_once
+
+from repro.bench.ablations import run_ablation_locks
+
+
+def test_ablation_locks(benchmark, scale):
+    rows = run_once(benchmark, lambda: run_ablation_locks(scale))
+    by_mode = {r["mode"]: r for r in rows}
+    # Queries on intervals other than the one being retrained: the interval
+    # lock never blocks them; the global lock stalls them until the retrain
+    # ends (Section V's argument for the Interval Lock).
+    assert by_mode["interval-lock"]["lock_waits"] == 0
+    assert not by_mode["interval-lock"]["blocked"]
+    assert by_mode["global-lock"]["lock_waits"] > 0
+    assert by_mode["global-lock"]["blocked"]
+
+
+def main() -> None:
+    run_ablation_locks()
+
+
+if __name__ == "__main__":
+    main()

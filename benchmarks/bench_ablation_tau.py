@@ -1,0 +1,25 @@
+"""Ablation: Theorem 1 tau — capacity vs conflict trade-off."""
+
+from conftest import run_once
+
+from repro.bench.ablations import run_ablation_tau
+
+
+def test_ablation_tau_tradeoff(benchmark, scale):
+    rows = run_once(benchmark, lambda: run_ablation_tau(scale))
+    ordered = sorted(rows, key=lambda r: r["tau"])
+    # Theorem 1: larger tau tolerates more collisions, so capacity (and
+    # memory) shrinks monotonically...
+    sizes = [r["size_mb"] for r in ordered]
+    assert all(a >= b - 1e-9 for a, b in zip(sizes, sizes[1:]))
+    # ...while measured probing work does not decrease.
+    probes = [r["probes_per_op"] for r in ordered]
+    assert probes[-1] >= probes[0] * 0.9
+
+
+def main() -> None:
+    run_ablation_tau()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Fig. 8: query latency and index size under read-only workloads."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_fig8
+
+#: Quick lineup — full lineup via `python -m repro.bench fig8`.
+INDEXES = ("B+Tree", "PGM", "ALEX", "LIPP", "Chameleon")
+
+
+def test_fig8_readonly_scalability(benchmark, scale):
+    rows = run_once(
+        benchmark,
+        lambda: run_fig8(scale, datasets=("UDEN", "FACE"), indexes=INDEXES),
+    )
+
+    def cost(dataset, index):
+        candidates = [
+            r for r in rows if r["dataset"] == dataset and r["index"] == index
+        ]
+        # Largest cardinality's structural cost.
+        return max(candidates, key=lambda r: r["keys"])["cost"]
+
+    # Paper shape: on the most locally skewed dataset (FACE), Chameleon's
+    # lookup cost beats B+Tree, PGM, and ALEX.
+    assert cost("FACE", "Chameleon") < cost("FACE", "B+Tree")
+    assert cost("FACE", "Chameleon") < cost("FACE", "PGM")
+    assert cost("FACE", "Chameleon") < cost("FACE", "ALEX")
+    # Chameleon's FACE cost stays close to its UDEN cost (stability claim).
+    assert cost("FACE", "Chameleon") < 3.0 * cost("UDEN", "Chameleon")
+    # Index sizes stay within the same order of magnitude (the paper's
+    # "without costing more memory" claim).
+    sizes = [
+        r["size_mb"] for r in rows if r["dataset"] == "FACE" and r["keys"] == max(
+            x["keys"] for x in rows
+        )
+    ]
+    assert max(sizes) < 12 * min(sizes)
+
+
+def main() -> None:
+    run_fig8()
+
+
+if __name__ == "__main__":
+    main()

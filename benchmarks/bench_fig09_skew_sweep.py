@@ -1,0 +1,37 @@
+"""Fig. 9: latency ratio to B+Tree as local skewness grows."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_fig9
+
+INDEXES = ("B+Tree", "ALEX", "PGM", "Chameleon")
+
+
+def test_fig9_latency_ratio_vs_skew(benchmark, scale):
+    rows = run_once(
+        benchmark,
+        lambda: run_fig9(scale, variances=(0.3, 3e-3, 3e-5), indexes=INDEXES),
+    )
+
+    def ratios(index):
+        ordered = sorted(
+            (r for r in rows if r["index"] == index), key=lambda r: r["lsn"]
+        )
+        return [r["ratio_cost"] for r in ordered]
+
+    cham = ratios("Chameleon")
+    alex = ratios("ALEX")
+    # Paper shape: as skew grows, Chameleon's ratio to B+Tree stays stable
+    # (change bounded) while ALEX's grows relative to its uniform value.
+    assert max(cham) < 2.5 * min(cham)
+    assert alex[-1] > alex[0]
+    # At the highest skew Chameleon must beat ALEX.
+    assert cham[-1] < alex[-1]
+
+
+def main() -> None:
+    run_fig9()
+
+
+if __name__ == "__main__":
+    main()

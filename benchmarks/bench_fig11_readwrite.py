@@ -1,0 +1,43 @@
+"""Fig. 11: throughput across read-write ratios (mixed workloads)."""
+
+from conftest import run_once
+
+from repro.bench.mixed import run_fig11
+
+INDEXES = ("B+Tree", "PGM", "ALEX", "LIPP", "Chameleon")
+
+
+def test_fig11_read_write_ratios(benchmark, scale):
+    rows = run_once(
+        benchmark,
+        lambda: run_fig11(
+            scale,
+            datasets=("FACE",),
+            write_ratios=(0.2, 0.6),
+            indexes=INDEXES,
+        ),
+    )
+
+    def cost(index, ratio):
+        return next(
+            r["cost"]
+            for r in rows
+            if r["index"] == index and r["write_ratio"] == ratio
+        )
+
+    # Paper shape on FACE: Chameleon's per-op structural work beats B+Tree,
+    # PGM, and ALEX at every write ratio.
+    for ratio in (0.2, 0.6):
+        assert cost("Chameleon", ratio) < cost("B+Tree", ratio)
+        assert cost("Chameleon", ratio) < cost("PGM", ratio)
+        assert cost("Chameleon", ratio) < cost("ALEX", ratio)
+    # ALEX degrades as the write ratio grows (shift + retrain pressure).
+    assert cost("ALEX", 0.6) > cost("ALEX", 0.2) * 0.9
+
+
+def main() -> None:
+    run_fig11()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Fig. 12: throughput across insert-delete ratios."""
+
+from conftest import run_once
+
+from repro.bench.mixed import run_fig12
+
+INDEXES = ("B+Tree", "ALEX", "LIPP", "Chameleon")
+
+
+def test_fig12_insert_delete_ratios(benchmark, scale):
+    rows = run_once(
+        benchmark,
+        lambda: run_fig12(
+            scale,
+            datasets=("FACE",),
+            insert_ratios=(0.0, 0.5, 1.0),
+            indexes=INDEXES,
+        ),
+    )
+
+    def cost(index, ratio):
+        return next(
+            r["cost"]
+            for r in rows
+            if r["index"] == index and r["insert_ratio"] == ratio
+        )
+
+    # Chameleon handles pure-delete, balanced, and pure-insert streams with
+    # bounded work, and beats B+Tree's shifting at every ratio.
+    for ratio in (0.0, 0.5, 1.0):
+        assert cost("Chameleon", ratio) < cost("B+Tree", ratio)
+    cham = [cost("Chameleon", r) for r in (0.0, 0.5, 1.0)]
+    assert max(cham) < 6 * min(cham)
+
+
+def main() -> None:
+    run_fig12()
+
+
+if __name__ == "__main__":
+    main()

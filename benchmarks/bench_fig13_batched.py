@@ -1,0 +1,31 @@
+"""Fig. 13: read/write latency stability across batched insert/delete phases."""
+
+from conftest import run_once
+
+from repro.bench.mixed import run_fig13
+
+INDEXES = ("B+Tree", "ALEX", "Chameleon")
+
+
+def test_fig13_batched_stability(benchmark, scale):
+    rows = run_once(
+        benchmark, lambda: run_fig13(scale, datasets=("FACE",), indexes=INDEXES)
+    )
+
+    def read_costs(index):
+        return [r["read_cost"] for r in rows if r["index"] == index]
+
+    # Paper shape: Chameleon's point-query cost stays stable across all
+    # insert and delete batches (low spread), and below ALEX's on FACE.
+    cham = read_costs("Chameleon")
+    alex = read_costs("ALEX")
+    assert max(cham) < 3.0 * min(cham)
+    assert sum(cham) / len(cham) < sum(alex) / len(alex)
+
+
+def main() -> None:
+    run_fig13()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Per-operation micro-benchmarks (pytest-benchmark round statistics).
+
+These give honest per-op Python timings for every index — the numbers the
+README quotes — complementing the experiment-level benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import INDEX_REGISTRY, UPDATABLE_INDEXES
+from repro.datasets import load as load_dataset
+
+N_KEYS = 20_000
+
+
+@pytest.fixture(scope="module")
+def face_keys():
+    return load_dataset("FACE", N_KEYS, seed=1)
+
+
+@pytest.mark.parametrize("name", sorted(INDEX_REGISTRY))
+def test_lookup_latency(benchmark, name, face_keys):
+    index = INDEX_REGISTRY[name]()
+    index.bulk_load(face_keys)
+    rng = np.random.default_rng(0)
+    probes = [float(k) for k in rng.choice(face_keys, 256)]
+    state = {"i": 0}
+
+    def one_lookup():
+        state["i"] = (state["i"] + 1) % len(probes)
+        return index.lookup(probes[state["i"]])
+
+    benchmark(one_lookup)
+
+
+@pytest.mark.parametrize("name", sorted(UPDATABLE_INDEXES))
+def test_insert_delete_cycle(benchmark, name, face_keys):
+    index = INDEX_REGISTRY[name]()
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(face_keys)
+    index.bulk_load(np.sort(perm[: N_KEYS // 2]))
+    pool = [float(k) for k in perm[N_KEYS // 2 :]]
+    state = {"i": 0}
+
+    def insert_then_delete():
+        key = pool[state["i"] % len(pool)]
+        state["i"] += 1
+        index.insert(key)
+        index.delete(key)
+
+    benchmark(insert_then_delete)
+
+
+@pytest.mark.parametrize("name", sorted(INDEX_REGISTRY))
+def test_bulk_load_time(benchmark, name, face_keys):
+    small = face_keys[: N_KEYS // 4]
+
+    def build():
+        index = INDEX_REGISTRY[name]()
+        index.bulk_load(small)
+        return index
+
+    benchmark.pedantic(build, rounds=1, iterations=1)

@@ -1,0 +1,34 @@
+"""Range-scan throughput across scan widths (extension beyond the paper)."""
+
+from conftest import run_once
+
+from repro.bench.ablations import run_range_scans
+
+INDEXES = ("B+Tree", "PGM", "Chameleon")
+
+
+def test_range_scans(benchmark, scale):
+    rows = run_once(
+        benchmark,
+        lambda: run_range_scans(scale, spans=(10, 500), indexes=INDEXES),
+    )
+
+    def cost(span, index):
+        return next(
+            r["cost"] for r in rows if r["span"] == span and r["index"] == index
+        )
+
+    # Everybody pays more for wider scans.
+    for name in INDEXES:
+        assert cost(500, name) > cost(10, name)
+    # The honest trade-off: the B+Tree's linked sorted leaves make wide
+    # scans cheaper than Chameleon's full-slot-array collect-and-sort.
+    assert cost(500, "B+Tree") < cost(500, "Chameleon")
+
+
+def main() -> None:
+    run_range_scans()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Table I: qualitative capability matrix for every index."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_table1
+
+
+def test_table1_capability_matrix(benchmark):
+    rows = run_once(benchmark, run_table1)
+    by_name = {r["index"]: r for r in rows}
+    assert by_name["Chameleon"]["strategy"] == "MARL"
+    assert by_name["Chameleon"]["retraining"] == "non-Blocking"
+    assert by_name["Chameleon"]["skew_support"] == "vvv"
+    assert by_name["ALEX"]["skew_support"] == "x"
+    assert by_name["FINEdex"]["retraining"] == "non-Blocking"
+    assert len(rows) == 9
+
+
+def main() -> None:
+    run_table1()
+
+
+if __name__ == "__main__":
+    main()

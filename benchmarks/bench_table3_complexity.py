@@ -1,0 +1,33 @@
+"""Table III: empirical validation of the per-lookup complexity orders."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_table3
+
+
+def test_table3_empirical_complexity(benchmark, scale):
+    rows = run_once(benchmark, lambda: run_table3(scale))
+
+    def totals(index):
+        ordered = sorted(
+            (r for r in rows if r["index"] == index), key=lambda r: r["keys"]
+        )
+        return [r["total"] for r in ordered]
+
+    # O(H_C + 1) structures stay essentially flat as |D| quadruples...
+    cham = totals("Chameleon")
+    assert cham[-1] < 2.0 * cham[0] + 2
+    # ...while O(log |D|) comparison costs grow for B+Tree.
+    btree = totals("B+Tree")
+    assert btree[-1] > btree[0]
+    # And Chameleon does less total work per lookup than B+Tree at the top
+    # cardinality (Table III's ordering).
+    assert cham[-1] < btree[-1]
+
+
+def main() -> None:
+    run_table3()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Table V: structural analysis of DILI, ALEX, and the Chameleon ablations."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_table5
+
+
+def test_table5_structure_analysis(benchmark, scale):
+    rows = run_once(benchmark, lambda: run_table5(scale, datasets=("UDEN", "FACE")))
+
+    def row(dataset, index):
+        return next(
+            r for r in rows if r["dataset"] == dataset and r["index"] == index
+        )
+
+    # DILI: precise leaves (errors 0) but height grows with skew.
+    assert row("UDEN", "DILI")["max_error"] == 0
+    assert row("FACE", "DILI")["max_height"] > row("UDEN", "DILI")["max_height"]
+    # ALEX: model error explodes with skew.
+    assert row("FACE", "ALEX")["max_error"] > 10 * max(1, row("UDEN", "ALEX")["max_error"])
+    # Chameleon variants: height pinned near h, errors orders below ALEX's.
+    for variant in ("ChaB", "ChaDA", "ChaDATS"):
+        r = row("FACE", variant)
+        assert r["max_height"] <= 5
+        assert r["max_error"] < row("FACE", "ALEX")["max_error"] / 5
+    # Greedy over-provisions nodes relative to the DARE-optimised build.
+    assert row("FACE", "ChaB")["nodes"] >= row("FACE", "ChaDA")["nodes"] * 0.5
+
+
+def main() -> None:
+    run_table5()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""YCSB core workloads A-F (extension beyond the paper's ratio sweeps)."""
+
+from conftest import run_once
+
+from repro.bench.ablations import run_ycsb
+
+INDEXES = ("B+Tree", "ALEX", "Chameleon")
+
+
+def test_ycsb_core_workloads(benchmark, scale):
+    rows = run_once(
+        benchmark,
+        lambda: run_ycsb(scale, workloads=("A", "B", "C"), indexes=INDEXES),
+    )
+
+    def cost(workload, index):
+        return next(
+            r["cost"]
+            for r in rows
+            if r["workload"] == workload and r["index"] == index
+        )
+
+    # Chameleon must beat ALEX on the update-heavy workload A (gap-array
+    # shifting vs bounded hashing) and stay competitive on read-only C.
+    assert cost("A", "Chameleon") < cost("A", "ALEX")
+    assert cost("C", "Chameleon") < cost("C", "B+Tree")
+    # Read-mostly B sits between A and C for every index.
+    for name in INDEXES:
+        assert cost("C", name) <= cost("A", name) * 1.5
+
+
+def main() -> None:
+    run_ycsb()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Shared scale/config for the benchmark suite.
+
+``pytest benchmarks/ --benchmark-only`` runs every experiment once at quick
+scale (seconds each) and records the wall time; the full paper-scale sweeps
+are run via ``python -m repro.bench <experiment>``.
+"""
+
+import pytest
+
+from repro.bench import BenchScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    """Quick-scale knobs shared by all benchmark files."""
+    return BenchScale.quick()
+
+
+def run_once(benchmark, fn):
+    """Execute an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Quickstart: build a Chameleon index, query it, update it.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ChameleonIndex
+from repro.datasets import face_like, lsn_as_pi_fraction, measured_lsn
+
+
+def main() -> None:
+    # 1. A locally skewed dataset (synthetic stand-in for the paper's FACE).
+    keys = face_like(50_000, seed=7)
+    print(f"dataset: {len(keys):,} keys, lsn = {lsn_as_pi_fraction(measured_lsn(keys))}")
+
+    # 2. Build the full Chameleon (DARE chooses the upper levels, TSMDP
+    #    refines; EBH leaves flatten the dense regions).
+    index = ChameleonIndex()  # strategy="ChaDATS" by default
+    index.bulk_load(keys)
+    max_h, avg_h = index.height_stats()
+    max_e, avg_e = index.error_stats()
+    print(f"built: {index.node_count():,} nodes, height max/avg = {max_h}/{avg_h:.2f}, "
+          f"EBH offsets max/avg = {max_e:.0f}/{avg_e:.2f}, "
+          f"size = {index.size_bytes() / 2**20:.2f} MiB")
+
+    # 3. Point lookups.
+    rng = np.random.default_rng(0)
+    probes = rng.choice(keys, 5)
+    for k in probes:
+        assert index.lookup(float(k)) == k
+    print(f"lookup({float(probes[0]):.0f}) -> {index.lookup(float(probes[0])):.0f}")
+
+    # 4. Updates: in-place inserts; leaves grow/split as needed.
+    new_key = float(keys[100]) + 0.5
+    index.insert(new_key, "payload")
+    print(f"after insert: lookup({new_key}) -> {index.lookup(new_key)!r}")
+    index.delete(new_key)
+    print(f"after delete: lookup({new_key}) -> {index.lookup(new_key)}")
+
+    # 5. Range queries (leaves are hashed, so ranges collect + sort).
+    lo, hi = float(keys[1000]), float(keys[1020])
+    window = index.range_query(lo, hi)
+    print(f"range [{lo:.0f}, {hi:.0f}] -> {len(window)} keys")
+
+    # 6. Structural cost counters (the machine-independent currency used
+    #    throughout the benchmarks).
+    before = index.counters.snapshot()
+    for k in rng.choice(keys, 1000):
+        index.lookup(float(k))
+    delta = index.counters.diff(before)
+    per_op = {k: v / 1000 for k, v in delta.items() if v}
+    print(f"per-lookup structural cost: {per_op}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""How the index adapts as local skewness grows (Figs. 1(a), 2, 9).
+
+Sweeps the cluster variance of the Fig. 9 generator, prints a text view of
+where each dataset is skewed (the per-window lsn of Fig. 1(a)), and shows
+how the three construction strategies segment the same data — the greedy /
+conflict-splitting / cost-based comparison of the paper's Fig. 2, plus the
+resulting lookup cost versus a B+Tree.
+
+Run:
+    python examples/skew_adaptation.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.baselines.btree import BPlusTreeIndex
+from repro.bench.reporting import print_table, series_sparkline
+from repro.core import ChameleonIndex, local_skewness_windows
+from repro.datasets import lsn_as_pi_fraction, measured_lsn, skew_mixture
+from repro.workloads.operations import OpKind, Operation, run_workload
+
+
+def lookup_cost(index, keys, n=4000) -> float:
+    rng = np.random.default_rng(0)
+    ops = [Operation(OpKind.LOOKUP, float(k)) for k in rng.choice(keys, n)]
+    return run_workload(index, ops).structural_cost_per_op()
+
+
+def main() -> None:
+    print("Per-window local skewness (the Fig. 1(a) view):\n")
+    for variance in (0.5, 1e-2, 1e-4):
+        keys = skew_mixture(20_000, variance, seed=2)
+        windows = local_skewness_windows(keys, window=1000)
+        profile = series_sparkline([w / math.pi for w in windows], width=40)
+        print(f"  variance={variance:<8g} lsn={lsn_as_pi_fraction(measured_lsn(keys))}  |{profile}|")
+    print()
+
+    rows = []
+    for variance in (0.5, 1e-2, 1e-3, 1e-4):
+        keys = skew_mixture(20_000, variance, seed=2)
+        lsn = measured_lsn(keys)
+        btree = BPlusTreeIndex()
+        btree.bulk_load(keys)
+        base = lookup_cost(btree, keys)
+        for strategy in ("ChaB", "ChaDA", "ChaDATS"):
+            index = ChameleonIndex(strategy=strategy)
+            index.bulk_load(keys)
+            max_h, avg_h = index.height_stats()
+            rows.append(
+                [
+                    lsn_as_pi_fraction(lsn),
+                    strategy,
+                    index.node_count(),
+                    f"{max_h}/{avg_h:.2f}",
+                    lookup_cost(index, keys),
+                    lookup_cost(index, keys) / base,
+                ]
+            )
+    print_table(
+        ["lsn", "strategy", "nodes", "height max/avg", "cost/lookup", "vs B+Tree"],
+        rows,
+        title="Construction strategies across the skew sweep (Fig. 2 + Fig. 9 view)",
+    )
+    print(
+        "As skew grows, the RL-built variants keep lookup cost flat by\n"
+        "relocating fanout toward the dense regions and letting fitted EBH\n"
+        "leaves flatten what partitioning cannot spread."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Social-media feed scenario: bursty IDs under a heavy mixed workload.
+
+The paper motivates Chameleon with update streams that create or aggravate
+local skew — exactly what social-media object IDs do (the authors' earlier
+system, TALI, targeted social-media data). This example simulates a feed
+store: items get near-contiguous IDs in hot bursts, the workload interleaves
+reads of recent items with inserts of new ones and deletes of old ones, and
+we compare Chameleon against B+Tree/ALEX/LIPP on throughput and structural
+work.
+
+Run:
+    python examples/social_feed.py
+"""
+
+from repro.baselines import INDEX_REGISTRY
+from repro.bench.reporting import print_table
+from repro.datasets import face_like
+from repro.workloads.mixed import read_write_workload, split_load_and_pool
+from repro.workloads.operations import run_workload
+
+CONTENDERS = ("B+Tree", "ALEX", "LIPP", "Chameleon")
+
+
+def main() -> None:
+    # Feed object IDs: dense allocation bursts, like FACE.
+    ids = face_like(60_000, seed=21)
+    loaded, pool = split_load_and_pool(ids, load_fraction=0.5, seed=21)
+    print(f"bootstrap: {len(loaded):,} live items, {len(pool):,} future items\n")
+
+    rows = []
+    for write_ratio in (0.2, 0.5):
+        ops = read_write_workload(loaded, pool, 20_000, write_ratio, seed=3)
+        for name in CONTENDERS:
+            index = INDEX_REGISTRY[name]()
+            index.bulk_load(loaded)
+            result = run_workload(index, ops)
+            rows.append(
+                [
+                    write_ratio,
+                    name,
+                    result.throughput_ops_per_sec(),
+                    result.structural_cost_per_op(),
+                    result.counter_delta.get("retrain_keys", 0),
+                ]
+            )
+    print_table(
+        ["write ratio", "index", "ops/s (wall)", "struct cost/op", "keys retrained"],
+        rows,
+        title="Feed workload: interleaved reads + item churn (FACE-like IDs)",
+    )
+    print(
+        "Reading the table: wall throughput reflects Python implementation\n"
+        "details; the structural cost column is the machine-independent\n"
+        "comparison — Chameleon's bounded EBH probing keeps it low while\n"
+        "gap-array shifting (ALEX) and node searching (B+Tree) grow with\n"
+        "the write ratio."
+    )
+
+
+if __name__ == "__main__":
+    main()

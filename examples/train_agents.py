@@ -1,0 +1,83 @@
+"""Training the MARL agents (Algorithm 2) and building with them.
+
+Runs a short MARL training session — DARE's critic learns to predict
+(query, memory) costs of candidate upper-level structures, TSMDP's DQN
+learns fanout decisions from tree-structured TD targets — then builds
+indexes with the trained agents and compares them against the untrained
+(analytic-fitness / heuristic) path.
+
+Run:
+    python examples/train_agents.py            # ~1-2 minutes
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.reporting import print_table
+from repro.core import ChameleonConfig, ChameleonIndex
+from repro.core.builder import ChameleonBuilder
+from repro.datasets import logn, osmc_like
+from repro.rl import MARLTrainer
+from repro.workloads.operations import OpKind, Operation, run_workload
+
+
+def lookup_cost(index, keys, n=3000) -> float:
+    rng = np.random.default_rng(1)
+    ops = [Operation(OpKind.LOOKUP, float(k)) for k in rng.choice(keys, n)]
+    return run_workload(index, ops).structural_cost_per_op()
+
+
+def main() -> None:
+    config = ChameleonConfig(b_t=16, b_d=32, matrix_width=16)
+
+    print("training MARL agents (Algorithm 2)...")
+    t0 = time.time()
+    trainer = MARLTrainer(config=config, er_decay=0.6, er_floor=0.1, seed=0)
+    report = trainer.train(episodes_per_round=3, max_rounds=8)
+    print(f"  {report.episodes} episodes over {report.rounds} rounds "
+          f"in {time.time() - t0:.1f}s; final er = {report.final_er:.2f}")
+    if report.dare_losses:
+        print(f"  DARE critic loss: first {report.dare_losses[0]:.3f} "
+              f"-> last {report.dare_losses[-1]:.3f}")
+    if report.tsmdp_losses:
+        print(f"  TSMDP TD loss:    first {report.tsmdp_losses[0]:.3f} "
+              f"-> last {report.tsmdp_losses[-1]:.3f}")
+    print()
+
+    rows = []
+    for ds_name, gen in (("OSMC", osmc_like), ("LOGN", logn)):
+        keys = gen(30_000, seed=9)
+        # Untrained path: GA over the analytic evaluator + heuristic TSMDP.
+        t0 = time.time()
+        untrained = ChameleonIndex(config=config, strategy="ChaDATS")
+        untrained.bulk_load(keys)
+        untrained_s = time.time() - t0
+        # Trained path: GA over the critic + DQN TSMDP.
+        builder = ChameleonBuilder(
+            config, strategy="ChaDATS",
+            dare_agent=trainer.dare, tsmdp_agent=trainer.tsmdp,
+        )
+        t0 = time.time()
+        trained = ChameleonIndex(config=config, builder=builder)
+        trained.bulk_load(keys)
+        trained_s = time.time() - t0
+        rows.append([ds_name, "analytic/heuristic", round(untrained_s, 2),
+                     untrained.node_count(), lookup_cost(untrained, keys)])
+        rows.append([ds_name, "trained agents", round(trained_s, 2),
+                     trained.node_count(), lookup_cost(trained, keys)])
+    print_table(
+        ["dataset", "construction", "build s", "nodes", "cost/lookup"],
+        rows,
+        title="Untrained (analytic) vs trained (critic+DQN) construction",
+    )
+    print(
+        "The critic replaces per-candidate instantiation with one forward\n"
+        "pass, which is DARE's answer to the paper's Limitation (2); quality\n"
+        "stays in the same ballpark while construction gets cheaper as the\n"
+        "dataset grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

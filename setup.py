@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no network and no `wheel` package, so PEP 517 editable
+installs (which need bdist_wheel) fail. `pip install -e . --no-use-pep517
+--no-build-isolation` uses this shim instead; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

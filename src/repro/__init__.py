@@ -1,0 +1,44 @@
+"""Chameleon reproduction: update-efficient learned indexing for locally
+skewed data (Guo et al., ICDE 2024), implemented from scratch in Python.
+
+Quickstart::
+
+    from repro import ChameleonIndex
+    from repro.datasets import face_like
+
+    keys = face_like(100_000)
+    index = ChameleonIndex()
+    index.bulk_load(keys)
+    index.lookup(float(keys[42]))
+
+Subpackages:
+    core       — the Chameleon index, EBH leaves, interval locks, retrainer.
+    rl         — numpy DQN/GA substrate, TSMDP and DARE agents, MARL trainer.
+    baselines  — B+Tree, DIC, RS, PGM, ALEX, LIPP, DILI, FINEdex.
+    datasets   — SOSD-style generators (UDEN, OSMC, LOGN, FACE, sweeps).
+    workloads  — read-only / mixed / batched operation streams.
+    bench      — experiment harness regenerating the paper's tables/figures.
+"""
+
+from .baselines import INDEX_REGISTRY, UPDATABLE_INDEXES, BaseIndex
+from .core.config import ChameleonConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChameleonIndex",
+    "ChameleonConfig",
+    "BaseIndex",
+    "INDEX_REGISTRY",
+    "UPDATABLE_INDEXES",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazy top-level exports that would otherwise import half the world."""
+    if name == "ChameleonIndex":
+        from .core.index import ChameleonIndex
+
+        return ChameleonIndex
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

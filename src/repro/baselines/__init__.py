@@ -1,0 +1,81 @@
+"""Baseline index implementations and the shared index interface.
+
+``INDEX_REGISTRY`` maps the paper's index names to constructors; benchmarks
+iterate it to reproduce each figure's index lineup. Chameleon itself lives
+in :mod:`repro.core` but registers here too so the registry is complete.
+"""
+
+from typing import Callable
+
+from .alex import ALEXIndex
+from .btree import BPlusTreeIndex
+from .counters import Counters, CounterScope
+from .dic import DICIndex
+from .dili import DILIIndex
+from .finedex import FINEdexIndex
+from .interfaces import (
+    BaseIndex,
+    Capabilities,
+    DuplicateKeyError,
+    EmptyIndexError,
+    IndexError_,
+    as_key_value_arrays,
+)
+from .lipp import LIPPIndex
+from .pgm import PGMIndex
+from .radix_spline import RadixSplineIndex
+from .sorted_array import SortedArrayIndex
+
+
+def _chameleon() -> BaseIndex:
+    from ..core.index import ChameleonIndex
+
+    return ChameleonIndex()
+
+
+#: Paper name -> constructor, in the paper's Fig. 8 presentation order.
+INDEX_REGISTRY: dict[str, Callable[[], BaseIndex]] = {
+    "B+Tree": BPlusTreeIndex,
+    "DIC": DICIndex,
+    "RS": RadixSplineIndex,
+    "PGM": PGMIndex,
+    "ALEX": ALEXIndex,
+    "LIPP": LIPPIndex,
+    "DILI": DILIIndex,
+    "FINEdex": FINEdexIndex,
+    "Chameleon": _chameleon,
+}
+
+#: Indexes that support insert/delete (the mixed-workload lineup — the
+#: paper drops DIC and RS there as they are static).
+UPDATABLE_INDEXES = (
+    "B+Tree",
+    "PGM",
+    "ALEX",
+    "LIPP",
+    "DILI",
+    "FINEdex",
+    "Chameleon",
+)
+
+__all__ = [
+    "BaseIndex",
+    "Capabilities",
+    "Counters",
+    "CounterScope",
+    "DuplicateKeyError",
+    "EmptyIndexError",
+    "IndexError_",
+    "as_key_value_arrays",
+    "BPlusTreeIndex",
+    "ALEXIndex",
+    "PGMIndex",
+    "RadixSplineIndex",
+    "LIPPIndex",
+    "DILIIndex",
+    "FINEdexIndex",
+    "DICIndex",
+    "SortedArrayIndex",
+    "INDEX_REGISTRY",
+    "UPDATABLE_INDEXES",
+]

@@ -1,0 +1,501 @@
+"""ALEX baseline (paper reference [7]).
+
+Reproduces the mechanisms the paper attributes to ALEX:
+
+* a root *model node*: a linear model over the key space routing into a
+  power-of-two pointer array, where a contiguous slot range shares one data
+  node (cost-based adaptive fanout);
+* *gapped-array* data nodes with a per-node linear regression model,
+  model-predicted placement, and exponential search around the prediction;
+* in-place inserts that shift keys only up to the nearest gap;
+* node expansion (retrain, O(n)) when density exceeds the upper bound and
+  sideways splitting when a node outgrows its size cap — the blocking
+  retrains whose latency spikes motivate the paper's Fig. 1(b).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from .interfaces import (
+    BaseIndex,
+    Capabilities,
+    DuplicateKeyError,
+    Key,
+    Value,
+    as_key_value_arrays,
+)
+
+#: Data-node density bounds (ALEX defaults: 0.6 lower / 0.8 upper).
+DENSITY_LOW = 0.6
+DENSITY_HIGH = 0.8
+#: Max keys per data node before a sideways split.
+MAX_NODE_KEYS = 4096
+#: Initial root pointer-array size.
+INITIAL_ROOT_SLOTS = 64
+#: Root pointer-array ceiling (2^20, matching the paper's fanout bound).
+MAX_ROOT_SLOTS = 1 << 20
+
+
+class _LinearModel:
+    """y = slope * key + intercept, fit by least squares."""
+
+    __slots__ = ("slope", "intercept")
+
+    def __init__(self, slope: float = 0.0, intercept: float = 0.0) -> None:
+        self.slope = slope
+        self.intercept = intercept
+
+    @staticmethod
+    def fit(keys: list[float], positions: list[float]) -> "_LinearModel":
+        n = len(keys)
+        if n == 0:
+            return _LinearModel()
+        if n == 1:
+            return _LinearModel(0.0, positions[0])
+        mean_k = sum(keys) / n
+        mean_p = sum(positions) / n
+        var = sum((k - mean_k) ** 2 for k in keys)
+        if var <= 0.0:
+            return _LinearModel(0.0, mean_p)
+        cov = sum((k - mean_k) * (p - mean_p) for k, p in zip(keys, positions))
+        slope = cov / var
+        return _LinearModel(slope, mean_p - slope * mean_k)
+
+    def predict(self, key: float) -> float:
+        return self.slope * key + self.intercept
+
+
+class _DataNode:
+    """Gapped-array leaf with a linear placement model."""
+
+    __slots__ = ("slot_keys", "slot_values", "model", "n_keys", "min_key", "max_key")
+
+    def __init__(self) -> None:
+        self.slot_keys: list[float | None] = [None]
+        self.slot_values: list[Any] = [None]
+        self.model = _LinearModel()
+        self.n_keys = 0
+        self.min_key = 0.0
+        self.max_key = 0.0
+
+    @property
+    def capacity(self) -> int:
+        return len(self.slot_keys)
+
+    def build(
+        self, keys: list[float], values: list[Any], capacity: int | None = None
+    ) -> None:
+        """Model-based placement at DENSITY_LOW fill (ALEX bulk load)."""
+        self.n_keys = len(keys)
+        if not keys:
+            self.slot_keys = [None]
+            self.slot_values = [None]
+            self.model = _LinearModel()
+            return
+        if capacity is None:
+            capacity = max(4, int(len(keys) / DENSITY_LOW) + 1)
+        self.model = _LinearModel.fit(keys, list(range(len(keys))))
+        # Rescale the rank model to capacity.
+        scale = capacity / max(1, len(keys))
+        self.model = _LinearModel(self.model.slope * scale, self.model.intercept * scale)
+        self.slot_keys = [None] * capacity
+        self.slot_values = [None] * capacity
+        pos = -1
+        n = len(keys)
+        for i, (k, v) in enumerate(zip(keys, values)):
+            predicted = int(self.model.predict(k))
+            # Monotone placement, clamped so the remaining keys always fit;
+            # on skewed data this forces keys away from their predictions,
+            # which is precisely ALEX's growing-model-error weakness.
+            pos = min(max(predicted, pos + 1), capacity - (n - i))
+            self.slot_keys[pos] = k
+            self.slot_values[pos] = v
+        self.min_key = keys[0]
+        self.max_key = keys[-1]
+
+    # -- search helpers ---------------------------------------------------------
+
+    def _cmp_key(self, i: int, counters) -> float:
+        """Key at the nearest occupied slot <= i (-inf when none)."""
+        keys = self.slot_keys
+        while i >= 0:
+            counters.slot_probes += 1
+            k = keys[i]
+            if k is not None:
+                return k
+            i -= 1
+        return float("-inf")
+
+    def _exponential_search(self, key: float, counters) -> int:
+        """Slot whose cmp_key run contains ``key`` (ALEX's search)."""
+        capacity = self.capacity
+        pos = int(self.model.predict(key))
+        counters.model_evals += 1
+        pos = min(max(pos, 0), capacity - 1)
+        # Exponential widening around the prediction.
+        step = 1
+        lo = hi = pos
+        here = self._cmp_key(pos, counters)
+        counters.comparisons += 1
+        if here < key:
+            hi = pos
+            while hi < capacity - 1 and self._cmp_key(hi, counters) < key:
+                counters.comparisons += 1
+                lo = hi
+                hi = min(capacity - 1, hi + step)
+                step *= 2
+        else:
+            lo = pos
+            while lo > 0 and self._cmp_key(lo, counters) >= key:
+                counters.comparisons += 1
+                hi = lo
+                lo = max(0, lo - step)
+                step *= 2
+        # Binary search for the last slot with cmp_key <= key.
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            counters.comparisons += 1
+            if self._cmp_key(mid, counters) <= key:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def lookup(self, key: float, counters) -> Any | None:
+        pos = self._exponential_search(key, counters)
+        k = self._cmp_key(pos, counters)
+        if k == key:
+            # Walk left to the actual occupied slot.
+            while self.slot_keys[pos] is None:
+                pos -= 1
+            return self.slot_values[pos]
+        return None
+
+    def insert(self, key: float, value: Any, counters) -> bool:
+        """Insert in place; False when the node needs expansion/split."""
+        if (self.n_keys + 1) / self.capacity > DENSITY_HIGH:
+            return False
+        pos = self._exponential_search(key, counters)
+        anchor = self._cmp_key(pos, counters)
+        if anchor == key:
+            raise DuplicateKeyError(f"key already present: {key!r}")
+        if anchor > key:
+            # Key below every stored key: it belongs at the very front.
+            insert_at = 0
+        else:
+            # Insertion point: first slot strictly after the <=-run.
+            while pos >= 0 and self.slot_keys[pos] is None:
+                pos -= 1
+            insert_at = pos + 1
+        # Find nearest gap at/right of insert_at; else nearest gap left.
+        gap = None
+        for i in range(insert_at, self.capacity):
+            counters.slot_probes += 1
+            if self.slot_keys[i] is None:
+                gap = i
+                break
+        if gap is not None:
+            for i in range(gap, insert_at, -1):
+                self.slot_keys[i] = self.slot_keys[i - 1]
+                self.slot_values[i] = self.slot_values[i - 1]
+                counters.shifts += 1
+            self.slot_keys[insert_at] = key
+            self.slot_values[insert_at] = value
+        else:
+            for i in range(insert_at - 1, -1, -1):
+                counters.slot_probes += 1
+                if self.slot_keys[i] is None:
+                    gap = i
+                    break
+            if gap is None:
+                return False
+            for i in range(gap, insert_at - 1):
+                self.slot_keys[i] = self.slot_keys[i + 1]
+                self.slot_values[i] = self.slot_values[i + 1]
+                counters.shifts += 1
+            self.slot_keys[insert_at - 1] = key
+            self.slot_values[insert_at - 1] = value
+        self.n_keys += 1
+        self.min_key = min(self.min_key, key) if self.n_keys > 1 else key
+        self.max_key = max(self.max_key, key) if self.n_keys > 1 else key
+        return True
+
+    def delete(self, key: float, counters) -> bool:
+        pos = self._exponential_search(key, counters)
+        if self._cmp_key(pos, counters) != key:
+            return False
+        while self.slot_keys[pos] is None:
+            pos -= 1
+        self.slot_keys[pos] = None
+        self.slot_values[pos] = None
+        self.n_keys -= 1
+        return True
+
+    def sorted_items(self) -> list[tuple[float, Any]]:
+        return [
+            (k, v)
+            for k, v in zip(self.slot_keys, self.slot_values)
+            if k is not None
+        ]
+
+    def error_stats(self, counters) -> tuple[float, float]:
+        """(max, mean) |predicted - actual| over occupied slots."""
+        errors = []
+        for i, k in enumerate(self.slot_keys):
+            if k is None:
+                continue
+            predicted = min(max(int(self.model.predict(k)), 0), self.capacity - 1)
+            errors.append(abs(predicted - i))
+        if not errors:
+            return 0.0, 0.0
+        return float(max(errors)), sum(errors) / len(errors)
+
+
+class ALEXIndex(BaseIndex):
+    """Adaptive learned index with gapped arrays and model-based routing."""
+
+    capabilities = Capabilities(
+        name="ALEX",
+        construction_direction="TD",
+        construction_strategy="Cost-based",
+        inner_search="LIM",
+        leaf_search="LRM+ES",
+        insertion_strategy="In-place",
+        retraining="Blocking",
+        skew_strategy="-",
+        skew_support=0,
+        supports_updates=True,
+    )
+
+    def __init__(self, max_node_keys: int = MAX_NODE_KEYS) -> None:
+        super().__init__()
+        self.max_node_keys = int(max_node_keys)
+        self._root_model = _LinearModel()
+        self._pointers: list[_DataNode] = []
+        #: Slot range (start, end) owned by each data node, keyed by id().
+        self._slot_ranges: dict[int, tuple[int, int]] = {}
+        self._n = 0
+        #: Retrain/split events as (live_keys, keys_touched) — Fig. 1(b).
+        self.retrain_log: list[tuple[int, int]] = []
+
+    # -- loading --------------------------------------------------------------------
+
+    def bulk_load(self, keys: Iterable[Key], values: Iterable[Value] | None = None) -> None:
+        key_list, value_list = as_key_value_arrays(keys, values)
+        self._n = len(key_list)
+        self._slot_ranges = {}
+        if not key_list:
+            self._pointers = []
+            return
+        # Root sizing: every data node owns a contiguous slot range, so node
+        # boundaries always align with slot boundaries (the real ALEX
+        # layout — this makes model routing exact).
+        per_node = max(64, min(self.max_node_keys // 2, 1024))
+        slots = INITIAL_ROOT_SLOTS
+        want = max(1, 4 * len(key_list) // per_node)
+        while slots < want and slots < MAX_ROOT_SLOTS:
+            slots *= 2
+        lo = key_list[0]
+        hi = key_list[-1]
+        span = (hi - lo) if hi > lo else 1.0
+        span *= 1.0 + 1e-9  # keep the max key inside the last slot
+        self._root_model = _LinearModel(slots / span, -lo * slots / span)
+        self._pointers = [None] * slots  # type: ignore[list-item]
+
+        # Group consecutive slots into nodes of ~per_node keys.
+        slot_of = [
+            min(max(int(self._root_model.predict(k)), 0), slots - 1)
+            for k in key_list
+        ]
+        start_slot = 0
+        start_key = 0
+        i = 0
+        while start_slot < slots:
+            # Extend the group until it holds ~per_node keys.
+            end_slot = start_slot
+            count = 0
+            while end_slot < slots and (count < per_node or end_slot == start_slot):
+                while i < len(key_list) and slot_of[i] == end_slot:
+                    count += 1
+                    i += 1
+                end_slot += 1
+            if i >= len(key_list):
+                end_slot = slots  # last node absorbs the tail slots
+            node = _DataNode()
+            node.build(
+                key_list[start_key : start_key + count],
+                value_list[start_key : start_key + count],
+            )
+            self._attach(node, start_slot, end_slot)
+            start_key += count
+            start_slot = end_slot
+
+    def _attach(self, node: _DataNode, start_slot: int, end_slot: int) -> None:
+        self._slot_ranges[id(node)] = (start_slot, end_slot)
+        for s in range(start_slot, end_slot):
+            self._pointers[s] = node
+
+    # -- routing --------------------------------------------------------------------
+
+    def _slot_for(self, key: float) -> int:
+        self.counters.model_evals += 1
+        slot = int(self._root_model.predict(key))
+        return min(max(slot, 0), len(self._pointers) - 1)
+
+    def _route(self, key: float) -> _DataNode:
+        self.counters.node_hops += 1
+        return self._pointers[self._slot_for(key)]
+
+    # -- operations --------------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Value | None:
+        if not self._pointers:
+            return None
+        return self._route(float(key)).lookup(float(key), self.counters)
+
+    def insert(self, key: Key, value: Value | None = None) -> None:
+        if not self._pointers:
+            raise ValueError("bulk_load before inserting")
+        key_f = float(key)
+        stored = key_f if value is None else value
+        node = self._route(key_f)
+        if node.insert(key_f, stored, self.counters):
+            self._n += 1
+            return
+        # Density bound hit: expand (retrain) or split sideways.
+        self._expand_or_split(node)
+        node = self._route(key_f)
+        if not node.insert(key_f, stored, self.counters):
+            # Extremely skewed tail: force an expansion of the new target.
+            self._expand_or_split(node)
+            node = self._route(key_f)
+            node.insert(key_f, stored, self.counters)
+        self._n += 1
+
+    def _expand_or_split(self, node: _DataNode) -> None:
+        """Blocking structural modification (the Fig. 1(b) spike source)."""
+        pairs = node.sorted_items()
+        self.counters.retrains += 1
+        self.counters.retrain_keys += len(pairs)
+        self.retrain_log.append((self._n, len(pairs)))
+        keys = [p[0] for p in pairs]
+        values = [p[1] for p in pairs]
+        if len(pairs) <= self.max_node_keys:
+            # Expand: retrain the same node at lower density.
+            node.build(keys, values)
+            return
+        # Sideways split at a slot boundary; widen the root if the node
+        # owns a single slot.
+        start, end = self._slot_ranges[id(node)]
+        while end - start < 2 and len(self._pointers) * 2 <= MAX_ROOT_SLOTS:
+            self._double_root()
+            start, end = self._slot_ranges[id(node)]
+        if end - start < 2:
+            node.build(keys, values)  # root maxed out: expand unboundedly
+            return
+        slot_of = [self._slot_for(k) for k in keys]
+        # Cut at the slot-value change nearest the key-count median, so both
+        # halves align exactly with slot boundaries.
+        half = len(keys) // 2
+        cut = next(
+            (j for j in range(max(1, half), len(keys)) if slot_of[j] != slot_of[j - 1]),
+            None,
+        )
+        if cut is None:
+            cut = next(
+                (j for j in range(half, 0, -1) if slot_of[j] != slot_of[j - 1]),
+                None,
+            )
+        if cut is None:
+            node.build(keys, values)  # all keys share one slot: expand
+            return
+        mid_slot = slot_of[cut]
+        self.counters.splits += 1
+        del self._slot_ranges[id(node)]
+        left, right = _DataNode(), _DataNode()
+        left.build(keys[:cut], values[:cut])
+        right.build(keys[cut:], values[cut:])
+        self._attach(left, start, mid_slot)
+        self._attach(right, mid_slot, end)
+
+    def _double_root(self) -> None:
+        """Double the root pointer array (all slot ranges scale by two)."""
+        self.counters.retrains += 1
+        slots = len(self._pointers) * 2
+        self._root_model = _LinearModel(
+            self._root_model.slope * 2.0, self._root_model.intercept * 2.0
+        )
+        new_pointers: list[_DataNode] = [None] * slots  # type: ignore[list-item]
+        new_ranges: dict[int, tuple[int, int]] = {}
+        for node in self._unique_nodes():
+            s, e = self._slot_ranges[id(node)]
+            new_ranges[id(node)] = (2 * s, 2 * e)
+            for i in range(2 * s, 2 * e):
+                new_pointers[i] = node
+        self._pointers = new_pointers
+        self._slot_ranges = new_ranges
+
+    def _unique_nodes(self) -> list[_DataNode]:
+        """Data nodes in key order (pointer array deduplicated)."""
+        seen: set[int] = set()
+        out: list[_DataNode] = []
+        for node in self._pointers:
+            if node is not None and id(node) not in seen:
+                seen.add(id(node))
+                out.append(node)
+        return out
+
+    def delete(self, key: Key) -> bool:
+        if not self._pointers:
+            return False
+        removed = self._route(float(key)).delete(float(key), self.counters)
+        if removed:
+            self._n -= 1
+        return removed
+
+    def range_query(self, low: Key, high: Key) -> list[tuple[Key, Value]]:
+        out: list[tuple[Key, Value]] = []
+        for node in self._unique_nodes():
+            self.counters.node_hops += 1
+            if node.n_keys == 0 or node.max_key < low or node.min_key > high:
+                continue
+            self.counters.slot_probes += node.capacity
+            out.extend(
+                (k, v) for k, v in node.sorted_items() if low <= k <= high
+            )
+        return out
+
+    def items(self) -> Iterator[tuple[Key, Value]]:
+        for node in self._unique_nodes():
+            yield from node.sorted_items()
+
+    # -- structure --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def size_bytes(self) -> int:
+        total = 8 * len(self._pointers) + 32
+        for node in self._unique_nodes():
+            total += 16 * node.capacity + 48
+        return total
+
+    def height_stats(self) -> tuple[int, float]:
+        return (2, 2.0) if self._pointers else (0, 0.0)
+
+    def node_count(self) -> int:
+        return 1 + len(self._unique_nodes())
+
+    def error_stats(self) -> tuple[float, float]:
+        max_error = 0.0
+        weighted = 0.0
+        total = 0
+        for node in self._unique_nodes():
+            if node.n_keys == 0:
+                continue
+            node_max, node_avg = node.error_stats(self.counters)
+            max_error = max(max_error, node_max)
+            weighted += node_avg * node.n_keys
+            total += node.n_keys
+        return max_error, (weighted / total if total else 0.0)

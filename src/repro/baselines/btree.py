@@ -1,0 +1,311 @@
+"""B+Tree baseline (STX-style, paper reference [48]).
+
+A classic order-``m`` B+Tree: binary search in inner nodes, binary search in
+leaves, in-place insertion with splits, deletion with borrow/merge
+rebalancing, and linked leaves for range scans. This is the traditional
+yardstick every learned index in the paper is compared against.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from .interfaces import (
+    BaseIndex,
+    Capabilities,
+    DuplicateKeyError,
+    Key,
+    Value,
+    as_key_value_arrays,
+)
+
+#: Default node capacity (number of keys); STX uses cache-line-sized nodes.
+DEFAULT_ORDER = 64
+
+
+class _BTreeNode:
+    """One B+Tree node; leaf or inner depending on ``is_leaf``."""
+
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: list[Key] = []
+        self.children: list["_BTreeNode"] = []  # inner only
+        self.values: list[Value] = []  # leaf only
+        self.next_leaf: "_BTreeNode | None" = None  # leaf only
+
+
+class BPlusTreeIndex(BaseIndex):
+    """Order-``m`` B+Tree with full insert/delete rebalancing.
+
+    Args:
+        order: max keys per node; nodes split above this and merge below
+            ``order // 2``.
+    """
+
+    capabilities = Capabilities(
+        name="B+Tree",
+        construction_direction="TD",
+        construction_strategy="Greedy",
+        inner_search="BS",
+        leaf_search="BS",
+        insertion_strategy="In-place",
+        retraining="Blocking",
+        skew_strategy="Keep balance",
+        skew_support=2,
+        supports_updates=True,
+    )
+
+    def __init__(self, order: int = DEFAULT_ORDER) -> None:
+        super().__init__()
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self.order = int(order)
+        self._root: _BTreeNode = _BTreeNode(is_leaf=True)
+        self._n = 0
+
+    # -- loading -----------------------------------------------------------------
+
+    def bulk_load(self, keys: Iterable[Key], values: Iterable[Value] | None = None) -> None:
+        key_list, value_list = as_key_value_arrays(keys, values)
+        self._n = len(key_list)
+        if not key_list:
+            self._root = _BTreeNode(is_leaf=True)
+            return
+        # Bottom-up packed build at ~90% fill, the standard bulk-load path.
+        fill = max(2, int(self.order * 0.9))
+        leaves: list[_BTreeNode] = []
+        for start in range(0, len(key_list), fill):
+            leaf = _BTreeNode(is_leaf=True)
+            leaf.keys = key_list[start : start + fill]
+            leaf.values = value_list[start : start + fill]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        level: list[_BTreeNode] = leaves
+        level_mins: list[Key] = [leaf.keys[0] for leaf in leaves]
+        while len(level) > 1:
+            parents: list[_BTreeNode] = []
+            parent_mins: list[Key] = []
+            for start in range(0, len(level), fill):
+                group = level[start : start + fill]
+                mins = level_mins[start : start + fill]
+                parent = _BTreeNode(is_leaf=False)
+                parent.children = group
+                parent.keys = list(mins[1:])
+                parents.append(parent)
+                parent_mins.append(mins[0])
+            level = parents
+            level_mins = parent_mins
+        self._root = level[0]
+
+    # -- queries ------------------------------------------------------------------
+
+    def _find_leaf(self, key: Key) -> tuple[_BTreeNode, list[tuple[_BTreeNode, int]]]:
+        node = self._root
+        path: list[tuple[_BTreeNode, int]] = []
+        while not node.is_leaf:
+            self.counters.node_hops += 1
+            self.counters.comparisons += max(1, len(node.keys).bit_length())
+            i = bisect.bisect_right(node.keys, key)
+            path.append((node, i))
+            node = node.children[i]
+        return node, path
+
+    def lookup(self, key: Key) -> Value | None:
+        leaf, _ = self._find_leaf(float(key))
+        self.counters.comparisons += max(1, len(leaf.keys).bit_length())
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return leaf.values[i]
+        return None
+
+    def range_query(self, low: Key, high: Key) -> list[tuple[Key, Value]]:
+        leaf, _ = self._find_leaf(float(low))
+        out: list[tuple[Key, Value]] = []
+        node: _BTreeNode | None = leaf
+        while node is not None:
+            self.counters.comparisons += len(node.keys)
+            for k, v in zip(node.keys, node.values):
+                if k > high:
+                    return out
+                if k >= low:
+                    out.append((k, v))
+            node = node.next_leaf
+        return out
+
+    def items(self) -> Iterator[tuple[Key, Value]]:
+        node: _BTreeNode | None = self._leftmost_leaf()
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
+    def _leftmost_leaf(self) -> _BTreeNode:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    # -- updates -------------------------------------------------------------------
+
+    def insert(self, key: Key, value: Value | None = None) -> None:
+        key = float(key)
+        stored = key if value is None else value
+        leaf, path = self._find_leaf(key)
+        self.counters.comparisons += max(1, len(leaf.keys).bit_length())
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            raise DuplicateKeyError(f"key already present: {key!r}")
+        self.counters.shifts += len(leaf.keys) - i
+        leaf.keys.insert(i, key)
+        leaf.values.insert(i, stored)
+        self._n += 1
+        if len(leaf.keys) > self.order:
+            self._split(leaf, path)
+
+    def _split(self, node: _BTreeNode, path: list[tuple[_BTreeNode, int]]) -> None:
+        self.counters.splits += 1
+        mid = len(node.keys) // 2
+        right = _BTreeNode(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            right.next_leaf = node.next_leaf
+            node.next_leaf = right
+            up_key = right.keys[0]
+        else:
+            up_key = node.keys[mid]
+            right.keys = node.keys[mid + 1 :]
+            right.children = node.children[mid + 1 :]
+            node.keys = node.keys[:mid]
+            node.children = node.children[: mid + 1]
+        self.counters.shifts += len(right.keys)
+        if not path:
+            new_root = _BTreeNode(is_leaf=False)
+            new_root.keys = [up_key]
+            new_root.children = [node, right]
+            self._root = new_root
+            return
+        parent, i = path[-1]
+        parent.keys.insert(i, up_key)
+        parent.children.insert(i + 1, right)
+        self.counters.shifts += len(parent.keys) - i
+        if len(parent.keys) > self.order:
+            self._split(parent, path[:-1])
+
+    def delete(self, key: Key) -> bool:
+        key = float(key)
+        leaf, path = self._find_leaf(key)
+        self.counters.comparisons += max(1, len(leaf.keys).bit_length())
+        i = bisect.bisect_left(leaf.keys, key)
+        if i >= len(leaf.keys) or leaf.keys[i] != key:
+            return False
+        self.counters.shifts += len(leaf.keys) - i - 1
+        del leaf.keys[i]
+        del leaf.values[i]
+        self._n -= 1
+        self._rebalance(leaf, path)
+        return True
+
+    def _rebalance(self, node: _BTreeNode, path: list[tuple[_BTreeNode, int]]) -> None:
+        min_fill = self.order // 2
+        if len(node.keys) >= min_fill or not path:
+            if not path and not node.is_leaf and len(node.children) == 1:
+                self._root = node.children[0]  # shrink the tree
+            return
+        parent, i = path[-1]
+        # Try borrowing from siblings first, then merge.
+        left = parent.children[i - 1] if i > 0 else None
+        right = parent.children[i + 1] if i + 1 < len(parent.children) else None
+        if left is not None and len(left.keys) > min_fill:
+            self._borrow_from_left(node, left, parent, i)
+            return
+        if right is not None and len(right.keys) > min_fill:
+            self._borrow_from_right(node, right, parent, i)
+            return
+        if left is not None:
+            self._merge(left, node, parent, i - 1)
+        elif right is not None:
+            self._merge(node, right, parent, i)
+        self._rebalance(parent, path[:-1])
+
+    def _borrow_from_left(
+        self, node: _BTreeNode, left: _BTreeNode, parent: _BTreeNode, i: int
+    ) -> None:
+        self.counters.shifts += len(node.keys) + 1
+        if node.is_leaf:
+            node.keys.insert(0, left.keys.pop())
+            node.values.insert(0, left.values.pop())
+            parent.keys[i - 1] = node.keys[0]
+        else:
+            node.keys.insert(0, parent.keys[i - 1])
+            parent.keys[i - 1] = left.keys.pop()
+            node.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(
+        self, node: _BTreeNode, right: _BTreeNode, parent: _BTreeNode, i: int
+    ) -> None:
+        self.counters.shifts += len(right.keys)
+        if node.is_leaf:
+            node.keys.append(right.keys.pop(0))
+            node.values.append(right.values.pop(0))
+            parent.keys[i] = right.keys[0]
+        else:
+            node.keys.append(parent.keys[i])
+            parent.keys[i] = right.keys.pop(0)
+            node.children.append(right.children.pop(0))
+
+    def _merge(
+        self, left: _BTreeNode, right: _BTreeNode, parent: _BTreeNode, sep: int
+    ) -> None:
+        self.counters.merges += 1
+        self.counters.shifts += len(right.keys)
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[sep])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[sep]
+        del parent.children[sep + 1]
+
+    # -- structure -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def size_bytes(self) -> int:
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                total += 16 * len(node.keys) + 32
+            else:
+                total += 8 * len(node.keys) + 8 * len(node.children) + 32
+                stack.extend(node.children)
+        return total
+
+    def height_stats(self) -> tuple[int, float]:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            height += 1
+            node = node.children[0]
+        return height, float(height)
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count

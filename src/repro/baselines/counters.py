@@ -1,0 +1,112 @@
+"""Structural cost counters shared by every index implementation.
+
+The paper reports nanosecond latencies measured on a C++ artifact. A Python
+reproduction cannot match those absolute numbers, so every index in this
+repository additionally counts the abstract operations that dominate its C++
+cost. Benchmarks compare indexes on these machine-independent counters as
+well as on wall-clock time; see DESIGN.md section 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Abstract-operation counters for one index instance.
+
+    Attributes:
+        node_hops: inner-node traversal steps (pointer chases).
+        comparisons: key comparisons (binary/linear/exponential search work).
+        model_evals: learned-model evaluations (linear, hash, kernel, spline).
+        slot_probes: hash/gap-array slot inspections in leaf nodes.
+        shifts: element moves caused by in-place insertion or deletion.
+        splits: structural node splits.
+        merges: structural node merges or compactions.
+        retrains: model retraining events (any granularity).
+        retrain_keys: number of keys touched by retraining work.
+        buffer_ops: delta-buffer reads/writes (out-of-place designs).
+        lock_acquisitions: interval/node lock acquisitions.
+        lock_waits: lock acquisitions that had to wait or retry.
+    """
+
+    node_hops: int = 0
+    comparisons: int = 0
+    model_evals: int = 0
+    slot_probes: int = 0
+    shifts: int = 0
+    splits: int = 0
+    merges: int = 0
+    retrains: int = 0
+    retrain_keys: int = 0
+    buffer_ops: int = 0
+    lock_acquisitions: int = 0
+    lock_waits: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a plain-dict copy of the current counter values."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def diff(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Return per-counter deltas relative to an earlier snapshot."""
+        return {
+            f.name: getattr(self, f.name) - earlier.get(f.name, 0)
+            for f in fields(self)
+        }
+
+    def total_search_work(self) -> int:
+        """Aggregate proxy for per-lookup cost.
+
+        Weighs the operations a lookup performs; used by the structural cost
+        model when ranking indexes the way the paper's latency plots do.
+        """
+        return (
+            self.node_hops
+            + self.comparisons
+            + self.model_evals
+            + self.slot_probes
+            + self.buffer_ops
+        )
+
+    def total_update_work(self) -> int:
+        """Aggregate proxy for per-update cost (includes search work)."""
+        return (
+            self.total_search_work()
+            + self.shifts
+            + self.splits * 8
+            + self.merges * 8
+            + self.retrain_keys
+        )
+
+    def merge_from(self, other: "Counters") -> None:
+        """Accumulate another counter set into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+@dataclass
+class CounterScope:
+    """Context manager measuring the counter delta across a block.
+
+    Example:
+        with CounterScope(index.counters) as scope:
+            index.lookup(key)
+        cost = scope.delta["comparisons"]
+    """
+
+    counters: Counters
+    delta: dict[str, int] = field(default_factory=dict)
+    _before: dict[str, int] = field(default_factory=dict)
+
+    def __enter__(self) -> "CounterScope":
+        self._before = self.counters.snapshot()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.delta = self.counters.diff(self._before)

@@ -1,0 +1,260 @@
+"""DIC baseline (paper reference [40]).
+
+DIC ("Dynamic Index Construction with deep reinforcement learning") searches
+for an approximately optimal *combination of traditional index structures*
+over data partitions. Our reproduction partitions the key space and lets a
+tabular Q-learning agent pick, per partition, one of three classic
+structures — sorted array (binary search), hash table, or a small B+Tree —
+based on partition features, by actually measuring simulated query costs
+during construction episodes. That trial-and-error construction is why DIC
+is the slowest builder in the paper's Fig. 10; and because the result is a
+static composition, the paper excludes DIC from update experiments
+(Section VI-C) — it is read-only here too.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from .btree import BPlusTreeIndex
+from .interfaces import (
+    BaseIndex,
+    Capabilities,
+    Key,
+    Value,
+    as_key_value_arrays,
+)
+
+#: Candidate structures per partition.
+STRUCTURES = ("array", "hash", "btree")
+#: Number of key-space partitions.
+DEFAULT_PARTITIONS = 128
+#: Q-learning episodes during construction. DIC invokes its agent per node
+#: with measured rollouts, which makes it the slowest builder in Fig. 10.
+DEFAULT_EPISODES = 64
+
+
+class _Partition:
+    """One partition with its chosen structure."""
+
+    __slots__ = ("low", "keys", "values", "kind", "hash_map", "btree")
+
+    def __init__(self, low: float, keys: list[float], values: list[Any]) -> None:
+        self.low = low
+        self.keys = keys
+        self.values = values
+        self.kind = "array"
+        self.hash_map: dict[float, Any] | None = None
+        self.btree: BPlusTreeIndex | None = None
+
+    def materialise(self, kind: str, counters) -> None:
+        self.kind = kind
+        self.hash_map = None
+        self.btree = None
+        if kind == "hash":
+            self.hash_map = dict(zip(self.keys, self.values))
+        elif kind == "btree" and self.keys:
+            self.btree = BPlusTreeIndex(order=16)
+            self.btree.counters = counters  # share the parent's counters
+            self.btree.bulk_load(self.keys, self.values)
+
+    def lookup(self, key: float, counters) -> Any | None:
+        if self.kind == "hash":
+            counters.slot_probes += 1
+            return self.hash_map.get(key) if self.hash_map else None
+        if self.kind == "btree" and self.btree is not None:
+            return self.btree.lookup(key)
+        counters.comparisons += max(1, len(self.keys).bit_length())
+        i = bisect.bisect_left(self.keys, key)
+        if i < len(self.keys) and self.keys[i] == key:
+            return self.values[i]
+        return None
+
+
+class DICIndex(BaseIndex):
+    """RL-composed hybrid of classic index structures (read-only).
+
+    Args:
+        partitions: equal-width key-space partitions.
+        episodes: Q-learning episodes during construction.
+    """
+
+    capabilities = Capabilities(
+        name="DIC",
+        construction_direction="TD",
+        construction_strategy="RL",
+        inner_search="BS / Hash",
+        leaf_search="BS / Hash",
+        insertion_strategy="In-place",
+        retraining="Blocking",
+        skew_strategy="Keep balance",
+        skew_support=2,
+        supports_updates=False,
+    )
+
+    def __init__(
+        self, partitions: int = DEFAULT_PARTITIONS, episodes: int = DEFAULT_EPISODES
+    ) -> None:
+        super().__init__()
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        self.partitions = int(partitions)
+        self.episodes = int(episodes)
+        self._parts: list[_Partition] = []
+        self._boundaries: list[float] = []
+        self._n = 0
+
+    # -- construction --------------------------------------------------------------
+
+    def bulk_load(self, keys: Iterable[Key], values: Iterable[Value] | None = None) -> None:
+        key_list, value_list = as_key_value_arrays(keys, values)
+        self._n = len(key_list)
+        self._parts = []
+        self._boundaries = []
+        if not key_list:
+            return
+        lo, hi = key_list[0], key_list[-1]
+        span = (hi - lo) or 1.0
+        width = span / self.partitions
+        start = 0
+        for p in range(self.partitions):
+            bound = lo + p * width
+            end = len(key_list) if p == self.partitions - 1 else bisect.bisect_left(
+                key_list, lo + (p + 1) * width, start
+            )
+            self._parts.append(
+                _Partition(bound, key_list[start:end], value_list[start:end])
+            )
+            self._boundaries.append(bound)
+            start = end
+        self._optimise_structures(key_list)
+
+    def _optimise_structures(self, key_list: list[float]) -> None:
+        """Tabular Q-learning over (size-bucket, density-bucket) states.
+
+        Every episode samples workloads per partition, measures each
+        structure's simulated cost, and updates Q; the final policy picks
+        the argmin-cost structure per partition. The repeated measuring is
+        DIC's construction-time cost.
+        """
+        rng = np.random.default_rng(17)
+        q: dict[tuple[int, int, str], float] = {}
+        alpha = 0.3
+
+        def state_of(part: _Partition) -> tuple[int, int]:
+            size_bucket = min(6, len(part.keys).bit_length() // 3)
+            if len(part.keys) >= 2 and part.keys[-1] > part.keys[0]:
+                density = len(part.keys) / (part.keys[-1] - part.keys[0])
+                global_density = len(key_list) / (key_list[-1] - key_list[0])
+                ratio_bucket = min(6, max(0, int(np.log2(density / global_density + 1e-12)) + 3))
+            else:
+                ratio_bucket = 0
+            return size_bucket, ratio_bucket
+
+        import time as _time
+
+        def measure(part: _Partition, kind: str) -> float:
+            """Measured per-lookup cost: materialise and probe for real.
+
+            This trial-and-error measurement per (partition, episode) is
+            what makes DIC's construction the slowest in the paper's
+            Fig. 10 — the agent learns from instantiated structures, not a
+            closed-form cost model.
+            """
+            if not part.keys:
+                return 1.0
+            trial = _Partition(part.low, part.keys, part.values)
+            trial.materialise(kind, self.counters)
+            probes = rng.choice(len(part.keys), size=min(30, len(part.keys)))
+            t0 = _time.perf_counter_ns()
+            for p in probes:
+                trial.lookup(part.keys[int(p)], self.counters)
+            return (_time.perf_counter_ns() - t0) / max(1, probes.size)
+
+        for _ in range(self.episodes):
+            for part in self._parts:
+                s = state_of(part)
+                kind = STRUCTURES[int(rng.integers(0, len(STRUCTURES)))]
+                cost = measure(part, kind)
+                old = q.get((*s, kind), 0.0)
+                q[(*s, kind)] = old + alpha * (-cost - old)
+        for part in self._parts:
+            s = state_of(part)
+            best = max(STRUCTURES, key=lambda k: q.get((*s, k), float("-inf")))
+            part.materialise(best, self.counters)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Value | None:
+        if not self._parts:
+            return None
+        key = float(key)
+        self.counters.comparisons += max(1, len(self._boundaries).bit_length())
+        i = max(0, bisect.bisect_right(self._boundaries, key) - 1)
+        self.counters.node_hops += 1
+        return self._parts[i].lookup(key, self.counters)
+
+    def range_query(self, low: Key, high: Key) -> list[tuple[Key, Value]]:
+        out: list[tuple[Key, Value]] = []
+        start = max(0, bisect.bisect_right(self._boundaries, low) - 1)
+        self.counters.comparisons += max(1, len(self._boundaries).bit_length())
+        for part in self._parts[start:]:
+            if part.keys and part.keys[0] > high:
+                break
+            self.counters.comparisons += len(part.keys)
+            out.extend(
+                (k, v) for k, v in zip(part.keys, part.values) if low <= k <= high
+            )
+        return sorted(out)
+
+    def items(self) -> Iterator[tuple[Key, Value]]:
+        for part in self._parts:
+            yield from zip(part.keys, part.values)
+
+    # -- structure --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def size_bytes(self) -> int:
+        total = 8 * len(self._boundaries)
+        for part in self._parts:
+            if part.kind == "hash":
+                total += 24 * len(part.keys) + 32
+            elif part.kind == "btree" and part.btree is not None:
+                total += part.btree.size_bytes()
+            else:
+                total += 16 * len(part.keys) + 16
+        return total
+
+    def height_stats(self) -> tuple[int, float]:
+        depths = []
+        for part in self._parts:
+            if not part.keys:
+                continue
+            if part.kind == "btree" and part.btree is not None:
+                depths.append(1 + part.btree.height_stats()[0])
+            else:
+                depths.append(2)
+        if not depths:
+            return 1, 1.0
+        return max(depths), sum(depths) / len(depths)
+
+    def node_count(self) -> int:
+        count = 1
+        for part in self._parts:
+            if part.kind == "btree" and part.btree is not None:
+                count += part.btree.node_count()
+            else:
+                count += 1
+        return count
+
+    def structure_mix(self) -> dict[str, int]:
+        """How many partitions chose each structure (diagnostics)."""
+        mix: dict[str, int] = {}
+        for part in self._parts:
+            mix[part.kind] = mix.get(part.kind, 0) + 1
+        return mix

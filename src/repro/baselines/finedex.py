@@ -1,0 +1,289 @@
+"""FINEdex baseline (paper reference [12]).
+
+FINEdex flattens the index into independent error-bounded linear models,
+one per data segment, each paired with a *level bin* — a small sorted
+buffer absorbing inserts without touching the trained arrays, which is what
+makes its retraining non-blocking. Lookups pay the level-bin scan the paper
+lists as FINEdex's weakness in Table I.
+
+Segment routing uses a sorted first-key array (binary search); inside a
+segment, the model predicts a position and a 2*epsilon window is searched.
+A full level bin merges into its segment (retrain counted, queries keep
+working off the old arrays conceptually — we execute sequentially).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+from .interfaces import (
+    BaseIndex,
+    Capabilities,
+    DuplicateKeyError,
+    Key,
+    Value,
+    as_key_value_arrays,
+)
+from .pgm import build_pla_segments
+
+#: Segment model error bound.
+DEFAULT_EPSILON = 64
+#: Level-bin capacity per segment.
+BIN_CAPACITY = 128
+#: Max keys per trained segment. FINEdex trains many small independent
+#: models over fixed-size groups; without this cap a near-linear dataset
+#: would collapse into one giant segment whose bin merges cost O(n) each.
+MAX_SEGMENT_KEYS = 2048
+
+
+class _FineSegment:
+    """One trained segment: sorted arrays + model + level bin."""
+
+    __slots__ = ("keys", "values", "slope", "intercept", "bin_keys", "bin_values")
+
+    def __init__(self, keys: list[float], values: list[Any]) -> None:
+        self.keys = keys
+        self.values = values
+        self.bin_keys: list[float] = []
+        self.bin_values: list[Any] = []
+        self._fit()
+
+    def _fit(self) -> None:
+        n = len(self.keys)
+        if n < 2:
+            self.slope, self.intercept = 0.0, 0.0
+            return
+        span = self.keys[-1] - self.keys[0]
+        if span <= 0:
+            self.slope, self.intercept = 0.0, 0.0
+            return
+        self.slope = (n - 1) / span
+        self.intercept = -self.keys[0] * self.slope
+
+    def predict(self, key: float) -> int:
+        return int(self.slope * key + self.intercept)
+
+    def merge_bin(self) -> int:
+        """Fold the level bin into the arrays and refit; returns keys moved."""
+        moved = len(self.bin_keys)
+        if moved == 0:
+            return 0
+        merged_k: list[float] = []
+        merged_v: list[Any] = []
+        bi = 0
+        for k, v in zip(self.keys, self.values):
+            while bi < moved and self.bin_keys[bi] < k:
+                merged_k.append(self.bin_keys[bi])
+                merged_v.append(self.bin_values[bi])
+                bi += 1
+            merged_k.append(k)
+            merged_v.append(v)
+        merged_k.extend(self.bin_keys[bi:])
+        merged_v.extend(self.bin_values[bi:])
+        self.keys, self.values = merged_k, merged_v
+        self.bin_keys, self.bin_values = [], []
+        self._fit()
+        return moved
+
+
+class FINEdexIndex(BaseIndex):
+    """Flattened independent models with level bins.
+
+    Args:
+        epsilon: segmentation/model error bound.
+        bin_capacity: per-segment insert buffer size.
+    """
+
+    capabilities = Capabilities(
+        name="FINEdex",
+        construction_direction="TD",
+        construction_strategy="Greedy",
+        inner_search="LIM",
+        leaf_search="LRM+BS+LS",
+        insertion_strategy="Out-of-place",
+        retraining="non-Blocking",
+        skew_strategy="Use Level Bin",
+        skew_support=1,
+        supports_updates=True,
+    )
+
+    def __init__(
+        self, epsilon: int = DEFAULT_EPSILON, bin_capacity: int = BIN_CAPACITY
+    ) -> None:
+        super().__init__()
+        self.epsilon = int(epsilon)
+        self.bin_capacity = int(bin_capacity)
+        self._segments: list[_FineSegment] = []
+        self._first_keys: list[float] = []
+        self._n = 0
+
+    # -- construction ---------------------------------------------------------------
+
+    def bulk_load(self, keys: Iterable[Key], values: Iterable[Value] | None = None) -> None:
+        key_list, value_list = as_key_value_arrays(keys, values)
+        self._n = len(key_list)
+        self._segments = []
+        self._first_keys = []
+        if not key_list:
+            return
+        pla = build_pla_segments(key_list, self.epsilon)
+        boundaries = [seg.first_key for seg in pla]
+        start = 0
+        for s in range(len(boundaries)):
+            end = len(key_list)
+            if s + 1 < len(boundaries):
+                end = bisect.bisect_left(key_list, boundaries[s + 1], start)
+            # Split over-long PLA segments into fixed-size groups (the
+            # flattened independent models FINEdex trains).
+            for group_start in range(start, max(end, start + 1), MAX_SEGMENT_KEYS):
+                group_end = min(end, group_start + MAX_SEGMENT_KEYS)
+                if group_end <= group_start:
+                    break
+                self._segments.append(
+                    _FineSegment(
+                        key_list[group_start:group_end],
+                        value_list[group_start:group_end],
+                    )
+                )
+                self._first_keys.append(key_list[group_start])
+            start = end
+
+    # -- routing ---------------------------------------------------------------------
+
+    def _segment_for(self, key: float) -> _FineSegment:
+        self.counters.comparisons += max(1, len(self._first_keys).bit_length())
+        i = bisect.bisect_right(self._first_keys, key) - 1
+        return self._segments[max(0, i)]
+
+    # -- operations ---------------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Value | None:
+        if not self._segments:
+            return None
+        key = float(key)
+        seg = self._segment_for(key)
+        # Level bin first (linear scan — FINEdex's Table I weakness).
+        self.counters.buffer_ops += len(seg.bin_keys)
+        bi = bisect.bisect_left(seg.bin_keys, key)
+        if bi < len(seg.bin_keys) and seg.bin_keys[bi] == key:
+            return seg.bin_values[bi]
+        self.counters.model_evals += 1
+        predicted = seg.predict(key)
+        lo = max(0, predicted - self.epsilon)
+        hi = min(len(seg.keys), predicted + self.epsilon + 1)
+        self.counters.comparisons += max(1, max(1, hi - lo).bit_length())
+        i = bisect.bisect_left(seg.keys, key, lo, hi)
+        if i < len(seg.keys) and seg.keys[i] == key:
+            return seg.values[i]
+        # Defensive full-segment search (boundary rounding).
+        i = bisect.bisect_left(seg.keys, key)
+        self.counters.comparisons += max(1, len(seg.keys).bit_length())
+        if i < len(seg.keys) and seg.keys[i] == key:
+            return seg.values[i]
+        return None
+
+    def insert(self, key: Key, value: Value | None = None) -> None:
+        if not self._segments:
+            raise ValueError("bulk_load before inserting")
+        key = float(key)
+        stored = key if value is None else value
+        if self.lookup(key) is not None:
+            raise DuplicateKeyError(f"key already present: {key!r}")
+        seg = self._segment_for(key)
+        bi = bisect.bisect_left(seg.bin_keys, key)
+        seg.bin_keys.insert(bi, key)
+        seg.bin_values.insert(bi, stored)
+        self.counters.buffer_ops += 1
+        self.counters.shifts += len(seg.bin_keys) - bi
+        self._n += 1
+        if len(seg.bin_keys) > self.bin_capacity:
+            seg.merge_bin()
+            self.counters.retrains += 1
+            self.counters.retrain_keys += len(seg.keys)
+            if len(seg.keys) > 2 * MAX_SEGMENT_KEYS:
+                self._split_segment(seg)
+
+    def _split_segment(self, seg: _FineSegment) -> None:
+        """Halve an over-grown segment (keeps merges O(segment cap))."""
+        mid = len(seg.keys) // 2
+        right = _FineSegment(seg.keys[mid:], seg.values[mid:])
+        idx = bisect.bisect_right(self._first_keys, seg.keys[0]) - 1
+        while self._segments[idx] is not seg:
+            idx += 1
+        seg.keys = seg.keys[:mid]
+        seg.values = seg.values[:mid]
+        seg._fit()
+        self._segments.insert(idx + 1, right)
+        self._first_keys.insert(idx + 1, right.keys[0])
+        self.counters.splits += 1
+
+    def delete(self, key: Key) -> bool:
+        if not self._segments:
+            return False
+        key = float(key)
+        seg = self._segment_for(key)
+        bi = bisect.bisect_left(seg.bin_keys, key)
+        if bi < len(seg.bin_keys) and seg.bin_keys[bi] == key:
+            del seg.bin_keys[bi]
+            del seg.bin_values[bi]
+            self._n -= 1
+            return True
+        i = bisect.bisect_left(seg.keys, key)
+        self.counters.comparisons += max(1, len(seg.keys).bit_length())
+        if i < len(seg.keys) and seg.keys[i] == key:
+            del seg.keys[i]
+            del seg.values[i]
+            self.counters.shifts += len(seg.keys) - i
+            self._n -= 1
+            return True
+        return False
+
+    def range_query(self, low: Key, high: Key) -> list[tuple[Key, Value]]:
+        out: list[tuple[Key, Value]] = []
+        start = max(0, bisect.bisect_right(self._first_keys, low) - 1)
+        self.counters.comparisons += max(1, len(self._first_keys).bit_length())
+        for seg in self._segments[start:]:
+            if seg.keys and seg.keys[0] > high and (
+                not seg.bin_keys or seg.bin_keys[0] > high
+            ):
+                break
+            self.counters.comparisons += len(seg.keys)
+            self.counters.buffer_ops += len(seg.bin_keys)
+            out.extend(
+                (k, v)
+                for k, v in zip(seg.keys, seg.values)
+                if low <= k <= high
+            )
+            out.extend(
+                (k, v)
+                for k, v in zip(seg.bin_keys, seg.bin_values)
+                if low <= k <= high
+            )
+        out.sort()
+        return out
+
+    def items(self) -> Iterator[tuple[Key, Value]]:
+        for seg in self._segments:
+            yield from zip(seg.keys, seg.values)
+            yield from zip(seg.bin_keys, seg.bin_values)
+
+    # -- structure -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def size_bytes(self) -> int:
+        total = 8 * len(self._first_keys)
+        for seg in self._segments:
+            total += 16 * len(seg.keys) + 16 * self.bin_capacity + 32
+        return total
+
+    def height_stats(self) -> tuple[int, float]:
+        return 2, 2.0  # router array + flat segments
+
+    def node_count(self) -> int:
+        return len(self._segments)
+
+    def error_stats(self) -> tuple[float, float]:
+        return float(self.epsilon), float(self.epsilon) / 2.0

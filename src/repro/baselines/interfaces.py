@@ -1,0 +1,218 @@
+"""Common interface and capability metadata for every index in the suite.
+
+All indexes — Chameleon and the eight baselines — expose the same ordered-map
+API so that workloads, benchmarks, and differential tests can drive them
+interchangeably. Capability descriptors reproduce the qualitative columns of
+the paper's Table I.
+"""
+
+from __future__ import annotations
+
+import abc
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from .counters import Counters
+
+Key = float
+Value = Any
+
+
+class IndexError_(Exception):
+    """Base error for index operations."""
+
+
+class DuplicateKeyError(IndexError_):
+    """Raised when inserting a key that already exists."""
+
+
+class EmptyIndexError(IndexError_):
+    """Raised when querying an index that was never loaded."""
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """Qualitative capability descriptor mirroring the paper's Table I.
+
+    Attributes:
+        name: display name used in tables.
+        construction_direction: "TD", "BU", or "BU+TD".
+        construction_strategy: "Greedy", "Cost-based", "RL", or "MARL".
+        inner_search: search method inside inner nodes.
+        leaf_search: search method inside leaf nodes.
+        insertion_strategy: "In-place", "Out-of-place", or "None".
+        retraining: "Blocking", "non-Blocking", or "None".
+        skew_strategy: how local skewness is handled ("-" if not).
+        skew_support: 0 (unsupported) .. 3 (strongest), the check-mark count.
+        supports_updates: whether insert/delete are implemented.
+    """
+
+    name: str
+    construction_direction: str
+    construction_strategy: str
+    inner_search: str
+    leaf_search: str
+    insertion_strategy: str
+    retraining: str
+    skew_strategy: str
+    skew_support: int
+    supports_updates: bool
+
+
+class BaseIndex(abc.ABC):
+    """Abstract ordered index over 64-bit-style numeric keys.
+
+    Concrete subclasses must implement :meth:`bulk_load`, :meth:`lookup`, and
+    the structural accessors. Updatable indexes also implement
+    :meth:`insert` and :meth:`delete`; static ones raise
+    ``NotImplementedError`` from the defaults here.
+    """
+
+    #: Filled in by each subclass; consumed by the Table I bench.
+    capabilities: Capabilities
+
+    def __init__(self) -> None:
+        self.counters = Counters()
+
+    # -- required API ------------------------------------------------------
+
+    @abc.abstractmethod
+    def bulk_load(self, keys: Iterable[Key], values: Iterable[Value] | None = None) -> None:
+        """Build the index over sorted, unique keys.
+
+        Args:
+            keys: keys in ascending order (implementations may sort copies).
+            values: optional payloads aligned with ``keys``; defaults to the
+                keys themselves.
+        """
+
+    @abc.abstractmethod
+    def lookup(self, key: Key) -> Value | None:
+        """Return the value stored under ``key`` or ``None`` if absent."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of live keys."""
+
+    # -- optional API (updatable indexes) ----------------------------------
+
+    def insert(self, key: Key, value: Value | None = None) -> None:
+        """Insert ``key`` (with ``value``, default the key itself).
+
+        Raises:
+            DuplicateKeyError: if the key is already present.
+            NotImplementedError: for read-only index structures.
+        """
+        raise NotImplementedError(f"{type(self).__name__} is read-only")
+
+    def delete(self, key: Key) -> bool:
+        """Delete ``key``; return True if it was present.
+
+        Raises:
+            NotImplementedError: for read-only index structures.
+        """
+        raise NotImplementedError(f"{type(self).__name__} is read-only")
+
+    def range_query(self, low: Key, high: Key) -> list[tuple[Key, Value]]:
+        """Return ``(key, value)`` pairs with ``low <= key <= high``, sorted.
+
+        Default implementation scans :meth:`items`; subclasses override with
+        structure-aware versions where profitable.
+        """
+        return sorted((k, v) for k, v in self.items() if low <= k <= high)
+
+    def items(self) -> Iterator[tuple[Key, Value]]:
+        """Iterate over all live ``(key, value)`` pairs in any order."""
+        raise NotImplementedError
+
+    # -- structural accessors ----------------------------------------------
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Estimated index size in bytes under the paper's C++ layout.
+
+        Keys/values count 8 bytes each, pointers 8 bytes, model parameters
+        8 bytes per float. This is a model of the C++ artifact's footprint,
+        not Python object overhead, so size comparisons match the paper's.
+        """
+
+    def height_stats(self) -> tuple[int, float]:
+        """Return ``(max_height, avg_height)`` over root-to-leaf paths.
+
+        Heights count levels (root = 1). Non-tree structures return (1, 1.0).
+        """
+        return 1, 1.0
+
+    def node_count(self) -> int:
+        """Total number of nodes (inner + leaf); 1 for flat structures."""
+        return 1
+
+    def error_stats(self) -> tuple[float, float]:
+        """Return ``(max_error, avg_error)`` of leaf-model predictions.
+
+        Error is measured in slots between predicted and actual position,
+        matching Table V's MaxError/AvgError columns.
+        """
+        return 0.0, 0.0
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the index to disk (pickle).
+
+        Runtime-only attachments (lock managers, live threads) are dropped
+        by the owning class's ``__getstate__`` where applicable; reattach
+        them after :meth:`load`.
+        """
+        with open(path, "wb") as f:
+            pickle.dump(self, f, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BaseIndex":
+        """Load an index previously written by :meth:`save`.
+
+        Raises:
+            TypeError: if the file holds a different index class.
+        """
+        with open(path, "rb") as f:
+            index = pickle.load(f)
+        if not isinstance(index, cls):
+            raise TypeError(
+                f"{path} holds a {type(index).__name__}, not a {cls.__name__}"
+            )
+        return index
+
+
+def as_key_value_arrays(
+    keys: Iterable[Key], values: Iterable[Value] | None
+) -> tuple[list[Key], list[Value]]:
+    """Normalise bulk-load input: sort by key, default values to keys.
+
+    Raises:
+        ValueError: if duplicate keys are supplied or lengths mismatch.
+    """
+    key_list = [float(k) for k in keys]
+    if values is None:
+        value_list: list[Value] = list(key_list)
+    else:
+        value_list = list(values)
+        if len(value_list) != len(key_list):
+            raise ValueError(
+                f"keys and values length mismatch: {len(key_list)} != {len(value_list)}"
+            )
+    if not key_list:
+        return [], []
+    import math
+
+    for k in key_list:
+        if not math.isfinite(k):
+            raise ValueError(f"keys must be finite, got {k!r}")
+    order = sorted(range(len(key_list)), key=key_list.__getitem__)
+    key_list = [key_list[i] for i in order]
+    value_list = [value_list[i] for i in order]
+    for i in range(1, len(key_list)):
+        if key_list[i] == key_list[i - 1]:
+            raise ValueError(f"duplicate key in bulk load: {key_list[i]!r}")
+    return key_list, value_list

@@ -1,0 +1,327 @@
+"""PGM-index baseline (paper reference [8]).
+
+A multi-level piecewise-linear-model index: each level is an error-bounded
+PLA over the level below, built bottom-up in one pass with the shrinking-
+cone segmentation (linear-time; the original uses an exact convex-hull PLA —
+the cone variant produces slightly more segments with identical query-path
+behaviour, which is what the comparison needs). Queries descend the levels,
+each time predicting a position and binary-searching a 2*epsilon window —
+the "imprecise inner nodes" weakness Table I records.
+
+Updates are out-of-place (the dynamic PGM's LSM flavour, simplified to one
+sorted delta buffer plus tombstones): inserts go to the buffer; the whole
+index rebuilds — a blocking retrain — when the buffer outgrows its bound.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from .interfaces import (
+    BaseIndex,
+    Capabilities,
+    DuplicateKeyError,
+    Key,
+    Value,
+    as_key_value_arrays,
+)
+
+#: Default PLA error bound (PGM's common epsilon).
+DEFAULT_EPSILON = 32
+#: Buffer capacity as a fraction of the main array before a rebuild.
+BUFFER_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One linear segment: predicts positions for keys >= ``first_key``."""
+
+    first_key: float
+    slope: float
+    intercept: float
+
+    def predict(self, key: float) -> float:
+        return self.slope * key + self.intercept
+
+
+def build_pla_segments(
+    keys: list[float], epsilon: int, start_rank: int = 0
+) -> list[_Segment]:
+    """Shrinking-cone PLA: maximal segments with error <= ``epsilon``.
+
+    Args:
+        keys: sorted keys to segment.
+        epsilon: max |predicted - actual| rank error per segment.
+        start_rank: rank of ``keys[0]`` in the underlying array.
+
+    Returns:
+        Segments covering all keys in order.
+    """
+    if epsilon < 1:
+        raise ValueError("epsilon must be >= 1")
+    segments: list[_Segment] = []
+    i = 0
+    n = len(keys)
+    while i < n:
+        origin_key = keys[i]
+        origin_rank = start_rank + i
+        slope_low = float("-inf")
+        slope_high = float("inf")
+        j = i + 1
+        while j < n:
+            dx = keys[j] - origin_key
+            if dx <= 0:
+                break
+            rank = start_rank + j
+            low = (rank - origin_rank - epsilon) / dx
+            high = (rank - origin_rank + epsilon) / dx
+            new_low = max(slope_low, low)
+            new_high = min(slope_high, high)
+            if new_low > new_high:
+                break
+            slope_low, slope_high = new_low, new_high
+            j += 1
+        if j == i + 1:
+            slope = 0.0
+        else:
+            slope = (
+                (slope_low + slope_high) / 2.0
+                if slope_low != float("-inf")
+                else 0.0
+            )
+        segments.append(
+            _Segment(origin_key, slope, origin_rank - slope * origin_key)
+        )
+        i = j
+    return segments
+
+
+class PGMIndex(BaseIndex):
+    """Multi-level PGM with an out-of-place delta buffer.
+
+    Args:
+        epsilon: PLA error bound for every level.
+    """
+
+    capabilities = Capabilities(
+        name="PGM",
+        construction_direction="BU",
+        construction_strategy="Greedy",
+        inner_search="PLM+BS",
+        leaf_search="PLM+BS",
+        insertion_strategy="Out-of-place",
+        retraining="Blocking",
+        skew_strategy="Rebuild balance",
+        skew_support=1,
+        supports_updates=True,
+    )
+
+    def __init__(self, epsilon: int = DEFAULT_EPSILON) -> None:
+        super().__init__()
+        self.epsilon = int(epsilon)
+        self._keys: list[float] = []
+        self._values: list[Any] = []
+        self._levels: list[list[_Segment]] = []  # [0] = leaf level
+        self._buffer_keys: list[float] = []
+        self._buffer_values: list[Any] = []
+        self._tombstones: set[float] = set()
+        self._n = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def bulk_load(self, keys: Iterable[Key], values: Iterable[Value] | None = None) -> None:
+        self._keys, self._values = as_key_value_arrays(keys, values)
+        self._buffer_keys = []
+        self._buffer_values = []
+        self._tombstones = set()
+        self._n = len(self._keys)
+        self._build_levels()
+
+    def _build_levels(self) -> None:
+        self._levels = []
+        if not self._keys:
+            return
+        level = build_pla_segments(self._keys, self.epsilon)
+        self._levels.append(level)
+        while len(level) > 1:
+            first_keys = [seg.first_key for seg in level]
+            level = build_pla_segments(first_keys, self.epsilon)
+            self._levels.append(level)
+
+    def _rebuild(self) -> None:
+        """Merge the buffer into the main array and rebuild (blocking)."""
+        self.counters.retrains += 1
+        self.counters.retrain_keys += self._n
+        merged_keys: list[float] = []
+        merged_values: list[Any] = []
+        bi = 0
+        for k, v in zip(self._keys, self._values):
+            while bi < len(self._buffer_keys) and self._buffer_keys[bi] < k:
+                merged_keys.append(self._buffer_keys[bi])
+                merged_values.append(self._buffer_values[bi])
+                bi += 1
+            if k not in self._tombstones:
+                merged_keys.append(k)
+                merged_values.append(v)
+        merged_keys.extend(self._buffer_keys[bi:])
+        merged_values.extend(self._buffer_values[bi:])
+        self._keys, self._values = merged_keys, merged_values
+        self._buffer_keys = []
+        self._buffer_values = []
+        self._tombstones = set()
+        self._build_levels()
+
+    # -- search ------------------------------------------------------------------
+
+    def _segment_for(self, key: float) -> _Segment | None:
+        """Descend the levels to the leaf segment covering ``key``."""
+        if not self._levels:
+            return None
+        eps = self.epsilon
+        top = self._levels[-1]
+        idx = 0  # single root segment
+        for depth in range(len(self._levels) - 1, 0, -1):
+            segs = self._levels[depth]
+            self.counters.node_hops += 1
+            self.counters.model_evals += 1
+            predicted = int(segs[idx].predict(key))
+            below = self._levels[depth - 1]
+            lo = max(0, predicted - eps)
+            hi = min(len(below) - 1, predicted + eps)
+            idx = self._search_segments(below, key, lo, hi)
+        return self._levels[0][idx] if self._levels[0] else None
+
+    def _search_segments(
+        self, segs: list[_Segment], key: float, lo: int, hi: int
+    ) -> int:
+        """Last segment with first_key <= key inside [lo, hi] (binary)."""
+        # The epsilon window can miss when prediction is off at the ends —
+        # widen until the invariant first_key[lo] <= key holds.
+        while lo > 0 and segs[lo].first_key > key:
+            lo = max(0, lo - self.epsilon)
+            self.counters.comparisons += 1
+        while hi < len(segs) - 1 and segs[hi].first_key < key:
+            hi = min(len(segs) - 1, hi + self.epsilon)
+            self.counters.comparisons += 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            self.counters.comparisons += 1
+            if segs[mid].first_key <= key:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _main_lookup(self, key: float) -> int:
+        """Rank of ``key`` in the main array (-1 when absent)."""
+        seg = self._segment_for(key)
+        if seg is None:
+            return -1
+        self.counters.model_evals += 1
+        predicted = int(seg.predict(key))
+        lo = max(0, predicted - self.epsilon)
+        hi = min(len(self._keys), predicted + self.epsilon + 1)
+        self.counters.comparisons += max(1, (hi - lo).bit_length())
+        i = bisect.bisect_left(self._keys, key, lo, hi)
+        if i < len(self._keys) and self._keys[i] == key:
+            return i
+        # Defensive widening (segment boundary rounding).
+        self.counters.comparisons += max(1, len(self._keys).bit_length())
+        i = bisect.bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            return i
+        return -1
+
+    # -- public API ------------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Value | None:
+        key = float(key)
+        self.counters.buffer_ops += 1
+        bi = bisect.bisect_left(self._buffer_keys, key)
+        if bi < len(self._buffer_keys) and self._buffer_keys[bi] == key:
+            return self._buffer_values[bi]
+        if key in self._tombstones:
+            return None
+        i = self._main_lookup(key)
+        return self._values[i] if i >= 0 else None
+
+    def insert(self, key: Key, value: Value | None = None) -> None:
+        key = float(key)
+        stored = key if value is None else value
+        if self.lookup(key) is not None:
+            raise DuplicateKeyError(f"key already present: {key!r}")
+        self._tombstones.discard(key)
+        bi = bisect.bisect_left(self._buffer_keys, key)
+        self._buffer_keys.insert(bi, key)
+        self._buffer_values.insert(bi, stored)
+        self.counters.buffer_ops += 1
+        self.counters.shifts += len(self._buffer_keys) - bi
+        self._n += 1
+        if len(self._buffer_keys) > max(64, int(len(self._keys) * BUFFER_FRACTION)):
+            self._rebuild()
+
+    def delete(self, key: Key) -> bool:
+        key = float(key)
+        bi = bisect.bisect_left(self._buffer_keys, key)
+        self.counters.buffer_ops += 1
+        if bi < len(self._buffer_keys) and self._buffer_keys[bi] == key:
+            del self._buffer_keys[bi]
+            del self._buffer_values[bi]
+            self._n -= 1
+            return True
+        if key in self._tombstones:
+            return False
+        if self._main_lookup(key) >= 0:
+            self._tombstones.add(key)
+            self._n -= 1
+            return True
+        return False
+
+    def range_query(self, low: Key, high: Key) -> list[tuple[Key, Value]]:
+        out: list[tuple[Key, Value]] = []
+        self.counters.comparisons += max(1, len(self._keys).bit_length())
+        i = bisect.bisect_left(self._keys, low)
+        while i < len(self._keys) and self._keys[i] <= high:
+            self.counters.comparisons += 1
+            if self._keys[i] not in self._tombstones:
+                out.append((self._keys[i], self._values[i]))
+            i += 1
+        bi = bisect.bisect_left(self._buffer_keys, low)
+        while bi < len(self._buffer_keys) and self._buffer_keys[bi] <= high:
+            self.counters.buffer_ops += 1
+            out.append((self._buffer_keys[bi], self._buffer_values[bi]))
+            bi += 1
+        out.sort()
+        return out
+
+    def items(self) -> Iterator[tuple[Key, Value]]:
+        for k, v in zip(self._keys, self._values):
+            if k not in self._tombstones:
+                yield k, v
+        yield from zip(self._buffer_keys, self._buffer_values)
+
+    # -- structure --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def size_bytes(self) -> int:
+        seg_bytes = sum(24 * len(level) for level in self._levels)
+        return (
+            16 * len(self._keys)
+            + 16 * len(self._buffer_keys)
+            + 8 * len(self._tombstones)
+            + seg_bytes
+        )
+
+    def height_stats(self) -> tuple[int, float]:
+        h = len(self._levels) + 1  # levels + the data array
+        return h, float(h)
+
+    def node_count(self) -> int:
+        return sum(len(level) for level in self._levels)
+
+    def error_stats(self) -> tuple[float, float]:
+        return float(self.epsilon), float(self.epsilon) / 2.0

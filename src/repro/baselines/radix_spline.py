@@ -1,0 +1,174 @@
+"""RadixSpline baseline (paper reference [9]).
+
+A single-pass learned index: a greedy error-bounded linear spline over the
+CDF plus a radix table indexing spline points by key-prefix bits. Lookup:
+radix table narrows to a spline-point range, binary search finds the
+segment, linear interpolation predicts the position, and a bounded binary
+search in the data array finishes. Static — the paper classifies RS as
+unable to handle updates, and excludes it from the mixed-workload figures.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+from .interfaces import (
+    BaseIndex,
+    Capabilities,
+    Key,
+    Value,
+    as_key_value_arrays,
+)
+
+#: Spline error bound (RadixSpline default is 32).
+DEFAULT_SPLINE_ERROR = 32
+#: Radix table prefix bits.
+DEFAULT_RADIX_BITS = 12
+
+
+class RadixSplineIndex(BaseIndex):
+    """Greedy spline + radix table, read-only.
+
+    Args:
+        spline_error: max rank error of the spline.
+        radix_bits: prefix bits of the radix table (table size 2^bits).
+    """
+
+    capabilities = Capabilities(
+        name="RS",
+        construction_direction="TD",
+        construction_strategy="Greedy",
+        inner_search="RT",
+        leaf_search="LIM+BS",
+        insertion_strategy="None",
+        retraining="Blocking",
+        skew_strategy="-",
+        skew_support=0,
+        supports_updates=False,
+    )
+
+    def __init__(
+        self,
+        spline_error: int = DEFAULT_SPLINE_ERROR,
+        radix_bits: int = DEFAULT_RADIX_BITS,
+    ) -> None:
+        super().__init__()
+        if spline_error < 1:
+            raise ValueError("spline_error must be >= 1")
+        if not 1 <= radix_bits <= 24:
+            raise ValueError("radix_bits must be in [1, 24]")
+        self.spline_error = int(spline_error)
+        self.radix_bits = int(radix_bits)
+        self._keys: list[float] = []
+        self._values: list[Any] = []
+        self._spline_keys: list[float] = []
+        self._segments: list = []
+        self._radix: list[int] = []
+        self._min_key = 0.0
+        self._prefix_scale = 0.0
+
+    # -- construction ---------------------------------------------------------------
+
+    def bulk_load(self, keys: Iterable[Key], values: Iterable[Value] | None = None) -> None:
+        self._keys, self._values = as_key_value_arrays(keys, values)
+        if not self._keys:
+            self._spline_keys = []
+            self._segments = []
+            self._radix = []
+            return
+        self._build_spline()
+        self._build_radix()
+
+    def _build_spline(self) -> None:
+        """Error-bounded spline: shrinking-cone corridor segments.
+
+        Each segment keeps the corridor midpoint slope, which is guaranteed
+        within ``spline_error`` of every covered rank (the same invariant
+        the original GreedySplineCorridor maintains).
+        """
+        from .pgm import build_pla_segments
+
+        self._segments = build_pla_segments(self._keys, self.spline_error)
+        self._spline_keys = [seg.first_key for seg in self._segments]
+
+    def _build_radix(self) -> None:
+        """Radix table: prefix -> first spline knot with that prefix."""
+        self._min_key = self._keys[0]
+        span = self._keys[-1] - self._keys[0]
+        size = 1 << self.radix_bits
+        self._prefix_scale = (size - 1) / span if span > 0 else 0.0
+        self._radix = [len(self._spline_keys)] * (size + 1)
+        for i, k in enumerate(self._spline_keys):
+            prefix = self._prefix_of(k)
+            if self._radix[prefix] > i:
+                self._radix[prefix] = i
+        # Back-fill so radix[p] = first knot with prefix >= p.
+        running = len(self._spline_keys)
+        for p in range(size, -1, -1):
+            running = min(running, self._radix[p])
+            self._radix[p] = running
+
+    def _prefix_of(self, key: float) -> int:
+        p = int((key - self._min_key) * self._prefix_scale)
+        return min(max(p, 0), (1 << self.radix_bits) - 1)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Value | None:
+        if not self._keys:
+            return None
+        key = float(key)
+        if key < self._keys[0] or key > self._keys[-1]:
+            return None
+        # Radix table -> knot range.
+        self.counters.model_evals += 1
+        prefix = self._prefix_of(key)
+        lo = self._radix[prefix]
+        hi = self._radix[prefix + 1]
+        lo = max(0, lo - 1)  # the covering segment starts one knot earlier
+        hi = min(len(self._spline_keys) - 1, hi)
+        # Binary search for the segment.
+        self.counters.comparisons += max(1, (hi - lo + 1).bit_length())
+        seg = bisect.bisect_right(self._spline_keys, key, lo, hi + 1) - 1
+        seg = max(0, min(seg, len(self._segments) - 1))
+        # Corridor-slope prediction within the segment.
+        self.counters.model_evals += 1
+        center = int(self._segments[seg].predict(key))
+        lo_r = max(0, center - self.spline_error - 1)
+        hi_r = min(len(self._keys), center + self.spline_error + 2)
+        self.counters.comparisons += max(1, (hi_r - lo_r).bit_length())
+        i = bisect.bisect_left(self._keys, key, lo_r, hi_r)
+        if i < len(self._keys) and self._keys[i] == key:
+            return self._values[i]
+        return None
+
+    def range_query(self, low: Key, high: Key) -> list[tuple[Key, Value]]:
+        lo = bisect.bisect_left(self._keys, low)
+        hi = bisect.bisect_right(self._keys, high)
+        self.counters.comparisons += 2 * max(1, len(self._keys).bit_length())
+        return list(zip(self._keys[lo:hi], self._values[lo:hi]))
+
+    def items(self) -> Iterator[tuple[Key, Value]]:
+        return iter(zip(self._keys, self._values))
+
+    # -- structure -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def size_bytes(self) -> int:
+        return (
+            16 * len(self._keys)
+            + 16 * len(self._spline_keys)
+            + 4 * len(self._radix)
+        )
+
+    def height_stats(self) -> tuple[int, float]:
+        return 3, 3.0  # radix table -> spline -> data
+
+    def node_count(self) -> int:
+        return 1 + len(self._spline_keys)
+
+    def error_stats(self) -> tuple[float, float]:
+        return float(self.spline_error), float(self.spline_error) / 2.0

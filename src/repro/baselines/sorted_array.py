@@ -1,0 +1,90 @@
+"""Sorted-array reference index.
+
+Not a paper baseline — this is the differential-testing oracle: a trivially
+correct ordered map backed by Python lists and ``bisect``. Every other index
+in the suite is validated against it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from .interfaces import (
+    BaseIndex,
+    Capabilities,
+    DuplicateKeyError,
+    Key,
+    Value,
+    as_key_value_arrays,
+)
+
+
+class SortedArrayIndex(BaseIndex):
+    """Flat sorted array with binary search; O(n) inserts.
+
+    Serves as the correctness oracle in tests and as a degenerate baseline
+    in ablation benches.
+    """
+
+    capabilities = Capabilities(
+        name="SortedArray",
+        construction_direction="-",
+        construction_strategy="-",
+        inner_search="-",
+        leaf_search="BS",
+        insertion_strategy="In-place",
+        retraining="None",
+        skew_strategy="-",
+        skew_support=0,
+        supports_updates=True,
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._keys: list[Key] = []
+        self._values: list[Value] = []
+
+    def bulk_load(self, keys: Iterable[Key], values: Iterable[Value] | None = None) -> None:
+        self._keys, self._values = as_key_value_arrays(keys, values)
+
+    def lookup(self, key: Key) -> Value | None:
+        self.counters.comparisons += max(1, len(self._keys).bit_length())
+        i = bisect.bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            return self._values[i]
+        return None
+
+    def insert(self, key: Key, value: Value | None = None) -> None:
+        i = bisect.bisect_left(self._keys, key)
+        self.counters.comparisons += max(1, len(self._keys).bit_length())
+        if i < len(self._keys) and self._keys[i] == key:
+            raise DuplicateKeyError(f"key already present: {key!r}")
+        self.counters.shifts += len(self._keys) - i
+        self._keys.insert(i, key)
+        self._values.insert(i, key if value is None else value)
+
+    def delete(self, key: Key) -> bool:
+        i = bisect.bisect_left(self._keys, key)
+        self.counters.comparisons += max(1, len(self._keys).bit_length())
+        if i < len(self._keys) and self._keys[i] == key:
+            self.counters.shifts += len(self._keys) - i - 1
+            del self._keys[i]
+            del self._values[i]
+            return True
+        return False
+
+    def range_query(self, low: Key, high: Key) -> list[tuple[Key, Value]]:
+        lo = bisect.bisect_left(self._keys, low)
+        hi = bisect.bisect_right(self._keys, high)
+        self.counters.comparisons += 2 * max(1, len(self._keys).bit_length())
+        return list(zip(self._keys[lo:hi], self._values[lo:hi]))
+
+    def items(self) -> Iterator[tuple[Key, Value]]:
+        return iter(zip(self._keys, self._values))
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def size_bytes(self) -> int:
+        return 16 * len(self._keys)

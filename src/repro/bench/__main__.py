@@ -1,0 +1,66 @@
+"""CLI entry point: ``python -m repro.bench <experiment> [options]``.
+
+Examples::
+
+    python -m repro.bench table1
+    python -m repro.bench fig8 --quick
+    python -m repro.bench fig8 --base-keys 200000
+    python -m repro.bench all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS, BenchScale
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (paper table/figure) or 'all'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-speed scale (small datasets)"
+    )
+    parser.add_argument(
+        "--base-keys", type=int, default=None,
+        help="override the base dataset size (the paper's 200M)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    scale = BenchScale.quick() if args.quick else BenchScale()
+    if args.base_keys is not None:
+        scale = scale.scaled(args.base_keys / scale.base_keys)
+    if args.seed:
+        scale = BenchScale(
+            base_keys=scale.base_keys,
+            n_queries=scale.n_queries,
+            mixed_bootstrap=scale.mixed_bootstrap,
+            mixed_ops=scale.mixed_ops,
+            seed=args.seed,
+        )
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner = EXPERIMENTS[name]
+        print(f"=== {name} ===")
+        start = time.perf_counter()
+        if name == "table1":
+            runner()
+        else:
+            runner(scale)
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,353 @@
+"""Read-only and structural experiments (Figs. 1(b), 8, 9, 10; Tables I, III, V).
+
+Each ``run_*`` function returns structured rows and prints the same
+rows/series its paper counterpart reports. Wall-clock numbers are honest
+Python timings; the ``cost`` columns are the machine-independent structural
+cost model used for shape comparison against the paper (DESIGN.md sec. 1).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from ..baselines import INDEX_REGISTRY
+from ..baselines.interfaces import BaseIndex
+from ..core.index import ChameleonIndex
+from ..datasets import load as load_dataset
+from ..datasets import measured_lsn, skew_mixture
+from ..datasets.registry import PAPER_DATASETS
+from ..workloads.readonly import readonly_workload
+from .harness import BenchScale, build_index, measure
+from .reporting import print_table, series_sparkline
+
+
+def _registry(names: tuple[str, ...] | None = None) -> dict[str, Callable[[], BaseIndex]]:
+    if names is None:
+        return dict(INDEX_REGISTRY)
+    return {n: INDEX_REGISTRY[n] for n in names}
+
+
+def chameleon_variant(strategy: str) -> Callable[[], BaseIndex]:
+    """Constructor for one Chameleon ablation variant."""
+
+    def ctor() -> BaseIndex:
+        return ChameleonIndex(strategy=strategy)
+
+    return ctor
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1(b): insertion-delay oscillation
+# ---------------------------------------------------------------------------
+
+def run_fig1b(scale: BenchScale | None = None, indexes: tuple[str, ...] = ("ALEX", "Chameleon")) -> dict[str, Any]:
+    """Insertion-latency trace: ALEX's retrain spikes vs Chameleon.
+
+    The paper's Fig. 1(b) shows ALEX insertion latency oscillating with red
+    retraining peaks. We bulk load a skewed prefix, stream inserts, record
+    per-insert latency, and flag the inserts whose counter delta shows a
+    retrain/split.
+    """
+    scale = scale or BenchScale()
+    keys = load_dataset("FACE", scale.base_keys // 2, seed=scale.seed)
+    rng = np.random.default_rng(scale.seed)
+    perm = rng.permutation(keys)
+    n_load = len(keys) // 4
+    load = np.sort(perm[:n_load])
+    stream = perm[n_load:]
+
+    results: dict[str, Any] = {}
+    for name in indexes:
+        index = INDEX_REGISTRY[name]()
+        index.bulk_load(load)
+        latencies: list[int] = []
+        spikes: list[int] = []
+        perf = time.perf_counter_ns
+        for i, key in enumerate(stream):
+            before_retrains = index.counters.retrains + index.counters.splits
+            t0 = perf()
+            index.insert(float(key))
+            latencies.append(perf() - t0)
+            if index.counters.retrains + index.counters.splits > before_retrains:
+                spikes.append(i)
+        lat = np.asarray(latencies, dtype=np.float64)
+        results[name] = {
+            "mean_ns": float(lat.mean()),
+            "p99_ns": float(np.percentile(lat, 99)),
+            "max_ns": float(lat.max()),
+            "spike_count": len(spikes),
+            "trace": latencies,
+        }
+    print("Fig. 1(b) — insertion-delay oscillation (FACE-like stream)")
+    rows = [
+        [
+            name,
+            r["mean_ns"],
+            r["p99_ns"],
+            r["max_ns"],
+            r["max_ns"] / max(1.0, r["mean_ns"]),
+            r["spike_count"],
+        ]
+        for name, r in results.items()
+    ]
+    print_table(
+        ["index", "mean ns", "p99 ns", "max ns", "max/mean", "retrain spikes"], rows
+    )
+    for name, r in results.items():
+        log_trace = [math.log10(max(1, v)) for v in r["trace"]]
+        print(f"  {name:10s} |{series_sparkline(log_trace)}|  (log-scale latency)")
+    print()
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8: read-only scalability (latency + index size)
+# ---------------------------------------------------------------------------
+
+def run_fig8(
+    scale: BenchScale | None = None,
+    datasets: tuple[str, ...] = PAPER_DATASETS,
+    indexes: tuple[str, ...] | None = None,
+) -> list[dict[str, Any]]:
+    """Query latency and index size across cardinalities (paper Fig. 8)."""
+    scale = scale or BenchScale()
+    registry = _registry(indexes)
+    rows: list[dict[str, Any]] = []
+    for ds in datasets:
+        for fraction in scale.cardinalities:
+            n = int(scale.base_keys * fraction)
+            keys = load_dataset(ds, n, seed=scale.seed)
+            ops = readonly_workload(keys, scale.n_queries, seed=scale.seed)
+            for name, ctor in registry.items():
+                index, build_s = build_index(ctor, keys)
+                m = measure(index, ops)
+                rows.append(
+                    {
+                        "dataset": ds,
+                        "keys": n,
+                        "index": name,
+                        "lookup_ns": m.wall_ns_per_op,
+                        "cost": m.structural_cost,
+                        "size_mb": index.size_bytes() / 2**20,
+                        "build_s": build_s,
+                    }
+                )
+    for ds in datasets:
+        print(f"Fig. 8 — read-only workload, dataset {ds} "
+              f"(lsn={measured_lsn(load_dataset(ds, 10_000, seed=scale.seed)) / math.pi:.3f}*pi)")
+        table = [
+            [r["keys"], r["index"], r["lookup_ns"], r["cost"], r["size_mb"]]
+            for r in rows
+            if r["dataset"] == ds
+        ]
+        print_table(["keys", "index", "lookup ns", "struct cost", "size MB"], table)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: latency ratio vs local skewness
+# ---------------------------------------------------------------------------
+
+def run_fig9(
+    scale: BenchScale | None = None,
+    variances: tuple[float, ...] = (0.3, 3e-2, 3e-3, 3e-4, 3e-5),
+    indexes: tuple[str, ...] | None = None,
+) -> list[dict[str, Any]]:
+    """Latency relative to B+Tree as local skewness grows (paper Fig. 9)."""
+    scale = scale or BenchScale()
+    registry = _registry(indexes)
+    registry.setdefault("B+Tree", INDEX_REGISTRY["B+Tree"])
+    rows: list[dict[str, Any]] = []
+    for variance in variances:
+        keys = skew_mixture(scale.base_keys // 2, variance, seed=scale.seed)
+        lsn = measured_lsn(keys)
+        ops = readonly_workload(keys, scale.n_queries, seed=scale.seed)
+        baseline_cost = None
+        baseline_ns = None
+        measures = {}
+        for name, ctor in registry.items():
+            index, _ = build_index(ctor, keys)
+            m = measure(index, ops)
+            measures[name] = m
+            if name == "B+Tree":
+                baseline_cost = m.structural_cost
+                baseline_ns = m.wall_ns_per_op
+        for name, m in measures.items():
+            rows.append(
+                {
+                    "variance": variance,
+                    "lsn": lsn,
+                    "index": name,
+                    "ratio_wall": m.wall_ns_per_op / max(1e-9, baseline_ns),
+                    "ratio_cost": m.structural_cost / max(1e-9, baseline_cost),
+                }
+            )
+    print("Fig. 9 — latency ratio to B+Tree vs local skewness")
+    table = [
+        [f"{r['lsn'] / math.pi:.3f}*pi", r["index"], r["ratio_wall"], r["ratio_cost"]]
+        for r in rows
+    ]
+    print_table(["lsn", "index", "wall ratio", "cost ratio"], table)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10: index construction time
+# ---------------------------------------------------------------------------
+
+def run_fig10(
+    scale: BenchScale | None = None,
+    datasets: tuple[str, ...] = ("OSMC", "FACE"),
+    indexes: tuple[str, ...] | None = None,
+) -> list[dict[str, Any]]:
+    """Construction time on the two real-like datasets (paper Fig. 10)."""
+    scale = scale or BenchScale()
+    registry = _registry(indexes)
+    rows: list[dict[str, Any]] = []
+    for ds in datasets:
+        keys = load_dataset(ds, scale.base_keys, seed=scale.seed)
+        for name, ctor in registry.items():
+            _, build_s = build_index(ctor, keys)
+            rows.append({"dataset": ds, "index": name, "build_s": build_s})
+    print("Fig. 10 — index construction time")
+    print_table(
+        ["dataset", "index", "build s"],
+        [[r["dataset"], r["index"], r["build_s"]] for r in rows],
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table V: analysis of index structures
+# ---------------------------------------------------------------------------
+
+def run_table5(
+    scale: BenchScale | None = None,
+    datasets: tuple[str, ...] = PAPER_DATASETS,
+) -> list[dict[str, Any]]:
+    """MaxHeight/MaxError/AvgHeight/AvgError/#Nodes (paper Table V)."""
+    scale = scale or BenchScale()
+    lineup: dict[str, Callable[[], BaseIndex]] = {
+        "DILI": INDEX_REGISTRY["DILI"],
+        "ALEX": INDEX_REGISTRY["ALEX"],
+        "ChaB": chameleon_variant("ChaB"),
+        "ChaDA": chameleon_variant("ChaDA"),
+        "ChaDATS": chameleon_variant("ChaDATS"),
+    }
+    rows: list[dict[str, Any]] = []
+    for ds in datasets:
+        keys = load_dataset(ds, scale.base_keys, seed=scale.seed)
+        for name, ctor in lineup.items():
+            index, _ = build_index(ctor, keys)
+            max_h, avg_h = index.height_stats()
+            max_e, avg_e = index.error_stats()
+            rows.append(
+                {
+                    "dataset": ds,
+                    "index": name,
+                    "max_height": max_h,
+                    "max_error": max_e,
+                    "avg_height": avg_h,
+                    "avg_error": avg_e,
+                    "nodes": index.node_count(),
+                }
+            )
+    print("Table V — analysis of index structures")
+    print_table(
+        ["dataset", "index", "MaxHeight", "MaxError", "AvgHeight", "AvgError", "#Nodes"],
+        [
+            [
+                r["dataset"],
+                r["index"],
+                r["max_height"],
+                r["max_error"],
+                r["avg_height"],
+                r["avg_error"],
+                r["nodes"],
+            ]
+            for r in rows
+        ],
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table I: capability matrix
+# ---------------------------------------------------------------------------
+
+def run_table1() -> list[dict[str, Any]]:
+    """Qualitative capability comparison (paper Table I)."""
+    rows = []
+    for name, ctor in INDEX_REGISTRY.items():
+        caps = ctor().capabilities
+        rows.append(
+            {
+                "index": caps.name,
+                "direction": caps.construction_direction,
+                "strategy": caps.construction_strategy,
+                "inner": caps.inner_search,
+                "leaf": caps.leaf_search,
+                "insertion": caps.insertion_strategy,
+                "retraining": caps.retraining,
+                "skew_strategy": caps.skew_strategy,
+                "skew_support": "v" * caps.skew_support if caps.skew_support else "x",
+            }
+        )
+    print("Table I — comparison of representative index structures")
+    print_table(
+        ["index", "dir", "strategy", "inner", "leaf", "insertion",
+         "retraining", "skew strategy", "skew support"],
+        [list(r.values()) for r in rows],
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table III: empirical complexity validation
+# ---------------------------------------------------------------------------
+
+def run_table3(
+    scale: BenchScale | None = None,
+    sizes: tuple[int, ...] | None = None,
+) -> list[dict[str, Any]]:
+    """Empirical per-lookup structural work vs |D| (validates Table III).
+
+    Measures mean (hops + comparisons + probes) per lookup at growing
+    cardinalities on FACE; indexes whose complexity is O(H) stay flat while
+    O(log |D|) structures grow.
+    """
+    scale = scale or BenchScale()
+    if sizes is None:
+        sizes = tuple(int(scale.base_keys * f) for f in (0.25, 0.5, 1.0))
+    rows: list[dict[str, Any]] = []
+    for n in sizes:
+        keys = load_dataset("FACE", n, seed=scale.seed)
+        ops = readonly_workload(keys, min(scale.n_queries, 5000), seed=scale.seed)
+        for name, ctor in INDEX_REGISTRY.items():
+            index, _ = build_index(ctor, keys)
+            m = measure(index, ops)
+            delta = m.result.counter_delta
+            per_op = lambda c: delta.get(c, 0) / max(1, m.result.total_ops)
+            rows.append(
+                {
+                    "keys": n,
+                    "index": name,
+                    "hops": per_op("node_hops"),
+                    "comparisons": per_op("comparisons"),
+                    "probes": per_op("slot_probes"),
+                    "total": m.structural_cost,
+                }
+            )
+    print("Table III (empirical) — per-lookup structural work vs |D| (FACE)")
+    print_table(
+        ["keys", "index", "hops/op", "cmp/op", "probes/op", "total/op"],
+        [
+            [r["keys"], r["index"], r["hops"], r["comparisons"], r["probes"], r["total"]]
+            for r in rows
+        ],
+    )
+    return rows

@@ -1,0 +1,158 @@
+"""Measurement utilities shared by every experiment.
+
+``BenchScale`` centralises the size knobs: the paper runs 50-200M keys on a
+C++ artifact; the library defaults reproduce the same sweeps at 50-200k keys
+(DESIGN.md section 1 explains why the shapes transfer). ``--quick`` scales
+down further for CI-speed smoke runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from ..baselines.interfaces import BaseIndex
+from ..workloads.operations import Operation, WorkloadResult, run_workload
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Experiment size knobs.
+
+    Attributes:
+        base_keys: the "200M" of the paper, scaled (default 200k).
+        cardinalities: the Fig. 8 sweep sizes, as fractions of base_keys.
+        n_queries: point queries per measurement.
+        mixed_bootstrap: keys loaded before a mixed workload (paper: 40M).
+        mixed_ops: operations per mixed-workload measurement.
+        seed: RNG seed shared by dataset generation and workloads.
+    """
+
+    base_keys: int = 200_000
+    cardinalities: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+    n_queries: int = 20_000
+    mixed_bootstrap: int = 40_000
+    mixed_ops: int = 30_000
+    seed: int = 0
+
+    @staticmethod
+    def quick() -> "BenchScale":
+        """CI-speed scale (seconds, not minutes)."""
+        return BenchScale(
+            base_keys=20_000,
+            n_queries=4_000,
+            mixed_bootstrap=8_000,
+            mixed_ops=6_000,
+        )
+
+    def scaled(self, factor: float) -> "BenchScale":
+        return replace(
+            self,
+            base_keys=int(self.base_keys * factor),
+            n_queries=int(self.n_queries * factor),
+            mixed_bootstrap=int(self.mixed_bootstrap * factor),
+            mixed_ops=int(self.mixed_ops * factor),
+        )
+
+
+@dataclass
+class Measurement:
+    """One measured workload run against one index.
+
+    Attributes:
+        wall_ns_per_op: mean wall-clock nanoseconds per operation.
+        structural_cost: mean abstract work per operation (cost model).
+        throughput: operations per second (wall clock).
+        result: the raw workload result.
+    """
+
+    wall_ns_per_op: float
+    structural_cost: float
+    throughput: float
+    result: WorkloadResult
+
+
+def measure(index: BaseIndex, operations: list[Operation]) -> Measurement:
+    """Run a workload and package both cost currencies."""
+    result = run_workload(index, operations)
+    ops = max(1, result.total_ops)
+    return Measurement(
+        wall_ns_per_op=result.total_seconds * 1e9 / ops,
+        structural_cost=result.structural_cost_per_op(),
+        throughput=result.throughput_ops_per_sec(),
+        result=result,
+    )
+
+
+def timed(fn: Callable[[], None]) -> float:
+    """Wall-clock seconds of one call."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def build_index(
+    ctor: Callable[[], BaseIndex], keys: np.ndarray
+) -> tuple[BaseIndex, float]:
+    """Construct and bulk load; returns (index, build_seconds)."""
+    index = ctor()
+    seconds = timed(lambda: index.bulk_load(keys))
+    return index, seconds
+
+
+@dataclass
+class RepeatedMeasurement:
+    """Mean/stdev statistics over several seeded measurement runs.
+
+    Attributes:
+        wall_ns_mean / wall_ns_std: per-op wall time statistics.
+        cost_mean / cost_std: per-op structural cost statistics.
+        runs: individual measurements.
+    """
+
+    wall_ns_mean: float
+    wall_ns_std: float
+    cost_mean: float
+    cost_std: float
+    runs: list[Measurement]
+
+
+def repeat_measure(
+    make_index: Callable[[], BaseIndex],
+    keys: np.ndarray,
+    make_operations: Callable[[int], list[Operation]],
+    repeats: int = 3,
+    base_seed: int = 0,
+) -> RepeatedMeasurement:
+    """Measure a workload several times with fresh indexes and seeds.
+
+    Wall-clock numbers on a shared machine are noisy; experiments that want
+    error bars rebuild the index and regenerate the workload per repeat
+    with ``base_seed + i`` and aggregate.
+
+    Args:
+        make_index: index constructor.
+        keys: bulk-load keys shared by all repeats.
+        make_operations: seed -> operation stream.
+        repeats: number of runs.
+        base_seed: first seed.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    runs: list[Measurement] = []
+    for i in range(repeats):
+        index = make_index()
+        index.bulk_load(keys)
+        runs.append(measure(index, make_operations(base_seed + i)))
+    walls = np.array([r.wall_ns_per_op for r in runs])
+    costs = np.array([r.structural_cost for r in runs])
+    return RepeatedMeasurement(
+        wall_ns_mean=float(walls.mean()),
+        wall_ns_std=float(walls.std()),
+        cost_mean=float(costs.mean()),
+        cost_std=float(costs.std()),
+        runs=runs,
+    )

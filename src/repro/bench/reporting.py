@@ -1,0 +1,79 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+Every experiment prints the same rows/series the paper's table or figure
+reports, in aligned monospace tables, plus the structural-cost columns that
+make the Python numbers comparable to the paper's C++ shapes (DESIGN.md
+section 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Human formatting: floats get 3 significant-ish digits."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,d}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> None:
+    print(render_table(headers, rows, title=title))
+    print()
+
+
+def format_ns(nanoseconds: float) -> str:
+    """Readable duration from nanoseconds."""
+    if nanoseconds < 1e3:
+        return f"{nanoseconds:.0f}ns"
+    if nanoseconds < 1e6:
+        return f"{nanoseconds / 1e3:.2f}us"
+    if nanoseconds < 1e9:
+        return f"{nanoseconds / 1e6:.2f}ms"
+    return f"{nanoseconds / 1e9:.2f}s"
+
+
+def series_sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Tiny text sparkline for latency traces (Fig. 1(b) and Fig. 13)."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    picked = [values[i] for i in range(0, len(values), step)]
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - lo) / span * (len(blocks) - 1)))]
+        for v in picked
+    )

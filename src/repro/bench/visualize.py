@@ -1,0 +1,114 @@
+"""Text-mode visualisations of datasets and index structures.
+
+Terminal-friendly stand-ins for the paper's illustrative figures:
+
+* :func:`cdf_plot` — a dataset's CDF (the blue curves of Figs. 1(a)/2);
+* :func:`skew_profile` — per-window local skewness (Fig. 1(a)'s zoom);
+* :func:`segmentation_view` — where an index places its leaf boundaries
+  over the key space and how many keys each leaf holds (Fig. 2's
+  comparison of segmentation strategies);
+* :func:`latency_trace` — a log-scale per-op latency strip (Fig. 1(b)).
+
+All functions return strings, so they compose with logging and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.node import LeafNode, walk_leaves
+from ..core.skewness import local_skewness_windows
+from .reporting import series_sparkline
+
+#: Characters for vertical resolution in plots, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def cdf_plot(keys: np.ndarray, width: int = 64, height: int = 12) -> str:
+    """ASCII CDF of a key set (rank vs key position).
+
+    Args:
+        keys: dataset keys (sorted internally).
+        width/height: plot resolution in characters.
+    """
+    arr = np.sort(np.asarray(keys, dtype=np.float64))
+    if arr.size < 2:
+        return "(need at least two keys)"
+    lo, hi = float(arr[0]), float(arr[-1])
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    xs = ((arr - lo) / span * (width - 1)).astype(int)
+    ys = (np.arange(arr.size) / (arr.size - 1) * (height - 1)).astype(int)
+    for x, y in zip(xs, ys):
+        grid[height - 1 - y][x] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"keys in [{lo:.4g}, {hi:.4g}], n={arr.size:,}")
+    return "\n".join(lines)
+
+
+def skew_profile(keys: np.ndarray, windows: int = 40) -> str:
+    """Per-window lsn strip: where the dataset is locally skewed."""
+    arr = np.sort(np.asarray(keys, dtype=np.float64))
+    if arr.size < 2 * windows:
+        windows = max(1, arr.size // 2)
+    window = max(2, arr.size // windows)
+    values = local_skewness_windows(arr, window=window)
+    strip = series_sparkline([v / math.pi for v in values], width=windows)
+    return (
+        f"lsn/window |{strip}|  (dark = locally skewed, "
+        f"pi/4={_SHADES[0]!r} .. pi/2={_SHADES[-1]!r})"
+    )
+
+
+def segmentation_view(index, width: int = 64) -> str:
+    """Leaf-boundary density over the key space (Fig. 2's view).
+
+    Shows, per key-space column, how many leaf boundaries fall there
+    (dark = many small leaves = the index spent fanout there) plus summary
+    statistics of leaf sizes.
+
+    Args:
+        index: a built ChameleonIndex (anything exposing a ``_root`` tree
+            of Inner/Leaf nodes).
+        width: columns.
+    """
+    root = getattr(index, "_root", None)
+    if root is None:
+        return "(index is empty)"
+    leaves = [leaf for leaf in walk_leaves(root)]
+    if not leaves:
+        return "(no leaves)"
+    lo = min(leaf.low_key for leaf in leaves)
+    hi = max(leaf.high_key for leaf in leaves)
+    span = (hi - lo) or 1.0
+    counts = [0] * width
+    for leaf in leaves:
+        col = int((leaf.low_key - lo) / span * (width - 1))
+        counts[min(max(col, 0), width - 1)] += 1
+    peak = max(counts) or 1
+    strip = "".join(
+        _SHADES[min(len(_SHADES) - 1, int(c / peak * (len(_SHADES) - 1)))]
+        for c in counts
+    )
+    sizes = [leaf.n_keys for leaf in leaves]
+    return (
+        f"leaf boundaries |{strip}|\n"
+        f"{len(leaves):,} leaves; keys/leaf min/median/max = "
+        f"{min(sizes)}/{int(np.median(sizes))}/{max(sizes)}"
+    )
+
+
+def latency_trace(latencies_ns: Sequence[float], width: int = 64) -> str:
+    """Log-scale latency strip (the Fig. 1(b) oscillation view)."""
+    if not latencies_ns:
+        return "(no samples)"
+    logs = [math.log10(max(1.0, v)) for v in latencies_ns]
+    strip = series_sparkline(logs, width=width)
+    return (
+        f"latency |{strip}|  (log scale, min={min(latencies_ns):.0f}ns, "
+        f"max={max(latencies_ns):.0f}ns)"
+    )

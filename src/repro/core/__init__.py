@@ -1,0 +1,59 @@
+"""Chameleon core: EBH leaves, MARL construction, interval-lock retraining.
+
+The builder/index/retrainer symbols are exported lazily (PEP 562): they pull
+in the RL agents, whose modules themselves import ``repro.core.config`` —
+eager imports here would create a cycle when ``repro.rl`` is imported first.
+"""
+
+from .config import DEFAULT_CONFIG, ChameleonConfig
+from .ebh import ErrorBoundedHash
+from .interval_lock import IntervalLockManager
+from .node import InnerNode, LeafNode, subtree_stats, walk_leaves
+from .skewness import (
+    LSN_MAX,
+    LSN_UNIFORM,
+    conflict_degree,
+    local_skewness,
+    local_skewness_windows,
+    probability_density,
+)
+
+_LAZY = {
+    "ChameleonBuilder": ("repro.core.builder", "ChameleonBuilder"),
+    "BuildResult": ("repro.core.builder", "BuildResult"),
+    "ChameleonIndex": ("repro.core.index", "ChameleonIndex"),
+    "RetrainingThread": ("repro.core.retrainer", "RetrainingThread"),
+    "RetrainerStats": ("repro.core.retrainer", "RetrainerStats"),
+}
+
+__all__ = [
+    "ChameleonConfig",
+    "DEFAULT_CONFIG",
+    "ChameleonIndex",
+    "ChameleonBuilder",
+    "BuildResult",
+    "ErrorBoundedHash",
+    "InnerNode",
+    "LeafNode",
+    "walk_leaves",
+    "subtree_stats",
+    "IntervalLockManager",
+    "RetrainingThread",
+    "RetrainerStats",
+    "LSN_UNIFORM",
+    "LSN_MAX",
+    "local_skewness",
+    "local_skewness_windows",
+    "conflict_degree",
+    "probability_density",
+]
+
+
+def __getattr__(name: str):
+    """Lazy import of builder-dependent exports (avoids an import cycle)."""
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

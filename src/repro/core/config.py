@@ -1,0 +1,135 @@
+"""Chameleon configuration.
+
+Defaults follow the paper's Table IV where a value is stated. Two knobs are
+scaled down for library-scale datasets (200k keys instead of 200M) and say so
+explicitly: the PDF bucket counts b_T / b_D and the DARE matrix width L. The
+paper's values remain available by passing them explicitly.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass, field
+
+
+@functools.lru_cache(maxsize=1 << 16)
+def _theorem1_capacity(n_keys: int, tau: float, min_capacity: int) -> int:
+    """Cached Theorem 1 bound (hot path in GA fitness evaluation)."""
+    if n_keys <= 0:
+        return min_capacity
+    bound = math.ceil((n_keys - 1) / (-math.log(1.0 - tau)))
+    return max(bound, n_keys, min_capacity)
+
+
+def default_action_fanouts() -> tuple[int, ...]:
+    """TSMDP action space {2^0, 2^1, ..., 2^10} (Table IV)."""
+    return tuple(2**i for i in range(11))
+
+
+@dataclass(frozen=True)
+class ChameleonConfig:
+    """All Chameleon hyper-parameters.
+
+    Attributes:
+        tau: desired per-leaf collision probability driving Theorem 1
+            capacity sizing (the paper's worked example uses 0.45).
+        alpha: EBH hash factor (the paper's examples use 131).
+        min_leaf_capacity: smallest EBH slot count.
+        max_leaf_load: load factor beyond which a leaf rehashes to a larger
+            capacity on insert.
+        leaf_target_keys: construction-time target keys per leaf; drives the
+            greedy ChaB fanout choice and the RL reward's memory term.
+        leaf_split_keys: live-update threshold above which a leaf is split
+            into a subtree instead of merely rehashed.
+        b_t: TSMDP PDF bucket count (paper: 256; library default 32).
+        b_d: DARE PDF bucket count (paper: 16384; library default 64).
+        action_fanouts: TSMDP's discrete fanout choices (paper: 2^0..2^10).
+        h: number of DARE-built upper levels (paper derives
+            ceil(log_{2^10}|D|); at 200M keys that is 3, which we keep).
+        matrix_width: DARE parameter-matrix row width L (paper: 256;
+            library default 64).
+        root_fanout_max: root fanout upper bound 2^20.
+        inner_fanout_max: non-root inner fanout upper bound 2^10.
+        w_query / w_memory: reward coefficients w_t and w_m (paper: 0.5/0.5).
+        gamma: DQN discount factor (paper: 0.9).
+        learning_rate: DQN learning rate (paper: 1e-4).
+        exploration_floor: exploration termination probability epsilon
+            (paper: 1e-3).
+        target_sync_every: DQN target-network sync period K.
+        double_dqn: use Double-DQN targets (the paper's reference [35]) in
+            TSMDP's Q-learning.
+        retrain_period_s: background retraining period (paper: 10s; library
+            default 0.25s so demos show the effect quickly).
+        retrain_update_threshold: updates within an h-level interval before
+            the retrainer considers it drifted.
+        seed: RNG seed for agents and builders.
+    """
+
+    tau: float = 0.45
+    alpha: int = 131
+    min_leaf_capacity: int = 8
+    # Note: Theorem 1 capacity at tau=0.45 fills leaves to ~0.60; the load
+    # ceiling sits above that so freshly built leaves absorb inserts before
+    # their first rehash.
+    max_leaf_load: float = 0.75
+    leaf_target_keys: int = 64
+    leaf_split_keys: int = 512
+    b_t: int = 32
+    b_d: int = 64
+    action_fanouts: tuple[int, ...] = field(default_factory=default_action_fanouts)
+    h: int = 3
+    matrix_width: int = 64
+    root_fanout_max: int = 2**20
+    inner_fanout_max: int = 2**10
+    w_query: float = 0.5
+    w_memory: float = 0.5
+    gamma: float = 0.9
+    learning_rate: float = 1e-4
+    exploration_floor: float = 1e-3
+    target_sync_every: int = 50
+    double_dqn: bool = False
+    retrain_period_s: float = 0.25
+    retrain_update_threshold: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tau < 1.0:
+            raise ValueError("tau must be in (0, 1)")
+        if self.alpha < 1:
+            raise ValueError("alpha must be >= 1")
+        if not 0.0 < self.max_leaf_load <= 1.0:
+            raise ValueError("max_leaf_load must be in (0, 1]")
+        if self.min_leaf_capacity < 1:
+            raise ValueError("min_leaf_capacity must be >= 1")
+        if self.h < 2:
+            raise ValueError("h must be >= 2")
+        if self.leaf_target_keys < 1 or self.leaf_split_keys < self.leaf_target_keys:
+            raise ValueError("need leaf_split_keys >= leaf_target_keys >= 1")
+        if not self.action_fanouts or self.action_fanouts[0] != 1:
+            raise ValueError("action_fanouts must start with 1 (the leaf action)")
+        if abs(self.w_query + self.w_memory - 1.0) > 1e-9:
+            raise ValueError("w_query + w_memory must equal 1")
+
+    def theorem1_capacity(self, n_keys: int) -> int:
+        """Leaf capacity for ``n_keys`` satisfying Theorem 1 at this tau.
+
+        ``c >= (n - 1) / (-ln(1 - tau))``, floored at both ``n_keys`` (the
+        physical minimum) and :attr:`min_leaf_capacity`.
+        """
+        return _theorem1_capacity(n_keys, self.tau, self.min_leaf_capacity)
+
+    def paper_scale(self) -> "ChameleonConfig":
+        """The configuration with the paper's full-size Table IV values."""
+        return ChameleonConfig(
+            tau=self.tau,
+            alpha=self.alpha,
+            b_t=256,
+            b_d=16384,
+            matrix_width=256,
+            retrain_period_s=10.0,
+            seed=self.seed,
+        )
+
+
+DEFAULT_CONFIG = ChameleonConfig()

@@ -1,0 +1,245 @@
+"""Error Bounded Hashing (EBH) — Chameleon's leaf-node model.
+
+An EBH node is a circular slot array addressed by the paper's Eq. 2:
+
+    P(k) = alpha * (c / (uk - lk) * (k - lk))  mod  c
+
+Hash collisions are resolved by probing outward from the home slot; the node
+tracks its conflict degree ``cd`` (Definition 2's maximum offset), which
+bounds every lookup to the window [P(k) - cd, P(k) + cd]. Because lookups
+scan that bounded window exhaustively, deletion can simply clear a slot — no
+tombstones and no probe-chain repair — which is also why EBH retraining needs
+no sorting (Section VI-C4).
+
+Capacity follows Theorem 1: ``c >= (n - 1) / (-ln(1 - tau))`` for a desired
+collision probability tau, adaptively enlarged when inserts push the load
+factor past the configured maximum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+from ..baselines.counters import Counters
+from ..baselines.interfaces import DuplicateKeyError
+
+_EMPTY = None
+
+
+class ErrorBoundedHash:
+    """One EBH leaf: hash-addressed key/value slots with bounded offset.
+
+    Args:
+        low_key: interval lower bound (inclusive) — the paper's lk.
+        high_key: interval upper bound — the paper's uk. Must be > low_key
+            unless the node holds at most one distinct key.
+        capacity: slot count c (use
+            :meth:`ChameleonConfig.theorem1_capacity`).
+        alpha: hash factor (paper example: 131).
+        counters: shared structural-cost counters.
+    """
+
+    __slots__ = ("low_key", "high_key", "capacity", "alpha", "_keys", "_values",
+                 "n_keys", "conflict_degree", "counters")
+
+    def __init__(
+        self,
+        low_key: float,
+        high_key: float,
+        capacity: int,
+        alpha: int = 131,
+        counters: Counters | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if high_key < low_key:
+            raise ValueError("high_key must be >= low_key")
+        self.low_key = float(low_key)
+        self.high_key = float(high_key)
+        self.capacity = int(capacity)
+        self.alpha = int(alpha)
+        self._keys: list[float | None] = [_EMPTY] * self.capacity
+        self._values: list[Any] = [_EMPTY] * self.capacity
+        self.n_keys = 0
+        self.conflict_degree = 0
+        self.counters = counters if counters is not None else Counters()
+
+    # -- hashing -------------------------------------------------------------
+
+    def home_slot(self, key: float) -> int:
+        """Eq. 2: the predicted slot for ``key``."""
+        self.counters.model_evals += 1
+        span = self.high_key - self.low_key
+        if span <= 0.0:
+            return 0
+        scaled = self.capacity * (key - self.low_key) / span
+        return int(math.floor(self.alpha * scaled)) % self.capacity
+
+    # -- operations ----------------------------------------------------------
+
+    def lookup(self, key: float) -> Any | None:
+        """Find ``key`` within the conflict-degree window, else None."""
+        home = self.home_slot(key)
+        keys = self._keys
+        cap = self.capacity
+        probes = 0
+        for offset in range(self.conflict_degree + 1):
+            for slot in ((home + offset) % cap,) if offset == 0 else (
+                (home + offset) % cap,
+                (home - offset) % cap,
+            ):
+                probes += 1
+                if keys[slot] == key:
+                    self.counters.slot_probes += probes
+                    return self._values[slot]
+        self.counters.slot_probes += probes
+        return None
+
+    def insert(self, key: float, value: Any) -> None:
+        """Place ``key`` at the nearest free slot to its home slot.
+
+        Raises:
+            DuplicateKeyError: if the key is already stored.
+            OverflowError: if the node is full (callers expand first).
+        """
+        if self.n_keys >= self.capacity:
+            raise OverflowError("EBH node is full; expand before inserting")
+        home = self.home_slot(key)
+        keys = self._keys
+        cap = self.capacity
+        probes = 0
+        free_slot = -1
+        free_offset = -1
+        # One pass outward: detect duplicates inside the cd window and find
+        # the nearest free slot. Beyond the cd window a duplicate cannot
+        # exist, so the scan may stop at the first free slot found there.
+        max_offset = cap  # worst case scans the whole ring
+        for offset in range(max_offset):
+            slots = ((home + offset) % cap,) if offset == 0 else (
+                (home + offset) % cap,
+                (home - offset) % cap,
+            )
+            for slot in slots:
+                probes += 1
+                stored = keys[slot]
+                if stored == key:
+                    self.counters.slot_probes += probes
+                    raise DuplicateKeyError(f"key already present: {key!r}")
+                if stored is _EMPTY and free_slot < 0:
+                    free_slot, free_offset = slot, offset
+            if free_slot >= 0 and offset >= self.conflict_degree:
+                break
+        self.counters.slot_probes += probes
+        if free_slot < 0:
+            raise OverflowError("EBH node is full; expand before inserting")
+        keys[free_slot] = key
+        self._values[free_slot] = value
+        self.n_keys += 1
+        if free_offset > self.conflict_degree:
+            self.conflict_degree = free_offset
+
+    def delete(self, key: float) -> bool:
+        """Clear ``key``'s slot; return True if the key was present."""
+        home = self.home_slot(key)
+        keys = self._keys
+        cap = self.capacity
+        probes = 0
+        for offset in range(self.conflict_degree + 1):
+            slots = ((home + offset) % cap,) if offset == 0 else (
+                (home + offset) % cap,
+                (home - offset) % cap,
+            )
+            for slot in slots:
+                probes += 1
+                if keys[slot] == key:
+                    keys[slot] = _EMPTY
+                    self._values[slot] = _EMPTY
+                    self.n_keys -= 1
+                    self.counters.slot_probes += probes
+                    return True
+        self.counters.slot_probes += probes
+        return False
+
+    # -- maintenance -----------------------------------------------------------
+
+    @property
+    def load_factor(self) -> float:
+        """n / c."""
+        return self.n_keys / self.capacity if self.capacity else 1.0
+
+    def items(self) -> Iterator[tuple[float, Any]]:
+        """Live (key, value) pairs in slot order (unsorted)."""
+        for k, v in zip(self._keys, self._values):
+            if k is not _EMPTY:
+                yield k, v
+
+    def sorted_items(self) -> list[tuple[float, Any]]:
+        """Live pairs sorted by key (range queries / rebuilds)."""
+        return sorted(self.items())
+
+    def rehash(self, new_capacity: int, low_key: float | None = None,
+               high_key: float | None = None, refit: bool = False) -> None:
+        """Rebuild in place at a new capacity (and optionally new interval).
+
+        No sorting is required — this is the property Fig. 14 credits for
+        Chameleon's low retraining time.
+
+        Args:
+            new_capacity: slot count after the rebuild.
+            low_key/high_key: explicit new model interval.
+            refit: when True, refit the model interval to the live keys'
+                span (keeps the hash flat as inserts drift the key range).
+        """
+        if new_capacity < self.n_keys:
+            raise ValueError("new capacity below live key count")
+        pairs = list(self.items())
+        if refit and len(pairs) >= 2:
+            live_keys = [k for k, _ in pairs]
+            k_min, k_max = min(live_keys), max(live_keys)
+            if k_max > k_min:
+                low_key = k_min
+                high_key = k_max + (k_max - k_min) / len(pairs)
+        self.capacity = int(new_capacity)
+        if low_key is not None:
+            self.low_key = float(low_key)
+        if high_key is not None:
+            self.high_key = float(high_key)
+        self._keys = [_EMPTY] * self.capacity
+        self._values = [_EMPTY] * self.capacity
+        self.n_keys = 0
+        self.conflict_degree = 0
+        self.counters.retrains += 1
+        self.counters.retrain_keys += len(pairs)
+        for k, v in pairs:
+            self.insert(k, v)
+
+    # -- statistics -------------------------------------------------------------
+
+    def offset_of(self, slot: int) -> int:
+        """Circular distance between a stored key's slot and its home slot."""
+        key = self._keys[slot]
+        if key is _EMPTY:
+            raise ValueError("slot is empty")
+        home = self.home_slot(key)
+        self.counters.model_evals -= 1  # statistics call, not query work
+        direct = abs(slot - home)
+        return min(direct, self.capacity - direct)
+
+    def error_stats(self) -> tuple[int, float]:
+        """(max offset, mean offset) over stored keys — Table V errors."""
+        offsets = [
+            self.offset_of(i)
+            for i, k in enumerate(self._keys)
+            if k is not _EMPTY
+        ]
+        if not offsets:
+            return 0, 0.0
+        return max(offsets), sum(offsets) / len(offsets)
+
+    def size_bytes(self) -> int:
+        """Modelled C++ footprint: 16 bytes per slot plus a 48-byte header."""
+        return 16 * self.capacity + 48
+
+    def __len__(self) -> int:
+        return self.n_keys

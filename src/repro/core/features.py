@@ -1,0 +1,51 @@
+"""State-feature extraction for the construction agents.
+
+Both agents observe a node's data as ``(PDF buckets, |D|, lsn)`` (Sections
+IV-B2 and IV-C). The PDF is bucketed over the node's own interval; the key
+count is log-scaled and the lsn normalised so features stay in [0, 1]-ish
+ranges regardless of dataset size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .skewness import LSN_MAX, LSN_UNIFORM, local_skewness, probability_density
+
+#: log10 of the key count is divided by this, bounding the feature near 1
+#: for datasets up to 10^9 keys (covers the paper's 2x10^8).
+_LOG_N_SCALE = 9.0
+
+
+def node_state(
+    keys: np.ndarray,
+    buckets: int,
+    low: float | None = None,
+    high: float | None = None,
+) -> np.ndarray:
+    """Feature vector for one node's key set.
+
+    Args:
+        keys: the keys inside the node's interval (any order).
+        buckets: PDF bucket count (b_T for TSMDP, b_D for DARE).
+        low/high: the node's interval; defaults to the keys' min/max.
+
+    Returns:
+        Array of length ``buckets + 2``: PDF, scaled log-count, scaled lsn.
+    """
+    arr = np.asarray(keys, dtype=np.float64)
+    pdf = probability_density(arr, buckets, low=low, high=high)
+    log_n = math.log10(arr.size + 1) / _LOG_N_SCALE
+    if arr.size >= 2 and float(arr.max()) > float(arr.min()):
+        lsn = local_skewness(arr)
+    else:
+        lsn = LSN_UNIFORM
+    lsn_scaled = (lsn - LSN_UNIFORM) / (LSN_MAX - LSN_UNIFORM)
+    return np.concatenate([pdf, [log_n, lsn_scaled]])
+
+
+def state_size(buckets: int) -> int:
+    """Length of the vector produced by :func:`node_state`."""
+    return buckets + 2

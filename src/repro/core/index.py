@@ -1,0 +1,441 @@
+"""ChameleonIndex — the public index API (Section III).
+
+Lookups descend precise inner nodes (Eq. 1, no secondary search) and finish
+with a bounded EBH probe. Inserts go in place; a leaf that exceeds its load
+bound rehashes to a larger Theorem 1 capacity, and a leaf that outgrows the
+split threshold becomes a subtree. A background retrainer (see
+:mod:`repro.core.retrainer`) restructures drifted h-th-level subtrees with
+TSMDP under interval locks without blocking queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..baselines.interfaces import (
+    BaseIndex,
+    Capabilities,
+    EmptyIndexError,
+    Key,
+    Value,
+    as_key_value_arrays,
+)
+from .builder import ChameleonBuilder, make_leaf, refine_with_tsmdp
+from .config import ChameleonConfig
+from .node import InnerNode, LeafNode, Node, subtree_stats, walk_leaves
+
+#: Leaf-growth factor applied when a leaf rehashes to a larger capacity.
+LEAF_GROWTH = 1.5
+
+
+class ChameleonIndex(BaseIndex):
+    """Updatable learned index with EBH leaves and MARL-built structure.
+
+    Args:
+        config: hyper-parameters; defaults to :class:`ChameleonConfig`.
+        strategy: construction strategy — "ChaB", "ChaDA" (DARE only), or
+            "ChaDATS" (DARE + TSMDP, the full system).
+        builder: optional pre-configured builder (e.g. with trained agents).
+        lock_manager: optional
+            :class:`~repro.core.interval_lock.IntervalLockManager`; when
+            set, every operation takes a query lock on its h-th-level
+            interval, enabling non-blocking background retraining.
+    """
+
+    capabilities = Capabilities(
+        name="Chameleon",
+        construction_direction="TD",
+        construction_strategy="MARL",
+        inner_search="LIM",
+        leaf_search="Hash+LS",
+        insertion_strategy="In-place",
+        retraining="non-Blocking",
+        skew_strategy="Use Hash",
+        skew_support=3,
+        supports_updates=True,
+    )
+
+    def __init__(
+        self,
+        config: ChameleonConfig | None = None,
+        strategy: str = "ChaDATS",
+        builder: ChameleonBuilder | None = None,
+        lock_manager: "IntervalLockManager | None" = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or ChameleonConfig()
+        self.builder = builder or ChameleonBuilder(self.config, strategy=strategy)
+        self.strategy = self.builder.strategy
+        self.lock_manager = lock_manager
+        self._root: Node | None = None
+        self._n = 0
+        #: Updates since the last full (re)construction — drives the
+        #: DARE-triggered rebuild described in Section V's Limitations.
+        self.updates_since_build = 0
+
+    # -- loading -------------------------------------------------------------------
+
+    def bulk_load(self, keys: Iterable[Key], values: Iterable[Value] | None = None) -> None:
+        key_list, value_list = as_key_value_arrays(keys, values)
+        if not key_list:
+            raise ValueError("bulk_load requires at least one key")
+        arr = np.asarray(key_list, dtype=np.float64)
+        result = self.builder.build(arr, value_list, self.counters)
+        self._root = result.root
+        self._n = len(key_list)
+        self.updates_since_build = 0
+
+    # -- point operations ------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Value | None:
+        key_f = float(key)
+        if self.lock_manager is None:
+            leaf, _, _ = self._descend(key_f)
+            return leaf.ebh.lookup(key_f)
+        # Faithful protocol: descend the (immutable) upper h-1 levels once,
+        # acquire the interval's query lock, then continue below the lock
+        # boundary — the retrainer may only swap subtrees under it.
+        ids, path = self._descend_upper(key_f)
+        with self.lock_manager.query_lock(ids, self.counters):
+            leaf, _ = self._descend_lower(key_f, path)
+            return leaf.ebh.lookup(key_f)
+
+    def insert(self, key: Key, value: Value | None = None) -> None:
+        if self._root is None:
+            raise EmptyIndexError("bulk_load before inserting")
+        key_f = float(key)
+        stored = key_f if value is None else value
+        if self.lock_manager is None:
+            self._insert_locked(key_f, stored)
+            return
+        ids, _ = self._descend_upper(key_f)
+        with self.lock_manager.query_lock(ids, self.counters):
+            self._insert_locked(key_f, stored)
+
+    def _insert_locked(self, key: Key, value: Value) -> None:
+        leaf, path, _ = self._descend(key)
+        ebh = leaf.ebh
+        if (ebh.n_keys + 1) / ebh.capacity > self.config.max_leaf_load:
+            # Structural maintenance happens only at load-trigger points,
+            # so its cost amortises over the inserts in between. A split is
+            # attempted first for over-full leaves; if refinement decides
+            # hashing absorbs the density better (its guards fire), the
+            # leaf simply grows its Theorem 1 capacity in place.
+            if ebh.n_keys + 1 > self.config.leaf_split_keys:
+                if self._split_leaf(leaf, path):
+                    leaf, path, _ = self._descend(key)
+                    ebh = leaf.ebh
+            if (ebh.n_keys + 1) / ebh.capacity > self.config.max_leaf_load:
+                grown = max(ebh.n_keys + 1, int(ebh.n_keys * LEAF_GROWTH) + 1)
+                ebh.rehash(self.config.theorem1_capacity(grown), refit=True)
+        ebh.insert(key, value)
+        leaf.update_count += 1
+        self._n += 1
+        self.updates_since_build += 1
+
+    def delete(self, key: Key) -> bool:
+        if self._root is None:
+            return False
+        key_f = float(key)
+        if self.lock_manager is None:
+            return self._delete_locked(key_f)
+        ids, _ = self._descend_upper(key_f)
+        with self.lock_manager.query_lock(ids, self.counters):
+            return self._delete_locked(key_f)
+
+    def _delete_locked(self, key: Key) -> bool:
+        leaf, _, _ = self._descend(key)
+        removed = leaf.ebh.delete(key)
+        if removed:
+            leaf.update_count += 1
+            self._n -= 1
+            self.updates_since_build += 1
+        return removed
+
+    # -- bulk reads --------------------------------------------------------------------
+
+    def range_query(self, low: Key, high: Key) -> list[tuple[Key, Value]]:
+        if self._root is None:
+            return []
+        # Keys outside the bulk-loaded interval are clamped into the edge
+        # subtrees by Eq. 1's routing, so the extreme nodes must be treated
+        # as unbounded when pruning.
+        root_low = self._root.low_key
+        root_high = self._root.high_key
+        out: list[tuple[Key, Value]] = []
+        stack: list[Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            node_low = float("-inf") if node.low_key <= root_low else node.low_key
+            node_high = float("inf") if node.high_key >= root_high else node.high_key
+            if isinstance(node, LeafNode):
+                if node_high >= low and node_low <= high:
+                    # Hashed leaves are unordered: a scan reads every slot.
+                    self.counters.slot_probes += node.ebh.capacity
+                    out.extend(
+                        (k, v) for k, v in node.items() if low <= k <= high
+                    )
+                continue
+            if node_high < low or node_low > high:
+                continue
+            self.counters.node_hops += 1
+            for child in node.children:
+                if child is not None:
+                    stack.append(child)
+        out.sort()
+        return out
+
+    def items(self) -> Iterator[tuple[Key, Value]]:
+        if self._root is None:
+            return iter(())
+        return (
+            pair for leaf in walk_leaves(self._root) for pair in leaf.items()
+        )
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- structure accessors --------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        if self._root is None:
+            return 0
+        return int(subtree_stats(self._root)["size_bytes"])
+
+    def height_stats(self) -> tuple[int, float]:
+        if self._root is None:
+            return 0, 0.0
+        stats = subtree_stats(self._root)
+        return int(stats["max_height"]), float(stats["avg_height"])
+
+    def node_count(self) -> int:
+        if self._root is None:
+            return 0
+        return int(subtree_stats(self._root)["n_nodes"])
+
+    def error_stats(self) -> tuple[float, float]:
+        if self._root is None:
+            return 0.0, 0.0
+        stats = subtree_stats(self._root)
+        return float(stats["max_error"]), float(stats["avg_error"])
+
+    # -- retrainer integration ----------------------------------------------------------
+
+    def h_level_entries(self) -> list[tuple[tuple[int, ...], InnerNode, int]]:
+        """All h-th-level attachment points as ``(ids, parent, rank)``.
+
+        The h-th level is the boundary the retrainer operates on: subtrees
+        hanging below these slots may be swapped; everything above is
+        immutable after bulk load (Section V-A).
+        """
+        if self._root is None or isinstance(self._root, LeafNode):
+            return []
+        entries: list[tuple[tuple[int, ...], InnerNode, int]] = []
+        boundary = self.config.h - 1  # parent depth of h-th-level nodes
+        stack: list[tuple[InnerNode, tuple[int, ...], int]] = [(self._root, (), 1)]
+        while stack:
+            node, ids, depth = stack.pop()
+            for rank, child in enumerate(node.children):
+                if child is None:
+                    continue
+                child_ids = ids + (rank,)
+                if depth >= boundary or isinstance(child, LeafNode):
+                    entries.append((child_ids, node, rank))
+                else:
+                    stack.append((child, child_ids, depth + 1))
+        return entries
+
+    def subtree_update_count(self, parent: InnerNode, rank: int) -> int:
+        """Total leaf update counters beneath one h-th-level slot."""
+        child = parent.children[rank]
+        if child is None:
+            return 0
+        return sum(leaf.update_count for leaf in walk_leaves(child))
+
+    def rebuild_subtree(self, parent: InnerNode, rank: int) -> int:
+        """Rebuild one h-th-level subtree from its live keys via TSMDP.
+
+        The rebuilt candidate replaces the old subtree only when its
+        modelled cost is no worse — refinement must never regress the
+        structure it tends. Returns the number of keys retrained (0 when
+        the candidate was discarded). The caller must hold the interval's
+        retraining lock.
+        """
+        from .costs import measured_structure_cost
+
+        child = parent.children[rank]
+        if child is None:
+            return 0
+        pairs = sorted(
+            pair for leaf in walk_leaves(child) for pair in leaf.items()
+        )
+        low, high = parent.child_interval(rank)
+        keys = np.asarray([p[0] for p in pairs], dtype=np.float64)
+        values = [p[1] for p in pairs]
+        agent = self.builder._ensure_tsmdp()
+        new_child = refine_with_tsmdp(
+            keys, values, low, high, agent, self.config, self.counters
+        )
+        w_q, w_m = self.config.w_query, self.config.w_memory
+        old_q, old_m = measured_structure_cost(child, self.config)
+        new_q, new_m = measured_structure_cost(new_child, self.config)
+        if w_q * new_q + w_m * new_m <= w_q * old_q + w_m * old_m:
+            parent.children[rank] = new_child
+            self.counters.retrains += 1
+            self.counters.retrain_keys += len(pairs)
+            return len(pairs)
+        return 0
+
+    # -- persistence -----------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop runtime-only attachments before pickling (save/load)."""
+        state = self.__dict__.copy()
+        state["lock_manager"] = None
+        return state
+
+    def rebuild_all(self) -> int:
+        """Full DARE reconstruction from the live key set.
+
+        The paper's Section V Limitations: once accumulated updates push
+        the structure far from the optimum, any learned index must be
+        rebuilt, and Chameleon triggers DARE for the whole index. The new
+        tree is built aside and swapped in with one (atomic) root-pointer
+        store, so in-flight readers of the old tree stay consistent.
+
+        Returns the number of keys rebuilt.
+        """
+        if self._root is None:
+            return 0
+        pairs = sorted(self.items())
+        if not pairs:
+            return 0
+        keys = np.asarray([p[0] for p in pairs], dtype=np.float64)
+        values = [p[1] for p in pairs]
+        result = self.builder.build(keys, values, self.counters)
+        self._root = result.root
+        self._n = len(pairs)
+        self.updates_since_build = 0
+        self.counters.retrains += 1
+        self.counters.retrain_keys += len(pairs)
+        return len(pairs)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _descend(
+        self, key: Key
+    ) -> tuple[LeafNode, list[tuple[InnerNode, int]], tuple[int, ...]]:
+        """Walk to the leaf for ``key``.
+
+        Returns ``(leaf, path, ids)`` where path is the (parent, rank) chain
+        and ids is the path truncated at the h-th-level lock boundary.
+        """
+        if self._root is None:
+            raise EmptyIndexError("index is empty; bulk_load first")
+        node = self._root
+        path: list[tuple[InnerNode, int]] = []
+        ranks: list[int] = []
+        while isinstance(node, InnerNode):
+            self.counters.node_hops += 1
+            rank = node.route(key)
+            path.append((node, rank))
+            ranks.append(rank)
+            child = node.children[rank]
+            if child is None:
+                # Materialise an empty leaf on demand (interval had no keys).
+                low, high = node.child_interval(rank)
+                child = make_leaf(
+                    np.empty(0), [], low, high, self.config, self.counters
+                )
+                node.children[rank] = child
+            node = child
+        ids = tuple(ranks[: max(1, self.config.h - 1)])
+        return node, path, ids
+
+    def _descend_upper(
+        self, key: Key
+    ) -> tuple[tuple[int, ...], list[tuple[InnerNode, int]]]:
+        """Walk the immutable upper h-1 levels; return (ids, path).
+
+        The retrainer never modifies nodes above the lock boundary
+        (Section V-A), so this walk is safe without any lock.
+        """
+        node = self._root
+        ranks: list[int] = []
+        path: list[tuple[InnerNode, int]] = []
+        boundary = max(1, self.config.h - 1)
+        while isinstance(node, InnerNode) and len(ranks) < boundary:
+            self.counters.node_hops += 1
+            rank = node.route(key)
+            ranks.append(rank)
+            path.append((node, rank))
+            node = node.children[rank]
+            if node is None:
+                break
+        return tuple(ranks), path
+
+    def _descend_lower(
+        self, key: Key, upper_path: list[tuple[InnerNode, int]]
+    ) -> tuple[LeafNode, list[tuple[InnerNode, int]]]:
+        """Continue from the lock boundary to the leaf (under the lock).
+
+        Re-reads the boundary child pointer, because the retrainer may have
+        swapped the subtree between the upper walk and lock acquisition.
+        """
+        path = list(upper_path)
+        if path:
+            parent, rank = path[-1]
+            node: Node | None = parent.children[rank]
+            if node is None:
+                low, high = parent.child_interval(rank)
+                node = make_leaf(
+                    np.empty(0), [], low, high, self.config, self.counters
+                )
+                parent.children[rank] = node
+        else:
+            node = self._root
+        while isinstance(node, InnerNode):
+            self.counters.node_hops += 1
+            rank = node.route(key)
+            path.append((node, rank))
+            child = node.children[rank]
+            if child is None:
+                low, high = node.child_interval(rank)
+                child = make_leaf(
+                    np.empty(0), [], low, high, self.config, self.counters
+                )
+                node.children[rank] = child
+            node = child
+        return node, path
+
+    def _split_leaf(
+        self, leaf: LeafNode, path: list[tuple[InnerNode, int]]
+    ) -> bool:
+        """Split an over-full leaf into a refined subtree in place.
+
+        Refinement applies the TSMDP policy with its structural guards
+        (concentration and probe-cost checks), so a leaf whose density the
+        fitted hash already flattens is *not* split — the caller grows it
+        instead. Returns True when the leaf was actually replaced.
+        """
+        pairs = leaf.ebh.sorted_items()
+        keys = np.asarray([p[0] for p in pairs], dtype=np.float64)
+        values = [p[1] for p in pairs]
+        low, high = leaf.low_key, leaf.high_key
+        if high <= low:
+            high = low + 1.0
+        agent = self.builder._ensure_tsmdp()
+        subtree = refine_with_tsmdp(
+            keys, values, low, high, agent, self.config, self.counters
+        )
+        if isinstance(subtree, LeafNode):
+            return False  # guards fired: hashing handles this density
+        self.counters.splits += 1
+        if path:
+            parent, rank = path[-1]
+            parent.children[rank] = subtree
+        else:
+            self._root = subtree
+        return True

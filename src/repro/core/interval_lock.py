@@ -1,0 +1,132 @@
+"""Interval Lock (Definition 4) and its lock manager.
+
+An interval — an h-th-level node's key range — is identified by its ``IDs``
+path (the child ranks from the root, computed with Eq. 1), so two threads
+check whether they touch the same interval by comparing tuples, never by
+interval-overlap tests (Section V-A).
+
+Semantics follow the paper's protocol: any number of query/update threads
+may hold an interval's *query lock* simultaneously (the workloads themselves
+are sequential; the lock exists to fence off the retrainer), while the
+*retraining lock* is exclusive — it waits for in-flight queries on the same
+interval to drain and blocks new ones for the duration of the swap. Queries
+on *other* intervals proceed untouched, which is what makes retraining
+non-blocking overall (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..baselines.counters import Counters
+
+IntervalIds = tuple[int, ...]
+
+
+class _IntervalState:
+    """Reader/writer state for one interval."""
+
+    __slots__ = ("readers", "retraining", "condition")
+
+    def __init__(self, mutex: threading.Lock) -> None:
+        self.readers = 0
+        self.retraining = False
+        self.condition = threading.Condition(mutex)
+
+
+class IntervalLockManager:
+    """Registry of per-interval reader/writer locks keyed by IDs paths."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._states: dict[IntervalIds, _IntervalState] = {}
+
+    def _state(self, ids: IntervalIds) -> _IntervalState:
+        state = self._states.get(ids)
+        if state is None:
+            state = _IntervalState(self._mutex)
+            self._states[ids] = state
+        return state
+
+    @contextmanager
+    def query_lock(
+        self, ids: IntervalIds, counters: Counters | None = None
+    ) -> Iterator[None]:
+        """Shared Query-Lock on an interval.
+
+        Blocks only while the same interval is being retrained; concurrent
+        queries on the interval (and everything on other intervals) pass.
+        """
+        ids = tuple(ids)
+        with self._mutex:
+            state = self._state(ids)
+            waited = False
+            while state.retraining:
+                waited = True
+                state.condition.wait()
+            state.readers += 1
+        if counters is not None:
+            counters.lock_acquisitions += 1
+            if waited:
+                counters.lock_waits += 1
+        try:
+            yield
+        finally:
+            with self._mutex:
+                state.readers -= 1
+                if state.readers == 0:
+                    state.condition.notify_all()
+
+    @contextmanager
+    def retrain_lock(
+        self,
+        ids: IntervalIds,
+        counters: Counters | None = None,
+        timeout: float | None = None,
+    ) -> Iterator[bool]:
+        """Exclusive Retraining-Lock on an interval.
+
+        Waits for the interval's in-flight queries to finish (bounded by
+        ``timeout`` when given). Yields True when acquired; yields False on
+        timeout, in which case the caller must skip the retrain.
+        """
+        ids = tuple(ids)
+        acquired = False
+        waited = False
+        with self._mutex:
+            state = self._state(ids)
+            while state.retraining or state.readers > 0:
+                waited = True
+                if not state.condition.wait(timeout=timeout):
+                    break
+            else:
+                state.retraining = True
+                acquired = True
+        if counters is not None:
+            counters.lock_acquisitions += 1
+            if waited:
+                counters.lock_waits += 1
+        try:
+            yield acquired
+        finally:
+            if acquired:
+                with self._mutex:
+                    state.retraining = False
+                    state.condition.notify_all()
+
+    def is_retraining(self, ids: IntervalIds) -> bool:
+        """True while the interval holds a retraining lock (for tests)."""
+        with self._mutex:
+            state = self._states.get(tuple(ids))
+            return bool(state and state.retraining)
+
+    def active_intervals(self) -> int:
+        """Number of intervals with any holder (diagnostics)."""
+        with self._mutex:
+            return sum(
+                1
+                for s in self._states.values()
+                if s.readers > 0 or s.retraining
+            )

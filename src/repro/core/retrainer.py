@@ -1,0 +1,153 @@
+"""Background non-blocking retraining (Section V).
+
+A daemon thread wakes every ``retrain_period_s`` (paper: 10 s), scans the
+h-th-level intervals for drift (accumulated update counters), and rebuilds
+drifted subtrees with TSMDP under the interval's Retraining-Lock. Queries on
+other intervals never block; queries on the interval being swapped wait only
+for the swap itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .index import ChameleonIndex
+from .interval_lock import IntervalLockManager
+from .node import walk_leaves
+
+
+@dataclass
+class RetrainerStats:
+    """Aggregate retraining telemetry.
+
+    Attributes:
+        passes: retraining sweeps performed.
+        retrained_intervals: subtrees rebuilt.
+        retrained_keys: total keys touched by rebuilds.
+        skipped_busy: intervals skipped because their lock was contended.
+        total_retrain_seconds: wall-clock time inside rebuilds.
+    """
+
+    passes: int = 0
+    retrained_intervals: int = 0
+    retrained_keys: int = 0
+    skipped_busy: int = 0
+    full_rebuilds: int = 0
+    total_retrain_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class RetrainingThread(threading.Thread):
+    """Periodic TSMDP retrainer guarded by interval locks.
+
+    Args:
+        index: the live :class:`ChameleonIndex`. Its ``lock_manager`` must
+            be the same instance passed here (or None on the index, in
+            which case retraining still locks but queries won't; only do
+            that in single-threaded tests).
+        lock_manager: the shared interval-lock manager.
+        period_s: sweep period; defaults to the index config.
+        update_threshold: updates within an interval before it is considered
+            drifted; defaults to the index config.
+        lock_timeout_s: how long to wait for a busy interval before skipping
+            it until the next sweep.
+    """
+
+    def __init__(
+        self,
+        index: ChameleonIndex,
+        lock_manager: IntervalLockManager,
+        period_s: float | None = None,
+        update_threshold: int | None = None,
+        lock_timeout_s: float = 0.05,
+        full_rebuild_fraction: float | None = None,
+    ) -> None:
+        super().__init__(daemon=True, name="chameleon-retrainer")
+        self.index = index
+        self.lock_manager = lock_manager
+        self.period_s = (
+            index.config.retrain_period_s if period_s is None else float(period_s)
+        )
+        self.update_threshold = (
+            index.config.retrain_update_threshold
+            if update_threshold is None
+            else int(update_threshold)
+        )
+        self.lock_timeout_s = float(lock_timeout_s)
+        #: When set (e.g. 0.5), a sweep whose accumulated updates exceed
+        #: this fraction of the live key count triggers a *full* DARE
+        #: reconstruction (Section V's Limitations). The root swap is
+        #: atomic for concurrent *readers*; a workload thread must not be
+        #: mid-update during the swap, so only enable this when updates
+        #: are issued from the thread that also calls sweep_once, or are
+        #: quiesced around sweeps (the paper's workloads are sequential).
+        self.full_rebuild_fraction = full_rebuild_fraction
+        self.stats = RetrainerStats()
+        self._stop_event = threading.Event()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.period_s):
+            self.sweep_once()
+
+    def stop(self, join: bool = True) -> None:
+        """Signal the thread to exit (and join it by default)."""
+        self._stop_event.set()
+        if join and self.is_alive():
+            self.join(timeout=5.0)
+
+    # -- one sweep --------------------------------------------------------------
+
+    def sweep_once(self) -> int:
+        """Scan all intervals once; rebuild the drifted ones.
+
+        Returns the number of intervals rebuilt. Usable synchronously in
+        tests and benches without starting the thread.
+        """
+        rebuilt = 0
+        with self.stats._lock:
+            self.stats.passes += 1
+        if (
+            self.full_rebuild_fraction is not None
+            and self.index.updates_since_build
+            > self.full_rebuild_fraction * max(1, len(self.index))
+        ):
+            started = time.perf_counter()
+            keys = self.index.rebuild_all()
+            with self.stats._lock:
+                self.stats.full_rebuilds += 1
+                self.stats.retrained_keys += keys
+                self.stats.total_retrain_seconds += time.perf_counter() - started
+            return 1
+        for ids, parent, rank in self.index.h_level_entries():
+            if self._stop_event.is_set():
+                break
+            if self.index.subtree_update_count(parent, rank) < self.update_threshold:
+                continue
+            with self.lock_manager.retrain_lock(
+                ids, self.index.counters, timeout=self.lock_timeout_s
+            ) as acquired:
+                if not acquired:
+                    with self.stats._lock:
+                        self.stats.skipped_busy += 1
+                    continue
+                started = time.perf_counter()
+                keys = self.index.rebuild_subtree(parent, rank)
+                elapsed = time.perf_counter() - started
+                self._reset_update_counts(parent, rank)
+            with self.stats._lock:
+                self.stats.retrained_intervals += 1
+                self.stats.retrained_keys += keys
+                self.stats.total_retrain_seconds += elapsed
+            rebuilt += 1
+        return rebuilt
+
+    def _reset_update_counts(self, parent, rank) -> None:
+        child = parent.children[rank]
+        if child is None:
+            return
+        for leaf in walk_leaves(child):
+            leaf.update_count = 0

@@ -1,0 +1,135 @@
+"""Local-skewness metric (Definition 3) and conflict degree (Definition 2).
+
+These are the two statistics Chameleon's construction and retraining loops
+are driven by. ``local_skewness`` is the paper's ``lsn``:
+
+    lsn = arctan( 1/(n-1)^2 * sum_i (Mk - mk) / (k_i - k_{i-1}) )
+
+which is pi/4 for perfectly uniform gaps and approaches pi/2 as any local
+region becomes dense relative to the global key range.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+#: Smallest gap used in place of zero/negative gaps (duplicate keys) so the
+#: metric stays finite. Duplicate keys are rejected at bulk-load time, but
+#: the metric itself is defensive so it can be used on raw samples.
+_MIN_GAP_FRACTION = 1e-12
+
+LSN_UNIFORM = math.pi / 4
+LSN_MAX = math.pi / 2
+
+
+def local_skewness(keys: Sequence[float] | np.ndarray) -> float:
+    """Compute the paper's local-skewness statistic ``lsn`` (Definition 3).
+
+    Args:
+        keys: dataset keys; sorted internally if needed. Must contain at
+            least two distinct values.
+
+    Returns:
+        lsn in [pi/4, pi/2). Uniformly spaced keys give exactly pi/4;
+        locally dense keys push the value toward pi/2.
+
+    Raises:
+        ValueError: if fewer than two distinct keys are supplied.
+    """
+    arr = np.asarray(keys, dtype=np.float64)
+    if arr.size < 2:
+        raise ValueError("local_skewness requires at least two keys")
+    arr = np.sort(arr)
+    key_range = float(arr[-1] - arr[0])
+    if key_range <= 0.0:
+        raise ValueError("local_skewness requires at least two distinct keys")
+    gaps = np.diff(arr)
+    min_gap = key_range * _MIN_GAP_FRACTION
+    gaps = np.maximum(gaps, min_gap)
+    n_minus_1 = arr.size - 1
+    mean_inverse_gap = float(np.sum(key_range / gaps)) / (n_minus_1 * n_minus_1)
+    return math.atan(mean_inverse_gap)
+
+
+def local_skewness_windows(
+    keys: Sequence[float] | np.ndarray, window: int
+) -> np.ndarray:
+    """lsn evaluated over consecutive windows of ``window`` keys.
+
+    Used to locate *where* a dataset is skewed (the paper's Fig. 1(a) view)
+    and by the retrainer to find drifted regions.
+
+    Args:
+        keys: sorted or unsorted keys.
+        window: window length in keys; must be >= 2.
+
+    Returns:
+        Array of per-window lsn values (last partial window included when it
+        has at least two distinct keys).
+    """
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    arr = np.sort(np.asarray(keys, dtype=np.float64))
+    values = []
+    for start in range(0, arr.size, window):
+        chunk = arr[start : start + window]
+        if chunk.size >= 2 and chunk[-1] > chunk[0]:
+            values.append(local_skewness(chunk))
+    return np.asarray(values, dtype=np.float64)
+
+
+def conflict_degree(predicted_slots: Sequence[int] | np.ndarray, capacity: int) -> int:
+    """Conflict degree ``cd`` of a slot assignment (Definition 2).
+
+    Args:
+        predicted_slots: hashed slot index of every key in the node.
+        capacity: number of slots in the node.
+
+    Returns:
+        ``max_i max(0, |{k : P(k) = i}| - 1)`` — the worst per-slot overflow,
+        i.e. the paper's maximum offset bound for EBH scanning.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    slots = np.asarray(predicted_slots, dtype=np.int64)
+    if slots.size == 0:
+        return 0
+    if slots.min() < 0 or slots.max() >= capacity:
+        raise ValueError("predicted slot out of range")
+    counts = np.bincount(slots, minlength=capacity)
+    return int(max(0, counts.max() - 1))
+
+
+def probability_density(
+    keys: Sequence[float] | np.ndarray,
+    buckets: int,
+    low: float | None = None,
+    high: float | None = None,
+) -> np.ndarray:
+    """Bucketed PDF of the key distribution, as fed to the RL agents.
+
+    Args:
+        keys: dataset keys.
+        buckets: number of equal-width buckets (paper: b_T=256, b_D=16384).
+        low/high: bucket range; defaults to the key min/max.
+
+    Returns:
+        Length-``buckets`` array summing to 1 (all-zero if no keys).
+    """
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    arr = np.asarray(keys, dtype=np.float64)
+    if arr.size == 0:
+        return np.zeros(buckets, dtype=np.float64)
+    lo = float(arr.min()) if low is None else float(low)
+    hi = float(arr.max()) if high is None else float(high)
+    if hi <= lo:
+        # Degenerate range: all mass in one bucket.
+        pdf = np.zeros(buckets, dtype=np.float64)
+        pdf[0] = 1.0
+        return pdf
+    hist, _ = np.histogram(arr, bins=buckets, range=(lo, hi))
+    return hist.astype(np.float64) / arr.size

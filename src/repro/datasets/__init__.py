@@ -1,0 +1,32 @@
+"""SOSD-style datasets: UDEN, LOGN, and OSMC/FACE stand-ins."""
+
+from .registry import PAPER_DATASETS, clear_cache, dataset_names, load
+from .sosd import load_sosd, read_sosd, write_sosd
+from .synthetic import (
+    DEFAULT_KEY_RANGE,
+    face_like,
+    logn,
+    lsn_as_pi_fraction,
+    measured_lsn,
+    osmc_like,
+    skew_mixture,
+    uden,
+)
+
+__all__ = [
+    "PAPER_DATASETS",
+    "dataset_names",
+    "load",
+    "clear_cache",
+    "DEFAULT_KEY_RANGE",
+    "uden",
+    "logn",
+    "osmc_like",
+    "face_like",
+    "skew_mixture",
+    "measured_lsn",
+    "lsn_as_pi_fraction",
+    "load_sosd",
+    "read_sosd",
+    "write_sosd",
+]

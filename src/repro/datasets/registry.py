@@ -1,0 +1,65 @@
+"""Named dataset registry with in-process caching.
+
+Benchmarks refer to datasets by the paper's names ("UDEN", "OSMC", "LOGN",
+"FACE"); this registry maps those names to the generators in
+:mod:`repro.datasets.synthetic` and memoises generated arrays so a bench
+sweep does not regenerate the same 200k-key dataset per index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from . import synthetic
+
+#: Paper's dataset order (by increasing local skewness).
+PAPER_DATASETS = ("UDEN", "OSMC", "LOGN", "FACE")
+
+_GENERATORS: dict[str, Callable[[int, int], np.ndarray]] = {
+    "UDEN": synthetic.uden,
+    "LOGN": synthetic.logn,
+    "OSMC": synthetic.osmc_like,
+    "FACE": synthetic.face_like,
+}
+
+_CACHE: dict[tuple[str, int, int], np.ndarray] = {}
+
+
+def dataset_names() -> tuple[str, ...]:
+    """Registered dataset names, paper order first."""
+    return PAPER_DATASETS
+
+
+def load(name: str, n: int, seed: int = 0) -> np.ndarray:
+    """Generate (or fetch cached) dataset ``name`` with ``n`` unique keys.
+
+    Args:
+        name: one of :func:`dataset_names` (case-insensitive).
+        n: number of unique keys.
+        seed: RNG seed.
+
+    Returns:
+        Sorted float64 key array. The cached array is returned read-only;
+        callers needing to mutate must copy.
+
+    Raises:
+        KeyError: for unknown dataset names.
+    """
+    canonical = name.upper()
+    if canonical not in _GENERATORS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(_GENERATORS)}"
+        )
+    cache_key = (canonical, int(n), int(seed))
+    if cache_key not in _CACHE:
+        keys = _GENERATORS[canonical](int(n), seed=int(seed))
+        keys.setflags(write=False)
+        _CACHE[cache_key] = keys
+    return _CACHE[cache_key]
+
+
+def clear_cache() -> None:
+    """Drop all memoised datasets (used by tests)."""
+    _CACHE.clear()

@@ -1,0 +1,108 @@
+"""SOSD binary-format I/O.
+
+The paper's evaluation follows the SOSD benchmark [2], whose datasets ship
+as little-endian binaries: a ``uint64`` element count followed by that many
+``uint64`` (or ``uint32``) keys. This module reads and writes that format,
+so the synthetic stand-ins can be exported for use by other SOSD tooling —
+and, when the real OSMC/FACE files are available, they can be loaded
+directly in place of the generators:
+
+    keys = load_sosd("fb_200M_uint64")          # real FACE
+    index.bulk_load(keys[:200_000])
+
+Keys above 2^53 are not exactly representable in float64; loading verifies
+the round trip and raises rather than silently corrupting comparisons.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+_DTYPES = {64: np.uint64, 32: np.uint32}
+
+#: Largest integer exactly representable in float64.
+MAX_EXACT_FLOAT = 2**53
+
+
+def write_sosd(keys: np.ndarray, path: str | Path, key_bits: int = 64) -> None:
+    """Write keys in SOSD binary format (count header + key array).
+
+    Args:
+        keys: numeric keys; rounded to the nearest integer (SOSD keys are
+            unsigned integers) and must be non-negative. Keys closer than
+            1.0 apart will collide — export integral keys for lossless
+            round trips.
+        path: output file.
+        key_bits: 64 (default) or 32.
+    """
+    if key_bits not in _DTYPES:
+        raise ValueError("key_bits must be 32 or 64")
+    arr = np.asarray(keys, dtype=np.float64)
+    if arr.size and arr.min() < 0:
+        raise ValueError("SOSD keys must be non-negative")
+    ints = np.round(arr).astype(_DTYPES[key_bits])
+    with open(path, "wb") as f:
+        np.asarray([ints.size], dtype=np.uint64).tofile(f)
+        ints.tofile(f)
+
+
+def read_sosd(path: str | Path, key_bits: int = 64) -> np.ndarray:
+    """Read a SOSD binary file into raw unsigned integers.
+
+    Args:
+        path: input file.
+        key_bits: 64 (default) or 32.
+
+    Returns:
+        The raw ``uint64``/``uint32`` key array, unmodified (duplicates and
+        ordering preserved as stored).
+
+    Raises:
+        ValueError: if the file is truncated relative to its header.
+    """
+    if key_bits not in _DTYPES:
+        raise ValueError("key_bits must be 32 or 64")
+    with open(path, "rb") as f:
+        header = np.fromfile(f, dtype=np.uint64, count=1)
+        if header.size != 1:
+            raise ValueError(f"{path}: missing SOSD count header")
+        count = int(header[0])
+        keys = np.fromfile(f, dtype=_DTYPES[key_bits], count=count)
+    if keys.size != count:
+        raise ValueError(
+            f"{path}: truncated — header says {count} keys, found {keys.size}"
+        )
+    return keys
+
+
+def load_sosd(path: str | Path, key_bits: int = 64, subsample: int | None = None,
+              seed: int = 0) -> np.ndarray:
+    """Load a SOSD file as sorted unique float64 keys ready for bulk_load.
+
+    Args:
+        path: SOSD binary file.
+        key_bits: 64 (default) or 32.
+        subsample: optional target key count; a uniform random subset is
+            taken after deduplication (how the paper scales 200M datasets
+            down, and how this library runs real SOSD data at its scale).
+        seed: RNG seed for subsampling.
+
+    Raises:
+        ValueError: if any key exceeds 2^53 (not exactly representable in
+            float64 — comparisons would silently collide).
+    """
+    raw = read_sosd(path, key_bits=key_bits)
+    unique = np.unique(raw)
+    if unique.size and int(unique[-1]) > MAX_EXACT_FLOAT:
+        raise ValueError(
+            f"{path}: keys exceed 2^53 and cannot be represented exactly as "
+            "float64; rescale or truncate the dataset first"
+        )
+    keys = unique.astype(np.float64)
+    if subsample is not None and subsample < keys.size:
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(keys.size, size=subsample, replace=False)
+        keys = np.sort(keys[picks])
+    return keys

@@ -1,0 +1,35 @@
+"""Reinforcement-learning substrate: numpy MLP, DQN, GA, TSMDP, DARE."""
+
+from .dare import DAREAgent, gene_bounds, gene_length, interpolated_fanout, split_genes
+from .dqn import TreeDQN
+from .exploration import DecaySchedule, boltzmann_probabilities, boltzmann_select
+from .ga import GeneticOptimizer
+from .network import MLP
+from .replay import ReplayBuffer, Transition
+from .rewards import COST_COMPONENTS, RewardWeights, dynamic_reward, tsmdp_reward
+from .trainer import MARLTrainer, TrainingReport, default_dataset_factory
+from .tsmdp import TSMDPAgent
+
+__all__ = [
+    "MLP",
+    "ReplayBuffer",
+    "Transition",
+    "TreeDQN",
+    "DecaySchedule",
+    "boltzmann_probabilities",
+    "boltzmann_select",
+    "GeneticOptimizer",
+    "RewardWeights",
+    "dynamic_reward",
+    "tsmdp_reward",
+    "COST_COMPONENTS",
+    "TSMDPAgent",
+    "DAREAgent",
+    "MARLTrainer",
+    "TrainingReport",
+    "default_dataset_factory",
+    "gene_length",
+    "gene_bounds",
+    "split_genes",
+    "interpolated_fanout",
+]

@@ -1,0 +1,129 @@
+"""Deep Q-Network core with tree-structured targets (paper Eq. 3).
+
+Standard DQN bootstraps ``r + gamma * max_a' Q(s', a')``. TSMDP's next
+"state" is the *set* of child partitions created by the chosen fanout, so the
+bootstrap term is the key-count-weighted sum over children:
+
+    target = r + gamma * sum_z w_z * max_a' Q_target(s'_z, a')
+
+with w_z the child's share of the parent's keys. Terminal transitions
+(fanout 1 — the node becomes a leaf) use ``target = r``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .exploration import boltzmann_select
+from .network import MLP
+from .replay import ReplayBuffer, Transition
+
+
+class TreeDQN:
+    """DQN agent whose transitions fan out to multiple next states.
+
+    Args:
+        state_size: feature vector length.
+        n_actions: size of the discrete action space.
+        hidden: hidden-layer widths.
+        gamma: discount factor (paper: 0.9).
+        learning_rate: Adam step size (paper: 1e-4).
+        target_sync_every: train steps between target-network syncs (K).
+        replay_capacity: replay buffer size.
+        batch_size: SGD batch size.
+        double_dqn: select the bootstrap action with the policy network and
+            evaluate it with the target network (van Hasselt et al., the
+            paper's reference [35]) — reduces Q over-estimation.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        state_size: int,
+        n_actions: int,
+        hidden: tuple[int, ...] = (64, 64),
+        gamma: float = 0.9,
+        learning_rate: float = 1e-4,
+        target_sync_every: int = 50,
+        replay_capacity: int = 4096,
+        batch_size: int = 32,
+        double_dqn: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < gamma < 1.0:
+            raise ValueError("gamma must be in (0, 1)")
+        if n_actions < 1:
+            raise ValueError("need at least one action")
+        sizes = [state_size, *hidden, n_actions]
+        self.policy = MLP(sizes, seed=seed, learning_rate=learning_rate)
+        self.target = self.policy.clone()
+        self.gamma = float(gamma)
+        self.n_actions = int(n_actions)
+        self.state_size = int(state_size)
+        self.target_sync_every = int(target_sync_every)
+        self.batch_size = int(batch_size)
+        self.double_dqn = bool(double_dqn)
+        self.replay = ReplayBuffer(replay_capacity, seed=seed + 1)
+        self._rng = np.random.default_rng(seed + 2)
+        self._train_steps = 0
+
+    # -- acting --------------------------------------------------------------
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Policy-network Q-values for one state."""
+        return self.policy.forward(np.asarray(state, dtype=np.float64))
+
+    def select_action(self, state: np.ndarray, temperature: float = 1.0) -> int:
+        """Boltzmann action selection (greedy as temperature -> 0)."""
+        q = self.q_values(state)
+        if temperature <= 1e-9:
+            return int(np.argmax(q))
+        return boltzmann_select(q, temperature, self._rng)
+
+    def greedy_action(self, state: np.ndarray) -> int:
+        """argmax_a Q(state, a)."""
+        return int(np.argmax(self.q_values(state)))
+
+    # -- learning ------------------------------------------------------------
+
+    def remember(self, transition: Transition) -> None:
+        """Store one experience."""
+        self.replay.push(transition)
+
+    def train_step(self) -> float | None:
+        """One replay-sampled gradient step; returns the MAE loss.
+
+        Returns None when the buffer is still empty.
+        """
+        batch = self.replay.sample(self.batch_size)
+        if not batch:
+            return None
+        states = np.stack([t.state for t in batch])
+        targets_q = self.policy.forward(states).copy()
+        mask = np.zeros_like(targets_q)
+        for row, t in enumerate(batch):
+            target = t.reward
+            if not t.terminal:
+                children = np.stack(t.child_states)
+                child_q = self.target.forward(children)
+                if self.double_dqn:
+                    # Double DQN: argmax via the policy net, value via the
+                    # target net.
+                    picks = self.policy.forward(children).argmax(axis=1)
+                    best = child_q[np.arange(len(picks)), picks]
+                else:
+                    best = child_q.max(axis=1)
+                target += self.gamma * float(
+                    np.dot(np.asarray(t.child_weights), best)
+                )
+            targets_q[row, t.action_index] = target
+            mask[row, t.action_index] = 1.0
+        loss = self.policy.train_batch(states, targets_q, output_mask=mask, loss="mae")
+        self._train_steps += 1
+        if self._train_steps % self.target_sync_every == 0:
+            self.sync_target()
+        return loss
+
+    def sync_target(self) -> None:
+        """Copy policy parameters into the target network."""
+        self.target.set_parameters(self.policy.get_parameters())

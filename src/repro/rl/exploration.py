@@ -1,0 +1,71 @@
+"""Exploration strategies: Boltzmann action selection and decay schedules.
+
+TSMDP selects actions with the Boltzmann (softmax) strategy over Q-values
+(paper Section IV-B3, [46]); DARE trades exploration against exploitation
+with a probability ``er`` decayed from 1 toward the termination threshold
+epsilon (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def boltzmann_probabilities(q_values: np.ndarray, temperature: float) -> np.ndarray:
+    """Softmax distribution over Q-values at the given temperature.
+
+    Args:
+        q_values: action-value estimates.
+        temperature: > 0; high temperature flattens the distribution toward
+            uniform, low temperature approaches greedy.
+
+    Returns:
+        Probability vector over actions.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    q = np.asarray(q_values, dtype=np.float64)
+    z = (q - q.max()) / temperature
+    exp = np.exp(z)
+    return exp / exp.sum()
+
+
+def boltzmann_select(
+    q_values: np.ndarray, temperature: float, rng: np.random.Generator
+) -> int:
+    """Sample an action index from the Boltzmann distribution."""
+    probs = boltzmann_probabilities(q_values, temperature)
+    return int(rng.choice(probs.size, p=probs))
+
+
+class DecaySchedule:
+    """Multiplicative decay of an exploration knob from 1.0 toward a floor.
+
+    Used both for TSMDP's Boltzmann temperature and DARE's ``er``
+    (Algorithm 2 lines 2 and 15).
+
+    Args:
+        floor: value at which :attr:`finished` becomes True (paper's
+            exploration termination probability epsilon, default 1e-3).
+        decay: multiplicative factor applied per :meth:`step`.
+        start: initial value.
+    """
+
+    def __init__(self, floor: float = 1e-3, decay: float = 0.95, start: float = 1.0) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        if floor <= 0 or start <= 0:
+            raise ValueError("floor and start must be positive")
+        self.floor = float(floor)
+        self.decay = float(decay)
+        self.value = float(start)
+
+    def step(self) -> float:
+        """Decay once and return the new value (never below the floor)."""
+        self.value = max(self.floor, self.value * self.decay)
+        return self.value
+
+    @property
+    def finished(self) -> bool:
+        """True once the knob has reached its floor (er <= epsilon)."""
+        return self.value <= self.floor

@@ -1,0 +1,143 @@
+"""Genetic algorithm actor for DARE (paper Algorithm 1).
+
+DARE's action is a real vector — the root fanout plus the (h-2) x L
+parameter matrix — so its actor searches a continuous space. The paper uses
+a GA whose genes are the vector entries and whose fitness is the critic's
+predicted reward under the Dynamic Reward Function. This module implements
+Algorithm 1 verbatim: random immigrants + slight mutations (the two mutation
+types), gene-swap + numeric-blend crossover (the two crossover types),
+fitness evaluation, sort, truncation selection, and early convergence exit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+FitnessFn = Callable[[np.ndarray], np.ndarray]
+"""Maps a (population, genes) matrix to a (population,) fitness vector."""
+
+
+class GeneticOptimizer:
+    """Real-coded GA with per-gene bounds.
+
+    Args:
+        lower: per-gene lower bounds.
+        upper: per-gene upper bounds.
+        population_size: survivors kept each generation (Algorithm 1's X).
+        log_scale: genes mutated multiplicatively in log-space — appropriate
+            for fanouts spanning [2^0, 2^20].
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        population_size: int = 24,
+        log_scale: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.lower = np.asarray(lower, dtype=np.float64)
+        self.upper = np.asarray(upper, dtype=np.float64)
+        if self.lower.shape != self.upper.shape or self.lower.ndim != 1:
+            raise ValueError("lower/upper must be 1-D arrays of equal length")
+        if (self.lower >= self.upper).any():
+            raise ValueError("each lower bound must be < its upper bound")
+        if (self.lower <= 0).any() and log_scale:
+            raise ValueError("log_scale requires positive lower bounds")
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        self.population_size = int(population_size)
+        self.log_scale = bool(log_scale)
+        self._rng = np.random.default_rng(seed)
+
+    # -- operators (Algorithm 1 lines 3-8) -----------------------------------
+
+    def _random_individuals(self, count: int) -> np.ndarray:
+        """Mutation type 1: entirely new genotypes (random immigrants)."""
+        if self.log_scale:
+            lo, hi = np.log(self.lower), np.log(self.upper)
+            return np.exp(self._rng.uniform(lo, hi, size=(count, lo.size)))
+        return self._rng.uniform(self.lower, self.upper, size=(count, self.lower.size))
+
+    def _slight_mutations(self, population: np.ndarray) -> np.ndarray:
+        """Mutation type 2: small perturbations of existing genes."""
+        if self.log_scale:
+            factors = np.exp(self._rng.normal(0.0, 0.25, size=population.shape))
+            mutated = population * factors
+        else:
+            span = self.upper - self.lower
+            mutated = population + self._rng.normal(0.0, 0.05, size=population.shape) * span
+        return np.clip(mutated, self.lower, self.upper)
+
+    def _crossovers(self, population: np.ndarray) -> np.ndarray:
+        """Both crossover types: per-gene swap and numeric blend."""
+        n = population.shape[0]
+        if n < 2:
+            return population.copy()
+        parents_a = population[self._rng.integers(0, n, size=n)]
+        parents_b = population[self._rng.integers(0, n, size=n)]
+        # Multi-point: each child gene comes from parent A or B.
+        pick = self._rng.random(population.shape) < 0.5
+        swapped = np.where(pick, parents_a, parents_b)
+        # Numeric: convex blend within the same gene.
+        alpha = self._rng.random((n, 1))
+        blended = alpha * parents_a + (1 - alpha) * parents_b
+        children = np.concatenate([swapped, blended], axis=0)
+        return np.clip(children, self.lower, self.upper)
+
+    # -- main loop (Algorithm 1) ----------------------------------------------
+
+    def optimize(
+        self,
+        fitness_fn: FitnessFn,
+        iterations: int = 20,
+        convergence_patience: int = 4,
+        seed_individual: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Run Algorithm 1 and return the best individual found.
+
+        Args:
+            fitness_fn: vectorised fitness (higher is better).
+            iterations: generation budget (Algorithm 1's K).
+            convergence_patience: generations without best-fitness
+                improvement before declaring convergence.
+            seed_individual: optional known-good starting point.
+
+        Returns:
+            The highest-fitness gene vector.
+        """
+        population = self._random_individuals(self.population_size)
+        if seed_individual is not None:
+            seed_vec = np.clip(
+                np.asarray(seed_individual, dtype=np.float64), self.lower, self.upper
+            )
+            population[0] = seed_vec
+        best_fit = -np.inf
+        stagnant = 0
+        for _ in range(iterations):
+            pool = np.concatenate(
+                [
+                    population,
+                    self._random_individuals(max(2, self.population_size // 2)),
+                    self._slight_mutations(population),
+                    self._crossovers(population),
+                ],
+                axis=0,
+            )
+            fitness = np.asarray(fitness_fn(pool), dtype=np.float64)
+            if fitness.shape != (pool.shape[0],):
+                raise ValueError("fitness_fn must return one value per individual")
+            order = np.argsort(-fitness)
+            population = pool[order[: self.population_size]]
+            top = float(fitness[order[0]])
+            if top > best_fit + 1e-12:
+                best_fit = top
+                stagnant = 0
+            else:
+                stagnant += 1
+                if stagnant >= convergence_patience:
+                    break
+        return population[0].copy()

@@ -1,0 +1,181 @@
+"""Minimal feed-forward neural network with manual backpropagation.
+
+The paper trains small DQNs (state = PDF buckets + |D| + lsn). This module
+implements exactly what those agents need — an MLP with ReLU hidden layers,
+Adam optimisation, and the paper's MAE loss (Eq. 3 / Eq. 5) — on plain numpy,
+so the repository has no deep-learning dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class AdamState:
+    """Per-parameter Adam moments."""
+
+    m: np.ndarray
+    v: np.ndarray
+    t: int = 0
+
+
+class MLP:
+    """Fully connected network: Linear -> ReLU ... -> Linear.
+
+    Parameters are He-initialised. Training uses Adam with either MAE
+    (the paper's loss) or MSE.
+
+    Args:
+        layer_sizes: e.g. ``[34, 64, 64, 11]`` — input, hidden..., output.
+        seed: RNG seed for initialisation.
+        learning_rate: Adam step size (paper: 1e-4).
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        seed: int = 0,
+        learning_rate: float = 1e-4,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if any(s <= 0 for s in layer_sizes):
+            raise ValueError("layer sizes must be positive")
+        rng = np.random.default_rng(seed)
+        self.layer_sizes = list(layer_sizes)
+        self.learning_rate = float(learning_rate)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._adam = [
+            AdamState(np.zeros_like(w), np.zeros_like(w)) for w in self.weights
+        ] + [AdamState(np.zeros_like(b), np.zeros_like(b)) for b in self.biases]
+
+    # -- inference ----------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Batch forward pass. ``x`` shape (batch, in) or (in,)."""
+        single = x.ndim == 1
+        h = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w + b
+            if i < len(self.weights) - 1:
+                h = np.maximum(h, 0.0)
+        return h[0] if single else h
+
+    __call__ = forward
+
+    # -- training -----------------------------------------------------------
+
+    def train_batch(
+        self,
+        x: np.ndarray,
+        target: np.ndarray,
+        output_mask: np.ndarray | None = None,
+        loss: str = "mae",
+    ) -> float:
+        """One Adam step on a batch.
+
+        Args:
+            x: inputs, shape (batch, in).
+            target: targets, shape (batch, out).
+            output_mask: optional boolean/float mask, shape (batch, out) —
+                gradients flow only through masked outputs (used by DQN to
+                update only the taken action's Q-value).
+            loss: "mae" (paper) or "mse".
+
+        Returns:
+            The masked mean loss before the update.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        target = np.atleast_2d(np.asarray(target, dtype=np.float64))
+        if x.shape[0] != target.shape[0]:
+            raise ValueError("batch size mismatch between inputs and targets")
+
+        # Forward with cached activations.
+        activations = [x]
+        pre_acts = []
+        h = x
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            pre_acts.append(z)
+            h = np.maximum(z, 0.0) if i < len(self.weights) - 1 else z
+            activations.append(h)
+        out = activations[-1]
+
+        diff = out - target
+        if output_mask is not None:
+            mask = np.asarray(output_mask, dtype=np.float64)
+            diff = diff * mask
+            denom = max(1.0, float(mask.sum()))
+        else:
+            denom = float(diff.size)
+
+        if loss == "mae":
+            loss_value = float(np.abs(diff).sum() / denom)
+            grad_out = np.sign(diff) / denom
+        elif loss == "mse":
+            loss_value = float((diff * diff).sum() / denom)
+            grad_out = 2.0 * diff / denom
+        else:
+            raise ValueError(f"unknown loss {loss!r}")
+
+        # Backward.
+        n_layers = len(self.weights)
+        grad_w = [np.zeros_like(w) for w in self.weights]
+        grad_b = [np.zeros_like(b) for b in self.biases]
+        delta = grad_out
+        for i in range(n_layers - 1, -1, -1):
+            grad_w[i] = activations[i].T @ delta
+            grad_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self.weights[i].T) * (pre_acts[i - 1] > 0.0)
+
+        self._adam_step(grad_w, grad_b)
+        return loss_value
+
+    def _adam_step(
+        self, grad_w: list[np.ndarray], grad_b: list[np.ndarray]
+    ) -> None:
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        params = self.weights + self.biases
+        grads = grad_w + grad_b
+        for p, g, state in zip(params, grads, self._adam):
+            state.t += 1
+            state.m = beta1 * state.m + (1 - beta1) * g
+            state.v = beta2 * state.v + (1 - beta2) * (g * g)
+            m_hat = state.m / (1 - beta1**state.t)
+            v_hat = state.v / (1 - beta2**state.t)
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    # -- parameter transfer ---------------------------------------------------
+
+    def get_parameters(self) -> list[np.ndarray]:
+        """Copies of all weights then biases (target-network sync)."""
+        return [w.copy() for w in self.weights] + [b.copy() for b in self.biases]
+
+    def set_parameters(self, params: list[np.ndarray]) -> None:
+        """Load parameters produced by :meth:`get_parameters`."""
+        n = len(self.weights)
+        if len(params) != n + len(self.biases):
+            raise ValueError("parameter list length mismatch")
+        for i in range(n):
+            if params[i].shape != self.weights[i].shape:
+                raise ValueError("weight shape mismatch")
+            self.weights[i] = params[i].copy()
+        for i, b in enumerate(params[n:]):
+            if b.shape != self.biases[i].shape:
+                raise ValueError("bias shape mismatch")
+            self.biases[i] = b.copy()
+
+    def clone(self) -> "MLP":
+        """Structural copy with identical parameters (fresh Adam state)."""
+        twin = MLP(self.layer_sizes, learning_rate=self.learning_rate)
+        twin.set_parameters(self.get_parameters())
+        return twin

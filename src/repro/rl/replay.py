@@ -1,0 +1,68 @@
+"""Experience replay buffer (paper Section IV-B3).
+
+TSMDP transitions are tree-structured: one state leads to a *set* of child
+states (the fanout's partitions), so the stored item is
+``(state, action_index, reward, child_states, child_weights)`` where the
+weights are each child's share of the parent's keys (Eq. 3's w_z).
+Terminal transitions store an empty child list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One stored TSMDP experience.
+
+    Attributes:
+        state: parent-node feature vector.
+        action_index: index into the discrete action space.
+        reward: immediate reward r.
+        child_states: feature vectors of all child nodes (empty if terminal).
+        child_weights: per-child key-count share, summing to ~1.
+    """
+
+    state: np.ndarray
+    action_index: int
+    reward: float
+    child_states: tuple[np.ndarray, ...]
+    child_weights: tuple[float, ...]
+
+    @property
+    def terminal(self) -> bool:
+        return len(self.child_states) == 0
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform sampling."""
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._items: list[Transition] = []
+        self._next = 0
+        self._rng = np.random.default_rng(seed)
+
+    def push(self, transition: Transition) -> None:
+        """Store a transition, evicting the oldest once full."""
+        if len(self._items) < self.capacity:
+            self._items.append(transition)
+        else:
+            self._items[self._next] = transition
+        self._next = (self._next + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> list[Transition]:
+        """Uniformly sample ``min(batch_size, len)`` transitions."""
+        if not self._items:
+            return []
+        k = min(batch_size, len(self._items))
+        idx = self._rng.choice(len(self._items), size=k, replace=False)
+        return [self._items[i] for i in idx]
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,77 @@
+"""Reward functions for the construction agents.
+
+TSMDP's reward (Section IV-B2) combines a query-time cost and a memory cost:
+``r = -w_t * R_t - w_m * R_m``. DARE generalises this into the Dynamic
+Reward Function (DRF, Section IV-C): the critic predicts a *vector* of
+application-metric costs and the scalar reward is ``sum_i w_i * cost_i``
+for caller-supplied weights, so changing the application's priorities does
+not require retraining the critic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Names of the cost components the critic predicts, in output order.
+COST_COMPONENTS = ("query_cost", "memory_cost")
+
+
+@dataclass(frozen=True)
+class RewardWeights:
+    """Weights over the cost components; must sum to 1 (paper's DRF).
+
+    The paper's defaults are w_t = w_m = 0.5 (Table IV).
+    """
+
+    query: float = 0.5
+    memory: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.query < 0 or self.memory < 0:
+            raise ValueError("weights must be non-negative")
+        total = self.query + self.memory
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"weights must sum to 1, got {total}")
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.query, self.memory], dtype=np.float64)
+
+    @staticmethod
+    def random(rng: np.random.Generator) -> "RewardWeights":
+        """Random weights for DRF training (Algorithm 2 line 7)."""
+        w = float(rng.uniform(0.05, 0.95))
+        return RewardWeights(query=w, memory=1.0 - w)
+
+
+def tsmdp_reward(
+    query_cost: float, memory_cost: float, weights: RewardWeights | None = None
+) -> float:
+    """TSMDP reward: ``-w_t * R_t - w_m * R_m``.
+
+    Args:
+        query_cost: normalised traversal + leaf-search cost R_t.
+        memory_cost: normalised memory usage R_m of the resulting nodes.
+        weights: coefficient pair; paper default 0.5/0.5.
+    """
+    w = weights or RewardWeights()
+    return -w.query * float(query_cost) - w.memory * float(memory_cost)
+
+
+def dynamic_reward(costs: np.ndarray, weights: RewardWeights) -> np.ndarray:
+    """DRF: weighted cost combination, negated into a reward.
+
+    Args:
+        costs: shape (..., len(COST_COMPONENTS)) cost predictions.
+        weights: current application weights.
+
+    Returns:
+        Reward value(s) — higher is better.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.shape[-1] != len(COST_COMPONENTS):
+        raise ValueError(
+            f"expected {len(COST_COMPONENTS)} cost components, got {costs.shape[-1]}"
+        )
+    return -(costs @ weights.as_array())

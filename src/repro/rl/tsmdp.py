@@ -1,0 +1,129 @@
+"""TSMDP — the Tree-Structured MDP construction agent (Section IV-B).
+
+TSMDP decides, per node, the fanout to assign: fanout 1 terminates the
+recursion (the node becomes an EBH leaf), larger fanouts split the node and
+recurse into every child. Because one decision spawns *several* next states,
+the DQN target is the key-count-weighted sum over children (Eq. 3),
+implemented by :class:`~repro.rl.dqn.TreeDQN`.
+
+A deterministic heuristic policy is also provided: it is the untrained
+fallback, the exploration baseline, and what tests use for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.config import ChameleonConfig
+from ..core.features import state_size
+from .dqn import TreeDQN
+from .exploration import DecaySchedule
+from .replay import Transition
+
+
+class TSMDPAgent:
+    """Fanout-decision agent over node states.
+
+    Args:
+        config: Chameleon configuration (action space, b_T, gamma, lr...).
+        seed: RNG seed override (defaults to ``config.seed``).
+    """
+
+    def __init__(self, config: ChameleonConfig, seed: int | None = None) -> None:
+        self.config = config
+        self.actions = tuple(config.action_fanouts)
+        self.dqn = TreeDQN(
+            state_size=state_size(config.b_t),
+            n_actions=len(self.actions),
+            gamma=config.gamma,
+            learning_rate=config.learning_rate,
+            target_sync_every=config.target_sync_every,
+            double_dqn=getattr(config, "double_dqn", False),
+            seed=config.seed if seed is None else seed,
+        )
+        self.temperature = DecaySchedule(
+            floor=config.exploration_floor, decay=0.97, start=1.0
+        )
+        self.trained = False
+
+    # -- acting ---------------------------------------------------------------
+
+    def choose_fanout(self, state: np.ndarray, explore: bool = False) -> tuple[int, int]:
+        """Return ``(fanout, action_index)`` for a node state.
+
+        Untrained agents fall back to the heuristic (the Q-network's initial
+        outputs are noise, and building a tree from noise produces
+        pathological structures); set :attr:`trained` after training.
+
+        Args:
+            state: feature vector from :func:`repro.core.features.node_state`.
+                The last-but-one entry is the scaled log key count, which the
+                heuristic fallback decodes.
+            explore: Boltzmann sampling at the current temperature instead
+                of the greedy argmax.
+        """
+        if not self.trained and not explore:
+            n_keys = self._decode_n_keys(state)
+            fanout = self.heuristic_fanout(n_keys)
+            return fanout, self.action_index_for(fanout)
+        temp = self.temperature.value if explore else 0.0
+        idx = self.dqn.select_action(state, temperature=temp)
+        return self.actions[idx], idx
+
+    def heuristic_fanout(self, n_keys: int) -> int:
+        """Deterministic greedy policy: split toward the leaf-target size."""
+        target = self.config.leaf_target_keys
+        if n_keys <= 2 * target:
+            return 1
+        want = math.ceil(n_keys / target)
+        fanout = 1
+        for candidate in self.actions:
+            if candidate <= want:
+                fanout = max(fanout, candidate)
+        return max(fanout, 2)
+
+    def action_index_for(self, fanout: int) -> int:
+        """Index of the closest action <= ``fanout`` (exact when in space)."""
+        best = 0
+        for i, a in enumerate(self.actions):
+            if a <= fanout:
+                best = i
+        return best
+
+    def _decode_n_keys(self, state: np.ndarray) -> int:
+        """Invert the log-scaled key-count feature (see features.node_state)."""
+        log_n = float(state[-2]) * 9.0
+        return max(0, int(round(10.0**log_n)) - 1)
+
+    # -- learning ----------------------------------------------------------------
+
+    def remember(
+        self,
+        state: np.ndarray,
+        action_index: int,
+        reward: float,
+        child_states: list[np.ndarray],
+        child_weights: list[float],
+    ) -> None:
+        """Store one tree-structured transition."""
+        self.dqn.remember(
+            Transition(
+                state=np.asarray(state, dtype=np.float64),
+                action_index=int(action_index),
+                reward=float(reward),
+                child_states=tuple(
+                    np.asarray(s, dtype=np.float64) for s in child_states
+                ),
+                child_weights=tuple(float(w) for w in child_weights),
+            )
+        )
+
+    def train_step(self) -> float | None:
+        """One replay gradient step; returns the loss (None if no data)."""
+        return self.dqn.train_step()
+
+    def end_episode(self) -> None:
+        """Decay the exploration temperature (call once per episode)."""
+        self.temperature.step()

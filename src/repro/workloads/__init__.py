@@ -1,0 +1,29 @@
+"""Workload generation: read-only, mixed, and batched operation streams."""
+
+from .operations import OpKind, Operation, WorkloadResult, run_workload
+from .readonly import readonly_workload
+from .mixed import insert_delete_workload, read_write_workload, split_load_and_pool
+from .batched import BatchedPhaseResult, batched_workload_phases
+from .ycsb import SPECS as YCSB_SPECS
+from .ycsb import WORKLOAD_NAMES as YCSB_WORKLOADS
+from .ycsb import generate_ycsb, zipfian_ranks
+from .serialize import load_workload, save_workload
+
+__all__ = [
+    "OpKind",
+    "Operation",
+    "WorkloadResult",
+    "run_workload",
+    "readonly_workload",
+    "read_write_workload",
+    "insert_delete_workload",
+    "split_load_and_pool",
+    "BatchedPhaseResult",
+    "batched_workload_phases",
+    "generate_ycsb",
+    "zipfian_ranks",
+    "save_workload",
+    "load_workload",
+    "YCSB_SPECS",
+    "YCSB_WORKLOADS",
+]

@@ -1,0 +1,122 @@
+"""Batched scalability workloads (paper Fig. 13).
+
+The paper's batched protocol: insert 1/4 of the keys, run point queries,
+repeat until all keys are inserted; then delete 1/4, run point queries,
+repeat until all are deleted. Each phase reports average read and write
+latency, which is how Fig. 13 plots stability under dense update arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.interfaces import BaseIndex
+from .operations import OpKind, Operation, WorkloadResult, run_workload
+
+
+@dataclass
+class BatchedPhaseResult:
+    """Measurements for one insert-or-delete batch phase.
+
+    Attributes:
+        phase: "insert" or "delete".
+        batch_number: 1-based batch index within its phase.
+        live_keys: keys live after the batch.
+        write_result: workload result for the batch's writes.
+        read_result: workload result for the follow-up point queries.
+    """
+
+    phase: str
+    batch_number: int
+    live_keys: int
+    write_result: WorkloadResult
+    read_result: WorkloadResult
+
+
+def batched_workload_phases(
+    index: BaseIndex,
+    keys: np.ndarray,
+    batches: int = 4,
+    queries_per_phase: int = 1000,
+    bootstrap_fraction: float = 0.0,
+    seed: int = 0,
+) -> list[BatchedPhaseResult]:
+    """Drive the Fig. 13 batched protocol against one index.
+
+    Args:
+        index: index under test. If ``bootstrap_fraction`` > 0 the index is
+            bulk loaded with that fraction first; otherwise the first batch
+            is bulk loaded (learned indexes cannot start empty).
+        keys: full sorted key set to insert then delete.
+        batches: number of insert batches (and delete batches).
+        queries_per_phase: point queries after each batch.
+        bootstrap_fraction: fraction of keys bulk loaded up front.
+        seed: RNG seed for query sampling.
+
+    Returns:
+        One :class:`BatchedPhaseResult` per batch, inserts first.
+    """
+    if batches < 1:
+        raise ValueError("batches must be >= 1")
+    arr = np.asarray(keys, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    shuffled = arr.copy()
+    rng.shuffle(shuffled)
+
+    n_boot = int(arr.size * bootstrap_fraction)
+    if n_boot < 2:
+        # Learned structures need a seed population; use the first batch.
+        n_boot = max(2, arr.size // (batches + 1))
+    boot_keys = np.sort(shuffled[:n_boot])
+    remaining = shuffled[n_boot:]
+    index.bulk_load(boot_keys)
+
+    live: list[float] = list(boot_keys)
+    results: list[BatchedPhaseResult] = []
+    batch_size = max(1, remaining.size // batches)
+
+    for b in range(batches):
+        chunk = remaining[b * batch_size : (b + 1) * batch_size]
+        if b == batches - 1:
+            chunk = remaining[b * batch_size :]
+        write_ops = [Operation(OpKind.INSERT, float(k)) for k in chunk]
+        write_result = run_workload(index, write_ops)
+        live.extend(float(k) for k in chunk)
+        read_ops = _sample_reads(live, queries_per_phase, rng)
+        read_result = run_workload(index, read_ops)
+        results.append(
+            BatchedPhaseResult("insert", b + 1, len(live), write_result, read_result)
+        )
+
+    delete_order = list(live)
+    rng.shuffle(delete_order)
+    # Keep a floor of keys so learned structures stay valid during queries.
+    floor = max(2, len(delete_order) // 20)
+    deletable = delete_order[: len(delete_order) - floor]
+    del_batch = max(1, len(deletable) // batches)
+    for b in range(batches):
+        chunk = deletable[b * del_batch : (b + 1) * del_batch]
+        if b == batches - 1:
+            chunk = deletable[b * del_batch :]
+        write_ops = [Operation(OpKind.DELETE, float(k)) for k in chunk]
+        write_result = run_workload(index, write_ops)
+        gone = set(chunk)
+        live = [k for k in live if k not in gone]
+        read_ops = _sample_reads(live, queries_per_phase, rng)
+        read_result = run_workload(index, read_ops)
+        results.append(
+            BatchedPhaseResult("delete", b + 1, len(live), write_result, read_result)
+        )
+    return results
+
+
+def _sample_reads(
+    live: list[float], n: int, rng: np.random.Generator
+) -> list[Operation]:
+    """Point queries over currently-live keys."""
+    if not live:
+        return []
+    picks = rng.integers(0, len(live), size=n)
+    return [Operation(OpKind.LOOKUP, live[i]) for i in picks]

@@ -1,0 +1,152 @@
+"""Mixed read/write workloads (paper Section VI-C).
+
+The paper interleaves operations deterministically: for a read-write ratio of
+0.2 (ratio = #writes / (#reads + #writes)) it performs 8 reads, then 1
+insertion and 1 deletion, and repeats. ``read_write_workload`` reproduces
+that cycle structure exactly; ``insert_delete_workload`` reproduces the
+update-ratio sweep (ratio = #insertions / (#insertions + #deletions)).
+
+Inserted keys are drawn from a caller-supplied pool so they follow the same
+distribution as the bulk-loaded data — this is what makes local skewness grow
+with the insertion ratio, the effect Fig. 11 relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .operations import OpKind, Operation
+
+
+def split_load_and_pool(
+    keys: np.ndarray, load_fraction: float, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a dataset into a bulk-load part and an insert pool.
+
+    Args:
+        keys: full dataset (sorted unique keys).
+        load_fraction: fraction bulk loaded; the rest feeds insertions.
+        seed: RNG seed for the random split.
+
+    Returns:
+        ``(loaded_keys, insert_pool)``, both sorted.
+    """
+    if not 0.0 < load_fraction <= 1.0:
+        raise ValueError("load_fraction must be in (0, 1]")
+    arr = np.asarray(keys, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    n_load = max(2, int(arr.size * load_fraction))
+    chosen = rng.choice(arr.size, size=n_load, replace=False)
+    mask = np.zeros(arr.size, dtype=bool)
+    mask[chosen] = True
+    return np.sort(arr[mask]), np.sort(arr[~mask])
+
+
+def read_write_workload(
+    loaded_keys: np.ndarray,
+    insert_pool: np.ndarray,
+    n_ops: int,
+    write_ratio: float,
+    seed: int = 0,
+) -> list[Operation]:
+    """Paper-style read/write cycle stream.
+
+    Writes are paired: each write step is one insertion followed by one
+    deletion, keeping the live-key count stable (the paper's Fig. 11 setup).
+
+    Args:
+        loaded_keys: keys present when the workload starts.
+        insert_pool: fresh keys available for insertion (same distribution).
+        n_ops: total operations to generate (approximate to cycle boundary).
+        write_ratio: #writes / (#reads + #writes) in [0, 1].
+        seed: RNG seed.
+
+    Returns:
+        Operation stream; every DELETE targets a key guaranteed live at that
+        point, every INSERT a key guaranteed absent.
+    """
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError("write_ratio must be in [0, 1]")
+    if n_ops < 0:
+        raise ValueError("n_ops must be non-negative")
+    live = list(np.asarray(loaded_keys, dtype=np.float64))
+    pool = list(np.asarray(insert_pool, dtype=np.float64))
+    rng = np.random.default_rng(seed)
+    rng.shuffle(pool)
+
+    # Cycle shape: out of 10 slots, round(10 * write_ratio) are writes
+    # (insert+delete pairs), the rest reads — mirroring the 8R/1I/1D example.
+    writes_per_cycle = round(10 * write_ratio)
+    reads_per_cycle = 10 - writes_per_cycle
+    ops: list[Operation] = []
+    inserted: list[float] = []
+    while len(ops) < n_ops:
+        before_cycle = len(ops)
+        for _ in range(reads_per_cycle):
+            target = live[int(rng.integers(0, len(live)))]
+            ops.append(Operation(OpKind.LOOKUP, float(target)))
+        for _ in range(writes_per_cycle // 2):
+            if not pool:
+                break
+            new_key = pool.pop()
+            ops.append(Operation(OpKind.INSERT, float(new_key)))
+            inserted.append(new_key)
+            # Delete a previously inserted key when available (keeps the
+            # loaded set intact for reads), else a loaded key.
+            if inserted and rng.random() < 0.5:
+                victim = inserted.pop(int(rng.integers(0, len(inserted))))
+            else:
+                victim_idx = int(rng.integers(0, len(live)))
+                victim = live.pop(victim_idx)
+            ops.append(Operation(OpKind.DELETE, float(victim)))
+        if writes_per_cycle % 2 == 1 and pool:
+            new_key = pool.pop()
+            ops.append(Operation(OpKind.INSERT, float(new_key)))
+            live.append(new_key)
+        if len(ops) == before_cycle:
+            # Pool exhausted (or degenerate ratio): nothing more to emit.
+            break
+    return ops[:n_ops] if ops else ops
+
+
+def insert_delete_workload(
+    loaded_keys: np.ndarray,
+    insert_pool: np.ndarray,
+    n_ops: int,
+    insert_ratio: float,
+    seed: int = 0,
+) -> list[Operation]:
+    """Update-ratio stream (Fig. 12): only inserts and deletes.
+
+    Args:
+        loaded_keys: keys present when the workload starts.
+        insert_pool: fresh keys available for insertion.
+        n_ops: total operations.
+        insert_ratio: #insertions / (#insertions + #deletions) in [0, 1].
+        seed: RNG seed.
+
+    Returns:
+        Operation stream with the requested mix; deletions always target a
+        currently-live key.
+    """
+    if not 0.0 <= insert_ratio <= 1.0:
+        raise ValueError("insert_ratio must be in [0, 1]")
+    if n_ops < 0:
+        raise ValueError("n_ops must be non-negative")
+    live = list(np.asarray(loaded_keys, dtype=np.float64))
+    pool = list(np.asarray(insert_pool, dtype=np.float64))
+    rng = np.random.default_rng(seed)
+    rng.shuffle(pool)
+    ops: list[Operation] = []
+    while len(ops) < n_ops:
+        do_insert = rng.random() < insert_ratio
+        if do_insert and pool:
+            key = pool.pop()
+            live.append(key)
+            ops.append(Operation(OpKind.INSERT, float(key)))
+        elif live:
+            victim = live.pop(int(rng.integers(0, len(live))))
+            ops.append(Operation(OpKind.DELETE, float(victim)))
+        else:
+            break
+    return ops

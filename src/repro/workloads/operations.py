@@ -1,0 +1,157 @@
+"""Operation stream primitives and the workload driver.
+
+A workload is a sequence of :class:`Operation` values. The driver
+:func:`run_workload` executes one against any :class:`~repro.baselines.interfaces.BaseIndex`,
+recording wall-clock latency per operation kind plus the structural-counter
+delta, which is what the benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..baselines.interfaces import BaseIndex
+
+
+class OpKind(enum.Enum):
+    """Kinds of index operations a workload can issue."""
+
+    LOOKUP = "lookup"
+    INSERT = "insert"
+    DELETE = "delete"
+    RANGE = "range"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One workload step.
+
+    Attributes:
+        kind: operation type.
+        key: primary key operand.
+        high: upper bound for RANGE operations (ignored otherwise).
+    """
+
+    kind: OpKind
+    key: float
+    high: float | None = None
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of driving a workload against one index.
+
+    Attributes:
+        op_counts: number of executed operations per kind.
+        total_seconds: wall-clock time spent inside index calls.
+        latencies_ns: per-kind per-op latency samples (nanoseconds),
+            populated only when the driver ran with ``record_latencies``.
+        counter_delta: structural-counter delta across the whole workload.
+        lookup_hits: LOOKUP operations that found their key.
+        failed_deletes: DELETE operations whose key was absent.
+    """
+
+    op_counts: dict[OpKind, int] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    latencies_ns: dict[OpKind, list[int]] = field(default_factory=dict)
+    counter_delta: dict[str, int] = field(default_factory=dict)
+    lookup_hits: int = 0
+    failed_deletes: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.op_counts.values())
+
+    def throughput_ops_per_sec(self) -> float:
+        """Operations per second over the whole stream."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_ops / self.total_seconds
+
+    def mean_latency_ns(self, kind: OpKind) -> float:
+        """Mean recorded latency for one op kind (0.0 if none recorded)."""
+        samples = self.latencies_ns.get(kind)
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)
+
+    def structural_cost_per_op(self) -> float:
+        """Mean abstract search+update work per operation (cost model).
+
+        Structural events (splits/merges) weigh 8 units each — a node
+        allocation plus pointer rewiring — consistent with
+        :meth:`~repro.baselines.counters.Counters.total_update_work`.
+        """
+        if self.total_ops == 0:
+            return 0.0
+        keys = (
+            "node_hops",
+            "comparisons",
+            "model_evals",
+            "slot_probes",
+            "shifts",
+            "buffer_ops",
+            "retrain_keys",
+        )
+        work = sum(self.counter_delta.get(k, 0) for k in keys)
+        work += 8 * (
+            self.counter_delta.get("splits", 0)
+            + self.counter_delta.get("merges", 0)
+        )
+        return work / self.total_ops
+
+
+def run_workload(
+    index: BaseIndex,
+    operations: Iterable[Operation],
+    record_latencies: bool = False,
+) -> WorkloadResult:
+    """Execute an operation stream against an index.
+
+    Args:
+        index: any index implementing the shared interface.
+        operations: the stream to execute.
+        record_latencies: when True, capture a per-op nanosecond latency
+            sample for each kind (slower; used by latency-trace figures).
+
+    Returns:
+        A populated :class:`WorkloadResult`.
+    """
+    result = WorkloadResult()
+    before = index.counters.snapshot()
+    perf = time.perf_counter_ns
+    start_all = perf()
+    for op in operations:
+        result.op_counts[op.kind] = result.op_counts.get(op.kind, 0) + 1
+        if record_latencies:
+            t0 = perf()
+        if op.kind is OpKind.LOOKUP:
+            if index.lookup(op.key) is not None:
+                result.lookup_hits += 1
+        elif op.kind is OpKind.INSERT:
+            index.insert(op.key)
+        elif op.kind is OpKind.DELETE:
+            if not index.delete(op.key):
+                result.failed_deletes += 1
+        else:
+            high = op.key if op.high is None else op.high
+            index.range_query(op.key, high)
+        if record_latencies:
+            result.latencies_ns.setdefault(op.kind, []).append(perf() - t0)
+    result.total_seconds = (perf() - start_all) / 1e9
+    result.counter_delta = index.counters.diff(before)
+    return result
+
+
+def interleave(streams: Sequence[Sequence[Operation]]) -> list[Operation]:
+    """Round-robin merge of several operation streams (used in tests)."""
+    merged: list[Operation] = []
+    longest = max((len(s) for s in streams), default=0)
+    for i in range(longest):
+        for stream in streams:
+            if i < len(stream):
+                merged.append(stream[i])
+    return merged

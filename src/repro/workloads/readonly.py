@@ -1,0 +1,78 @@
+"""Read-only point-query workloads (paper Section VI-B).
+
+The paper bulk loads 50/100/150/200M keys and issues point queries drawn
+uniformly from the loaded keys. This module reproduces that at configurable
+scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .operations import OpKind, Operation
+
+
+def readonly_workload(
+    loaded_keys: np.ndarray,
+    n_queries: int,
+    seed: int = 0,
+    miss_fraction: float = 0.0,
+) -> list[Operation]:
+    """Point-query stream over a bulk-loaded dataset.
+
+    Args:
+        loaded_keys: the keys the index was bulk loaded with.
+        n_queries: number of LOOKUP operations to generate.
+        seed: RNG seed.
+        miss_fraction: fraction of queries targeting absent keys (the paper
+            queries existing keys only; misses are exercised by our tests).
+
+    Returns:
+        List of LOOKUP operations.
+    """
+    if n_queries < 0:
+        raise ValueError("n_queries must be non-negative")
+    keys = np.asarray(loaded_keys, dtype=np.float64)
+    if keys.size == 0:
+        raise ValueError("loaded_keys must be non-empty")
+    if not 0.0 <= miss_fraction <= 1.0:
+        raise ValueError("miss_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n_miss = int(n_queries * miss_fraction)
+    n_hit = n_queries - n_miss
+    hit_keys = rng.choice(keys, size=n_hit, replace=True)
+    ops = [Operation(OpKind.LOOKUP, float(k)) for k in hit_keys]
+    if n_miss:
+        # Absent keys: midpoints between consecutive loaded keys, offset by
+        # a fraction so they cannot collide with a loaded key.
+        lo, hi = float(keys.min()), float(keys.max())
+        miss_keys = rng.uniform(lo, hi, size=n_miss) + 0.123456
+        present = set(keys.tolist())
+        ops.extend(
+            Operation(OpKind.LOOKUP, float(k))
+            for k in miss_keys
+            if k not in present
+        )
+    rng.shuffle(ops)
+    return ops
+
+
+def range_workload(
+    loaded_keys: np.ndarray,
+    n_queries: int,
+    span_keys: int = 100,
+    seed: int = 0,
+) -> list[Operation]:
+    """Range-query stream: each range covers ~``span_keys`` loaded keys."""
+    if n_queries < 0:
+        raise ValueError("n_queries must be non-negative")
+    keys = np.sort(np.asarray(loaded_keys, dtype=np.float64))
+    if keys.size < 2:
+        raise ValueError("need at least two loaded keys")
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, max(1, keys.size - span_keys), size=n_queries)
+    ops = []
+    for s in starts:
+        e = min(keys.size - 1, s + span_keys)
+        ops.append(Operation(OpKind.RANGE, float(keys[s]), high=float(keys[e])))
+    return ops

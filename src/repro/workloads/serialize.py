@@ -1,0 +1,74 @@
+"""Workload-stream serialization.
+
+Operation streams are the reproducibility unit of every experiment: saving
+one pins the exact op sequence independent of generator code changes, and
+lets different index implementations (or different machines) replay the
+same bytes. Format: one op per line, tab-separated —
+
+    lookup\t<key>
+    insert\t<key>
+    delete\t<key>
+    range\t<low>\t<high>
+
+Text keeps the files diffable and language-agnostic; float keys round-trip
+exactly via ``repr``/``float``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from .operations import OpKind, Operation
+
+_KIND_BY_NAME = {k.value: k for k in OpKind}
+
+
+def save_workload(operations: Iterable[Operation], path: str | Path) -> int:
+    """Write an operation stream; returns the number of ops written."""
+    count = 0
+    with open(path, "w", encoding="ascii") as f:
+        for op in operations:
+            if op.kind is OpKind.RANGE:
+                high = op.key if op.high is None else op.high
+                f.write(f"{op.kind.value}\t{op.key!r}\t{high!r}\n")
+            else:
+                f.write(f"{op.kind.value}\t{op.key!r}\n")
+            count += 1
+    return count
+
+
+def load_workload(path: str | Path) -> list[Operation]:
+    """Read an operation stream written by :func:`save_workload`.
+
+    Raises:
+        ValueError: on malformed lines (with the line number).
+    """
+    ops: list[Operation] = []
+    with open(path, "r", encoding="ascii") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            kind = _KIND_BY_NAME.get(parts[0])
+            if kind is None:
+                raise ValueError(f"{path}:{lineno}: unknown op {parts[0]!r}")
+            try:
+                if kind is OpKind.RANGE:
+                    if len(parts) != 3:
+                        raise IndexError
+                    ops.append(
+                        Operation(kind, float(parts[1]), high=float(parts[2]))
+                    )
+                else:
+                    if len(parts) != 2:
+                        raise IndexError
+                    ops.append(Operation(kind, float(parts[1])))
+            except (IndexError, ValueError) as exc:
+                if isinstance(exc, ValueError) and "unknown op" in str(exc):
+                    raise
+                raise ValueError(
+                    f"{path}:{lineno}: malformed {parts[0]} line: {line!r}"
+                ) from None
+    return ops

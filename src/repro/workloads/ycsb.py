@@ -1,0 +1,176 @@
+"""YCSB-style workload presets.
+
+The paper's mixed workloads are ratio sweeps; the storage community's
+lingua franca for update benchmarks is YCSB. This module provides the six
+core YCSB workloads over the shared operation-stream abstraction, with the
+standard Zipfian request distribution (skewed key popularity) — which also
+exercises Chameleon's query-distribution-aware construction
+(``ChameleonBuilder(query_sample=...)``).
+
+Workload presets (read / update / insert / scan / read-modify-write):
+
+* **A** — update heavy: 50% read, 50% update (update = delete+insert here,
+  since the index API has no in-place value overwrite).
+* **B** — read mostly: 95% read, 5% update.
+* **C** — read only: 100% read.
+* **D** — read latest: 95% read (latest-skewed), 5% insert.
+* **E** — short scans: 95% scan, 5% insert.
+* **F** — read-modify-write: 50% read, 50% RMW (read + delete + insert).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .operations import OpKind, Operation
+
+#: Default Zipfian skew parameter (YCSB's theta).
+DEFAULT_ZIPF_THETA = 0.99
+#: Keys touched by one scan.
+DEFAULT_SCAN_SPAN = 50
+
+WORKLOAD_NAMES = ("A", "B", "C", "D", "E", "F")
+
+
+@dataclass(frozen=True)
+class YcsbSpec:
+    """Operation mix of one YCSB workload (fractions sum to 1)."""
+
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    latest: bool = False  # bias reads toward recently inserted keys
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.scan + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation mix must sum to 1, got {total}")
+
+
+SPECS: dict[str, YcsbSpec] = {
+    "A": YcsbSpec(read=0.5, update=0.5),
+    "B": YcsbSpec(read=0.95, update=0.05),
+    "C": YcsbSpec(read=1.0),
+    "D": YcsbSpec(read=0.95, insert=0.05, latest=True),
+    "E": YcsbSpec(scan=0.95, insert=0.05),
+    "F": YcsbSpec(read=0.5, rmw=0.5),
+}
+
+
+def zipfian_ranks(
+    n_items: int, size: int, theta: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ranks in [0, n_items) with Zipfian popularity.
+
+    Uses the standard inverse-CDF over the generalized harmonic weights;
+    rank 0 is the most popular item (YCSB's scrambling is left to the
+    caller, which maps ranks onto keys however it likes).
+    """
+    if n_items < 1:
+        raise ValueError("n_items must be >= 1")
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    weights = 1.0 / np.power(np.arange(1, n_items + 1), theta)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return np.searchsorted(cdf, rng.random(size), side="left")
+
+
+def generate_ycsb(
+    workload: str,
+    loaded_keys: np.ndarray,
+    insert_pool: np.ndarray,
+    n_ops: int,
+    theta: float = DEFAULT_ZIPF_THETA,
+    scan_span_keys: int = DEFAULT_SCAN_SPAN,
+    seed: int = 0,
+) -> list[Operation]:
+    """Generate one of the YCSB core workloads.
+
+    Args:
+        workload: "A".."F".
+        loaded_keys: keys present when the workload starts (sorted).
+        insert_pool: fresh keys for insert/update/RMW operations.
+        n_ops: number of operations (updates/RMWs count their sub-ops).
+        theta: Zipfian skew of the request distribution.
+        scan_span_keys: approximate keys per scan (workload E).
+        seed: RNG seed.
+
+    Returns:
+        An executable operation stream: deletes always target live keys,
+        inserts always use fresh keys.
+    """
+    name = workload.upper()
+    if name not in SPECS:
+        raise KeyError(f"unknown YCSB workload {workload!r}; use A..F")
+    if n_ops < 0:
+        raise ValueError("n_ops must be non-negative")
+    spec = SPECS[name]
+    rng = np.random.default_rng(seed)
+    live = [float(k) for k in loaded_keys]
+    pool = [float(k) for k in insert_pool]
+    rng.shuffle(pool)
+    # Scramble rank -> live index so popular keys spread over the keyspace.
+    scramble = rng.permutation(len(live))
+
+    ops: list[Operation] = []
+    kinds = ("read", "update", "insert", "scan", "rmw")
+    probs = np.array([spec.read, spec.update, spec.insert, spec.scan, spec.rmw])
+
+    # Precompute the Zipfian CDF once (ranks over the initial population;
+    # clamped to the current live size as it changes).
+    weights = 1.0 / np.power(np.arange(1, max(2, len(live)) + 1), theta)
+    zipf_cdf = np.cumsum(weights)
+    zipf_cdf /= zipf_cdf[-1]
+
+    def zipf_rank() -> int:
+        return int(np.searchsorted(zipf_cdf, rng.random(), side="left"))
+
+    def popular_key() -> float:
+        rank = min(zipf_rank(), len(live) - 1)
+        if spec.latest:
+            # Read-latest: Zipfian over recency (most recent = rank 0).
+            return live[len(live) - 1 - rank]
+        return live[scramble[rank % len(scramble)] % len(live)]
+
+    while len(ops) < n_ops:
+        kind = kinds[int(rng.choice(len(kinds), p=probs))]
+        if kind == "read":
+            ops.append(Operation(OpKind.LOOKUP, popular_key()))
+        elif kind == "scan":
+            start = popular_key()
+            span = abs(float(live[-1]) - float(live[0])) or 1.0
+            width = span * scan_span_keys / max(1, len(live))
+            ops.append(Operation(OpKind.RANGE, start, high=start + width))
+        elif kind == "insert":
+            if not pool:
+                break
+            key = pool.pop()
+            live.append(key)
+            ops.append(Operation(OpKind.INSERT, key))
+        elif kind == "update":
+            # Update = replace a live key's record: delete + fresh insert.
+            if not pool or not live:
+                break
+            victim_idx = int(rng.integers(0, len(live)))
+            victim = live.pop(victim_idx)
+            key = pool.pop()
+            live.append(key)
+            ops.append(Operation(OpKind.DELETE, victim))
+            ops.append(Operation(OpKind.INSERT, key))
+        else:  # rmw
+            if not pool or not live:
+                break
+            victim_idx = int(rng.integers(0, len(live)))
+            victim = live[victim_idx]
+            ops.append(Operation(OpKind.LOOKUP, victim))
+            live.pop(victim_idx)
+            key = pool.pop()
+            live.append(key)
+            ops.append(Operation(OpKind.DELETE, victim))
+            ops.append(Operation(OpKind.INSERT, key))
+    return ops[:n_ops]

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import clear_cache, face_like, osmc_like, uden
+
+
+@pytest.fixture(autouse=True)
+def _fresh_dataset_cache():
+    """Keep the dataset memo cache from leaking across tests."""
+    yield
+    clear_cache()
+
+
+@pytest.fixture
+def uniform_keys() -> np.ndarray:
+    return uden(5_000, seed=7)
+
+
+@pytest.fixture
+def skewed_keys() -> np.ndarray:
+    return face_like(5_000, seed=7)
+
+
+@pytest.fixture
+def moderate_keys() -> np.ndarray:
+    return osmc_like(5_000, seed=7)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,86 @@
+"""Tests for the benchmark harness, reporting, and CLI plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sorted_array import SortedArrayIndex
+from repro.bench import EXPERIMENTS, BenchScale, build_index, measure
+from repro.bench.reporting import (
+    format_ns,
+    format_value,
+    render_table,
+    series_sparkline,
+)
+from repro.workloads.operations import OpKind, Operation
+
+
+class TestBenchScale:
+    def test_quick_is_smaller(self):
+        assert BenchScale.quick().base_keys < BenchScale().base_keys
+
+    def test_scaled(self):
+        scale = BenchScale().scaled(0.5)
+        assert scale.base_keys == BenchScale().base_keys // 2
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BenchScale().base_keys = 1  # type: ignore[misc]
+
+
+class TestMeasure:
+    def test_measure_populates_both_currencies(self):
+        index, build_s = build_index(SortedArrayIndex, np.linspace(0, 1, 100))
+        ops = [Operation(OpKind.LOOKUP, 0.5)] * 50
+        m = measure(index, ops)
+        assert m.wall_ns_per_op > 0
+        assert m.structural_cost > 0
+        assert m.throughput > 0
+        assert build_s >= 0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbb"], [[1, 2.5], [300000, 0.001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_value(self):
+        assert format_value(0.0) == "0"
+        assert format_value(123456.0) == "123,456"
+        assert format_value(12.34) == "12.3"
+        assert format_value(0.1234) == "0.123"
+        assert format_value(123456) == "123,456"
+        assert format_value("x") == "x"
+
+    def test_format_ns(self):
+        assert format_ns(500) == "500ns"
+        assert format_ns(1500) == "1.50us"
+        assert format_ns(2.5e6) == "2.50ms"
+        assert format_ns(3e9) == "3.00s"
+
+    def test_sparkline(self):
+        line = series_sparkline([1.0, 5.0, 1.0, 9.0], width=4)
+        assert len(line) == 4
+        assert series_sparkline([]) == ""
+
+
+class TestExperimentRegistry:
+    def test_every_paper_figure_has_an_experiment(self):
+        expected = {
+            "fig1b", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "table1", "table3", "table5",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_ablations_registered(self):
+        assert {
+            "ablation-tau", "ablation-alpha", "ablation-critic",
+            "ablation-locks",
+        } <= set(EXPERIMENTS)
+
+    def test_cli_parses(self):
+        from repro.bench.__main__ import main
+
+        assert main(["table1"]) == 0

@@ -1,0 +1,128 @@
+"""Structure-specific tests for B+Tree, FINEdex, and DIC."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.btree import BPlusTreeIndex
+from repro.baselines.dic import DICIndex
+from repro.baselines.finedex import FINEdexIndex
+from repro.datasets import face_like, uden
+
+
+class TestBPlusTree:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTreeIndex(order=2)
+
+    def test_bulk_load_height_logarithmic(self):
+        small = BPlusTreeIndex(order=16)
+        small.bulk_load(uden(500, seed=0))
+        big = BPlusTreeIndex(order=16)
+        big.bulk_load(uden(20_000, seed=0))
+        assert big.height_stats()[0] >= small.height_stats()[0]
+        assert big.height_stats()[0] <= 6
+
+    def test_split_cascade_on_sequential_inserts(self):
+        index = BPlusTreeIndex(order=8)
+        index.bulk_load([0.0, 1.0])
+        for k in range(2, 500):
+            index.insert(float(k))
+        assert index.counters.splits > 10
+        for k in range(0, 500, 13):
+            assert index.lookup(float(k)) == float(k)
+
+    def test_delete_triggers_merges(self):
+        keys = [float(k) for k in range(1000)]
+        index = BPlusTreeIndex(order=8)
+        index.bulk_load(keys)
+        for k in keys[:900]:
+            assert index.delete(k)
+        assert index.counters.merges > 0
+        for k in keys[900:]:
+            assert index.lookup(k) == k
+
+    def test_linked_leaf_range_scan(self):
+        keys = [float(k) for k in range(0, 1000, 3)]
+        index = BPlusTreeIndex(order=16)
+        index.bulk_load(keys)
+        result = index.range_query(100.0, 200.0)
+        assert [k for k, _ in result] == [k for k in keys if 100 <= k <= 200]
+
+    def test_height_balanced_on_skew(self):
+        """Unlike learned competitors, the B+Tree stays balanced."""
+        index = BPlusTreeIndex()
+        index.bulk_load(face_like(10_000, seed=1))
+        max_h, avg_h = index.height_stats()
+        assert max_h == avg_h  # all leaves at the same depth
+
+
+class TestFINEdex:
+    def test_level_bins_absorb_inserts(self):
+        keys = uden(2000, seed=0)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(keys)
+        index = FINEdexIndex(bin_capacity=64)
+        index.bulk_load(np.sort(perm[:1500]))
+        before_retrains = index.counters.retrains
+        for k in perm[1500:1540]:
+            index.insert(float(k))
+        # Fewer than bin_capacity inserts per segment: no merge yet.
+        assert index.counters.retrains == before_retrains
+        assert index.counters.buffer_ops > 0
+
+    def test_full_bin_merges(self):
+        keys = uden(3000, seed=1)
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(keys)
+        index = FINEdexIndex(bin_capacity=16)
+        index.bulk_load(np.sort(perm[:1000]))
+        for k in perm[1000:]:
+            index.insert(float(k))
+        assert index.counters.retrains > 0
+        for k in keys[::31]:
+            assert index.lookup(float(k)) == k
+
+    def test_segment_count_tracks_skew(self):
+        flat = FINEdexIndex()
+        flat.bulk_load(uden(3000, seed=2))
+        skew = FINEdexIndex()
+        skew.bulk_load(face_like(3000, seed=2))
+        assert skew.node_count() > flat.node_count()
+
+    def test_non_blocking_capability(self):
+        assert FINEdexIndex.capabilities.retraining == "non-Blocking"
+
+
+class TestDIC:
+    def test_structure_mix_is_data_dependent(self):
+        index = DICIndex(partitions=32, episodes=12)
+        index.bulk_load(face_like(4000, seed=0))
+        mix = index.structure_mix()
+        assert sum(mix.values()) == 32
+        assert set(mix) <= {"array", "hash", "btree"}
+
+    def test_lookup_correct_across_structures(self):
+        keys = face_like(4000, seed=1)
+        index = DICIndex(partitions=32, episodes=8)
+        index.bulk_load(keys)
+        for k in keys[::13]:
+            assert index.lookup(float(k)) == k
+        assert index.lookup(float(keys[0]) + 0.5) is None
+
+    def test_read_only(self):
+        index = DICIndex(partitions=8, episodes=2)
+        index.bulk_load(uden(200, seed=0))
+        with pytest.raises(NotImplementedError):
+            index.insert(42.0)
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            DICIndex(partitions=0)
+
+    def test_range_query(self):
+        keys = uden(1000, seed=2)
+        index = DICIndex(partitions=16, episodes=4)
+        index.bulk_load(keys)
+        lo, hi = float(keys[100]), float(keys[200])
+        expected = [(float(k), float(k)) for k in keys if lo <= k <= hi]
+        assert index.range_query(lo, hi) == expected

@@ -1,0 +1,215 @@
+"""Tests for Chameleon construction: partitioning, builders, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.counters import Counters
+from repro.core.builder import (
+    ChameleonBuilder,
+    analytic_fitness,
+    build_greedy,
+    estimate_genes_cost,
+    make_leaf,
+    partition_by_rank,
+    refine_with_tsmdp,
+    sampled_leaf_probe_cost,
+)
+from repro.core.config import ChameleonConfig
+from repro.core.node import InnerNode, LeafNode, subtree_stats, walk_leaves
+from repro.datasets import face_like, uden
+from repro.rl.dare import gene_length
+from repro.rl.tsmdp import TSMDPAgent
+
+
+@pytest.fixture
+def config():
+    return ChameleonConfig()
+
+
+@pytest.fixture
+def counters():
+    return Counters()
+
+
+class TestPartitionByRank:
+    def test_partition_covers_all_keys(self):
+        keys = np.sort(np.random.default_rng(0).uniform(0, 100, 200))
+        parts = partition_by_rank(keys, list(keys), 0.0, 100.0, 7)
+        assert sum(len(p[0]) for p in parts) == 200
+
+    def test_partition_matches_inner_routing(self, counters):
+        """A key must land in the child that Eq. 1 routes it to."""
+        keys = np.sort(np.random.default_rng(1).uniform(0, 1000, 300))
+        node = InnerNode(0.0, 1000.0, 13, counters)
+        parts = partition_by_rank(keys, list(keys), 0.0, 1000.0, 13)
+        for rank, (child_keys, _) in enumerate(parts):
+            for k in child_keys:
+                assert node.route(float(k)) == rank
+
+    def test_empty_children_allowed(self):
+        keys = np.array([1.0, 2.0])
+        parts = partition_by_rank(keys, [1.0, 2.0], 0.0, 100.0, 10)
+        assert len(parts) == 10
+        assert sum(len(p[0]) for p in parts) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_by_rank(np.array([1.0]), [1.0], 0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            partition_by_rank(np.array([1.0]), [1.0], 5.0, 5.0, 2)
+
+
+class TestMakeLeaf:
+    def test_leaf_capacity_follows_theorem1(self, config, counters):
+        keys = np.linspace(0, 10, 100)
+        leaf = make_leaf(keys, list(keys), 0.0, 10.0, config, counters)
+        assert leaf.ebh.capacity == config.theorem1_capacity(100)
+
+    def test_ebh_interval_fitted_to_keys(self, config, counters):
+        """Dense keys in a huge routing interval get a fitted hash."""
+        keys = np.linspace(500.0, 501.0, 64)
+        leaf = make_leaf(keys, list(keys), 0.0, 1e9, config, counters)
+        assert leaf.route_low == 0.0 and leaf.route_high == 1e9
+        assert leaf.ebh.low_key == 500.0
+        assert leaf.ebh.high_key < 502.0
+        # Fitted hash spreads them: tiny conflict degree.
+        assert leaf.ebh.conflict_degree <= 3
+
+    def test_empty_leaf(self, config, counters):
+        leaf = make_leaf(np.empty(0), [], 0.0, 1.0, config, counters)
+        assert leaf.n_keys == 0
+        assert leaf.ebh.capacity == config.min_leaf_capacity
+
+
+class TestGreedyBuilder:
+    def test_height_bounded_by_h(self, config, counters):
+        keys = face_like(20_000, seed=0)
+        root = build_greedy(keys, list(keys), float(keys[0]),
+                            float(keys[-1]) + 1, config, counters)
+        stats = subtree_stats(root)
+        assert stats["max_height"] <= config.h
+        assert stats["n_keys"] == 20_000
+
+    def test_small_input_is_single_leaf(self, config, counters):
+        keys = np.linspace(0, 1, 10)
+        root = build_greedy(keys, list(keys), 0.0, 1.1, config, counters)
+        assert isinstance(root, LeafNode)
+
+    def test_greedy_overprovisions_vs_target(self, config, counters):
+        """ChaB's conservative target yields more leaves than n/target."""
+        keys = uden(10_000, seed=0)
+        root = build_greedy(keys, list(keys), float(keys[0]),
+                            float(keys[-1]) + 1, config, counters)
+        leaves = sum(1 for _ in walk_leaves(root))
+        assert leaves > 10_000 // config.leaf_target_keys
+
+
+class TestProbeEstimator:
+    def test_uniform_keys_near_one_probe(self, config):
+        keys = np.linspace(0, 1e6, 1000)
+        assert sampled_leaf_probe_cost(keys, 0.0, 1e6, config) < 1.5
+
+    def test_tiny_inputs(self, config):
+        assert sampled_leaf_probe_cost(np.array([1.0]), 0.0, 2.0, config) == 1.0
+        assert sampled_leaf_probe_cost(np.empty(0), 0.0, 2.0, config) == 1.0
+
+    def test_locally_mixed_keys_cost_more(self, config):
+        """A leaf mixing a dense cluster into a wide span must cost more
+        than a uniform leaf (pre-fit estimate drives the split decision)."""
+        uniform = np.linspace(0, 1e6, 1000)
+        mixed = np.sort(
+            np.concatenate([np.linspace(0, 1e6, 500),
+                            np.linspace(5e5, 5e5 + 50, 500)])
+        )
+        assert sampled_leaf_probe_cost(mixed, 0.0, 1e6, config) > \
+            sampled_leaf_probe_cost(uniform, 0.0, 1e6, config)
+
+
+class TestGenesCost:
+    def test_returns_finite_costs(self, config):
+        keys = face_like(3000, seed=1)
+        genes = np.full(gene_length(config), 16.0)
+        genes[0] = 64.0
+        q, m = estimate_genes_cost(keys, genes, config, 3000)
+        assert np.isfinite(q) and np.isfinite(m)
+        assert q > 0 and m > 0
+
+    def test_memory_grows_with_fanout(self, config):
+        keys = uden(3000, seed=1)
+        small = np.full(gene_length(config), 2.0)
+        small[0] = 8.0
+        large = np.full(gene_length(config), 2.0)
+        large[0] = 65536.0
+        _, m_small = estimate_genes_cost(keys, small, config, 3000)
+        _, m_large = estimate_genes_cost(keys, large, config, 3000)
+        assert m_large > m_small
+
+    def test_analytic_fitness_prefers_reasonable_fanouts(self, config):
+        keys = face_like(4000, seed=2)
+        fitness = analytic_fitness(keys, config, 4000)
+        sane = np.full(gene_length(config), 8.0)
+        sane[0] = 64.0
+        degenerate = np.ones(gene_length(config))  # single giant leaf
+        rewards = fitness(np.stack([sane, degenerate]))
+        assert rewards[0] > rewards[1]
+
+
+class TestRefineWithTsmdp:
+    def test_small_nodes_stay_leaves(self, config, counters):
+        agent = TSMDPAgent(config)
+        keys = np.linspace(0, 100, 50)
+        node = refine_with_tsmdp(keys, list(keys), 0.0, 101.0, agent, config, counters)
+        assert isinstance(node, LeafNode)
+
+    def test_concentrated_keys_not_split_into_chains(self, config, counters):
+        """Dense cluster in a wide interval: guards must prevent chains."""
+        agent = TSMDPAgent(config)
+        keys = np.linspace(500.0, 510.0, 2000)
+        node = refine_with_tsmdp(keys, list(keys), 0.0, 1e9, agent, config, counters)
+        stats = subtree_stats(node)
+        assert stats["max_height"] <= 3
+        assert stats["n_keys"] == 2000
+
+    def test_mixed_density_gets_split(self, config, counters):
+        agent = TSMDPAgent(config)
+        keys = np.sort(np.concatenate([
+            np.linspace(0, 1e6, 3000),
+            np.linspace(2e5, 2e5 + 100, 3000),
+        ]))
+        keys = np.unique(keys)
+        node = refine_with_tsmdp(keys, list(keys), float(keys[0]),
+                                 float(keys[-1]) + 1, agent, config, counters)
+        assert isinstance(node, InnerNode)
+
+
+class TestChameleonBuilder:
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            ChameleonBuilder(strategy="ChaX")
+
+    @pytest.mark.parametrize("strategy", ["ChaB", "ChaDA", "ChaDATS"])
+    def test_builds_cover_all_keys(self, strategy, counters):
+        keys = face_like(4000, seed=3)
+        builder = ChameleonBuilder(strategy=strategy, ga_iterations=2)
+        result = builder.build(keys, list(keys), counters)
+        assert result.strategy == strategy
+        stats = subtree_stats(result.root)
+        assert stats["n_keys"] == 4000
+        if strategy == "ChaB":
+            assert result.genes is None
+        else:
+            assert result.genes is not None
+
+    def test_empty_build_rejected(self, counters):
+        with pytest.raises(ValueError):
+            ChameleonBuilder().build(np.empty(0), [], counters)
+
+    def test_deterministic_given_config_seed(self, counters):
+        keys = uden(2000, seed=1)
+        a = ChameleonBuilder(strategy="ChaDA", ga_iterations=2).build(
+            keys, list(keys), Counters()
+        )
+        b = ChameleonBuilder(strategy="ChaDA", ga_iterations=2).build(
+            keys, list(keys), Counters()
+        )
+        np.testing.assert_array_equal(a.genes, b.genes)

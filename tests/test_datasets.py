@@ -1,0 +1,152 @@
+"""Tests for the SOSD-style dataset generators and registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DEFAULT_KEY_RANGE,
+    clear_cache,
+    dataset_names,
+    face_like,
+    load,
+    logn,
+    lsn_as_pi_fraction,
+    measured_lsn,
+    osmc_like,
+    skew_mixture,
+    uden,
+)
+from repro.datasets.synthetic import LSN_TARGETS
+
+
+ALL_GENERATORS = {
+    "UDEN": uden,
+    "OSMC": osmc_like,
+    "LOGN": logn,
+    "FACE": face_like,
+}
+
+
+class TestGeneratorBasics:
+    @pytest.mark.parametrize("name", sorted(ALL_GENERATORS))
+    def test_exact_count_sorted_unique(self, name):
+        keys = ALL_GENERATORS[name](3000, seed=1)
+        assert len(keys) == 3000
+        assert (np.diff(keys) > 0).all()
+
+    @pytest.mark.parametrize("name", sorted(ALL_GENERATORS))
+    def test_keys_within_universe(self, name):
+        keys = ALL_GENERATORS[name](2000, seed=2)
+        assert keys.min() >= 0.0
+        assert keys.max() <= DEFAULT_KEY_RANGE
+
+    @pytest.mark.parametrize("name", sorted(ALL_GENERATORS))
+    def test_deterministic_per_seed(self, name):
+        a = ALL_GENERATORS[name](1000, seed=5)
+        b = ALL_GENERATORS[name](1000, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", ["OSMC", "LOGN", "FACE"])
+    def test_different_seeds_differ(self, name):
+        # UDEN is excluded: with jitter=0 it is a deterministic lattice by
+        # design (lsn exactly pi/4), so the seed has no effect.
+        a = ALL_GENERATORS[name](1000, seed=1)
+        b = ALL_GENERATORS[name](1000, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_uden_jitter_uses_seed(self):
+        a = uden(1000, seed=1, jitter=0.2)
+        b = uden(1000, seed=2, jitter=0.2)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(ALL_GENERATORS))
+    def test_rejects_tiny_n(self, name):
+        with pytest.raises(ValueError):
+            ALL_GENERATORS[name](1)
+
+
+class TestLsnCalibration:
+    """The paper characterises each dataset by its lsn; the generators are
+    calibrated to those exact targets (DESIGN.md section 1)."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_GENERATORS))
+    def test_lsn_matches_paper_target(self, name):
+        keys = ALL_GENERATORS[name](20_000, seed=3)
+        assert measured_lsn(keys) == pytest.approx(LSN_TARGETS[name], abs=0.05)
+
+    @pytest.mark.parametrize("name", sorted(ALL_GENERATORS))
+    def test_lsn_is_scale_stable(self, name):
+        small = measured_lsn(ALL_GENERATORS[name](4_000, seed=3))
+        large = measured_lsn(ALL_GENERATORS[name](40_000, seed=3))
+        assert small == pytest.approx(large, abs=0.05)
+
+    def test_uden_is_exactly_uniform(self):
+        assert measured_lsn(uden(5000)) == pytest.approx(math.pi / 4)
+
+    def test_paper_skew_ordering(self):
+        """UDEN < OSMC < LOGN < FACE, the order the paper lists them in."""
+        values = [
+            measured_lsn(ALL_GENERATORS[n](10_000, seed=1))
+            for n in ("UDEN", "OSMC", "LOGN", "FACE")
+        ]
+        assert values == sorted(values)
+
+
+class TestSkewMixture:
+    def test_monotone_in_variance(self):
+        lsns = [
+            measured_lsn(skew_mixture(8000, v, seed=4))
+            for v in (0.5, 1e-2, 1e-4)
+        ]
+        assert lsns[0] < lsns[1] < lsns[2]
+
+    def test_rejects_nonpositive_variance(self):
+        with pytest.raises(ValueError):
+            skew_mixture(100, 0.0)
+
+    def test_sorted_unique(self):
+        keys = skew_mixture(3000, 1e-3, seed=9)
+        assert (np.diff(keys) > 0).all()
+        assert len(keys) == 3000
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ("UDEN", "OSMC", "LOGN", "FACE")
+
+    def test_load_matches_generator(self):
+        np.testing.assert_array_equal(load("UDEN", 500, seed=1), uden(500, seed=1))
+
+    def test_load_is_cached(self):
+        a = load("FACE", 500, seed=0)
+        b = load("FACE", 500, seed=0)
+        assert a is b
+
+    def test_cached_arrays_are_read_only(self):
+        keys = load("OSMC", 500, seed=0)
+        with pytest.raises(ValueError):
+            keys[0] = -1.0
+
+    def test_case_insensitive(self):
+        a = load("face", 300, seed=0)
+        b = load("FACE", 300, seed=0)
+        assert a is b
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("WIKI", 100)
+
+    def test_clear_cache(self):
+        a = load("UDEN", 300, seed=0)
+        clear_cache()
+        b = load("UDEN", 300, seed=0)
+        assert a is not b
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFormatting:
+    def test_lsn_as_pi_fraction(self):
+        assert lsn_as_pi_fraction(math.pi / 4) == "0.250*pi"
+        assert lsn_as_pi_fraction(2 * math.pi / 5) == "0.400*pi"

@@ -1,0 +1,146 @@
+"""Tests for TreeDQN — DQN with tree-structured targets (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.dqn import TreeDQN
+from repro.rl.replay import Transition
+
+
+class TestBasics:
+    def test_q_values_shape(self):
+        agent = TreeDQN(state_size=4, n_actions=3, seed=0)
+        q = agent.q_values(np.zeros(4))
+        assert q.shape == (3,)
+
+    def test_greedy_action_is_argmax(self):
+        agent = TreeDQN(state_size=2, n_actions=4, seed=0)
+        s = np.array([0.5, -0.5])
+        assert agent.greedy_action(s) == int(np.argmax(agent.q_values(s)))
+
+    def test_select_action_zero_temperature_greedy(self):
+        agent = TreeDQN(state_size=2, n_actions=4, seed=0)
+        s = np.array([0.5, -0.5])
+        assert agent.select_action(s, temperature=0.0) == agent.greedy_action(s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeDQN(state_size=2, n_actions=0)
+        with pytest.raises(ValueError):
+            TreeDQN(state_size=2, n_actions=2, gamma=1.5)
+
+    def test_train_step_without_data(self):
+        agent = TreeDQN(state_size=2, n_actions=2, seed=0)
+        assert agent.train_step() is None
+
+
+class TestLearning:
+    def test_learns_terminal_rewards(self):
+        """Two states with opposite terminal rewards per action: after
+        training, Q must rank actions correctly in both states."""
+        agent = TreeDQN(
+            state_size=2, n_actions=2, hidden=(16,), learning_rate=5e-3,
+            target_sync_every=10, batch_size=16, seed=0,
+        )
+        s_a = np.array([1.0, 0.0])
+        s_b = np.array([0.0, 1.0])
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            state = s_a if rng.random() < 0.5 else s_b
+            for action in (0, 1):
+                good = (action == 0) == (state is s_a)
+                agent.remember(
+                    Transition(state, action, 1.0 if good else -1.0, (), ())
+                )
+        for _ in range(400):
+            agent.train_step()
+        assert agent.greedy_action(s_a) == 0
+        assert agent.greedy_action(s_b) == 1
+
+    def test_tree_target_bootstraps_through_children(self):
+        """A parent whose action leads to two children with known terminal
+        values must converge to gamma * weighted child max."""
+        agent = TreeDQN(
+            state_size=3, n_actions=2, hidden=(24,), gamma=0.9,
+            learning_rate=5e-3, target_sync_every=20, batch_size=8, seed=1,
+        )
+        parent = np.array([1.0, 0.0, 0.0])
+        child_hi = np.array([0.0, 1.0, 0.0])
+        child_lo = np.array([0.0, 0.0, 1.0])
+        # Terminal experiences pin the children's values.
+        for _ in range(60):
+            agent.remember(Transition(child_hi, 0, 1.0, (), ()))
+            agent.remember(Transition(child_hi, 1, 1.0, (), ()))
+            agent.remember(Transition(child_lo, 0, 0.0, (), ()))
+            agent.remember(Transition(child_lo, 1, 0.0, (), ()))
+            agent.remember(
+                Transition(
+                    parent, 1, 0.0,
+                    (child_hi, child_lo), (0.5, 0.5),
+                )
+            )
+        for _ in range(800):
+            agent.train_step()
+        # Eq. 3: Q(parent, 1) -> 0 + 0.9 * (0.5*1.0 + 0.5*0.0) = 0.45.
+        q = agent.q_values(parent)[1]
+        assert q == pytest.approx(0.45, abs=0.25)
+
+    def test_target_network_sync(self):
+        agent = TreeDQN(state_size=2, n_actions=2, target_sync_every=5, seed=0)
+        for _ in range(20):
+            agent.remember(Transition(np.zeros(2), 0, 1.0, (), ()))
+        for _ in range(5):
+            agent.train_step()
+        s = np.array([0.3, 0.3])
+        np.testing.assert_allclose(
+            agent.policy.forward(s), agent.target.forward(s)
+        )
+
+
+class TestDoubleDQN:
+    def test_double_dqn_flag_changes_targets(self):
+        """With divergent policy/target nets, vanilla and double DQN must
+        compute different bootstrap values."""
+
+        def build(double):
+            agent = TreeDQN(
+                state_size=3, n_actions=3, hidden=(16,), double_dqn=double,
+                learning_rate=1e-2, target_sync_every=10_000, seed=5,
+            )
+            return agent
+
+        child = np.array([0.0, 1.0, 0.0])
+        parent = np.array([1.0, 0.0, 0.0])
+        for double in (False, True):
+            agent = build(double)
+            # Desynchronise policy from target so argmax choices differ.
+            rng = np.random.default_rng(0)
+            for _ in range(50):
+                x = rng.normal(size=(8, 3))
+                t = rng.normal(size=(8, 3))
+                agent.policy.train_batch(x, t)
+            agent.remember(Transition(parent, 0, 0.0, (child,), (1.0,)))
+            loss = agent.train_step()
+            assert loss is not None and np.isfinite(loss)
+
+    def test_double_dqn_still_learns_terminal_rewards(self):
+        agent = TreeDQN(
+            state_size=2, n_actions=2, hidden=(16,), double_dqn=True,
+            learning_rate=5e-3, target_sync_every=10, batch_size=16, seed=0,
+        )
+        s = np.array([1.0, 0.0])
+        for _ in range(100):
+            agent.remember(Transition(s, 0, 1.0, (), ()))
+            agent.remember(Transition(s, 1, -1.0, (), ()))
+        for _ in range(300):
+            agent.train_step()
+        assert agent.greedy_action(s) == 0
+
+    def test_config_flag_reaches_tsmdp(self):
+        from repro.core.config import ChameleonConfig
+        from repro.rl.tsmdp import TSMDPAgent
+
+        agent = TSMDPAgent(ChameleonConfig(double_dqn=True))
+        assert agent.dqn.double_dqn
+        agent = TSMDPAgent(ChameleonConfig())
+        assert not agent.dqn.double_dqn

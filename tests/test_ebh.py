@@ -1,0 +1,230 @@
+"""Unit and property tests for Error Bounded Hashing (Section III/IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.counters import Counters
+from repro.baselines.interfaces import DuplicateKeyError
+from repro.core.ebh import ErrorBoundedHash
+
+
+def make_ebh(capacity=64, low=0.0, high=1000.0, alpha=131):
+    return ErrorBoundedHash(low, high, capacity, alpha=alpha)
+
+
+class TestConstruction:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ErrorBoundedHash(0.0, 1.0, 0)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            ErrorBoundedHash(10.0, 5.0, 8)
+
+    def test_starts_empty(self):
+        ebh = make_ebh()
+        assert len(ebh) == 0
+        assert ebh.conflict_degree == 0
+        assert ebh.load_factor == 0.0
+
+
+class TestHomeSlot:
+    def test_paper_hash_example(self):
+        """P(k) = 131*(10/8*(k-3)) mod 10 over D={3,4,5,6,7,9,11}.
+
+        The paper prints the last prediction as 7, but the stated formula
+        yields 131*10 mod 10 = 0 for k=11 (a typo in the paper); the other
+        six match exactly.
+        """
+        ebh = ErrorBoundedHash(3.0, 11.0, 10, alpha=131)
+        predicted = [ebh.home_slot(float(k)) for k in (3, 4, 5, 6, 7, 9, 11)]
+        assert predicted == [0, 3, 7, 1, 5, 2, 0]
+
+    def test_slot_in_range(self):
+        ebh = make_ebh(capacity=17)
+        for k in np.linspace(-100, 1100, 60):  # includes out-of-interval keys
+            assert 0 <= ebh.home_slot(float(k)) < 17
+
+    def test_degenerate_interval(self):
+        ebh = ErrorBoundedHash(5.0, 5.0, 8)
+        assert ebh.home_slot(5.0) == 0
+
+
+class TestInsertLookupDelete:
+    def test_roundtrip(self):
+        ebh = make_ebh()
+        ebh.insert(42.0, "v")
+        assert ebh.lookup(42.0) == "v"
+        assert len(ebh) == 1
+
+    def test_lookup_missing(self):
+        ebh = make_ebh()
+        ebh.insert(42.0, "v")
+        assert ebh.lookup(43.0) is None
+
+    def test_duplicate_rejected(self):
+        ebh = make_ebh()
+        ebh.insert(1.0, "a")
+        with pytest.raises(DuplicateKeyError):
+            ebh.insert(1.0, "b")
+        assert ebh.lookup(1.0) == "a"
+
+    def test_delete_roundtrip(self):
+        ebh = make_ebh()
+        ebh.insert(7.0, "x")
+        assert ebh.delete(7.0)
+        assert ebh.lookup(7.0) is None
+        assert not ebh.delete(7.0)
+        assert len(ebh) == 0
+
+    def test_overflow_raises(self):
+        ebh = make_ebh(capacity=4)
+        for k in (1.0, 2.0, 3.0, 4.0):
+            ebh.insert(k, k)
+        with pytest.raises(OverflowError):
+            ebh.insert(5.0, 5.0)
+
+    def test_dense_conflicting_keys_all_found(self):
+        """Keys hashing to nearby slots must stay retrievable via cd."""
+        ebh = make_ebh(capacity=128, low=0.0, high=1e9)
+        keys = [1000.0 + i for i in range(60)]  # tiny sliver of the interval
+        for k in keys:
+            ebh.insert(k, k)
+        assert all(ebh.lookup(k) == k for k in keys)
+        assert ebh.conflict_degree >= 0
+
+    def test_delete_does_not_break_other_lookups(self):
+        """EBH scans the full cd window, so deletion needs no tombstones."""
+        ebh = make_ebh(capacity=32, low=0.0, high=1e9)
+        keys = [5.0 + i * 0.001 for i in range(16)]  # heavy conflicts
+        for k in keys:
+            ebh.insert(k, k)
+        for victim in keys[::2]:
+            assert ebh.delete(victim)
+        for survivor in keys[1::2]:
+            assert ebh.lookup(survivor) == survivor
+        for victim in keys[::2]:
+            assert ebh.lookup(victim) is None
+
+
+class TestConflictDegreeInvariant:
+    def test_cd_bounds_every_stored_offset(self):
+        ebh = make_ebh(capacity=64, low=0.0, high=1e6)
+        rng = np.random.default_rng(0)
+        for k in np.unique(rng.uniform(0, 1e6, 40)):
+            ebh.insert(float(k), k)
+        max_offset, _ = ebh.error_stats()
+        assert max_offset <= ebh.conflict_degree
+
+    def test_cd_is_zero_without_conflicts(self):
+        ebh = make_ebh(capacity=1024, low=0.0, high=1024.0, alpha=1)
+        for k in range(0, 100, 10):
+            ebh.insert(float(k), k)
+        assert ebh.conflict_degree == 0
+
+
+class TestRehash:
+    def test_rehash_preserves_content(self):
+        ebh = make_ebh(capacity=32, low=0.0, high=100.0)
+        keys = [float(k) for k in range(0, 60, 3)]
+        for k in keys:
+            ebh.insert(k, k * 2)
+        ebh.rehash(128)
+        assert ebh.capacity == 128
+        assert all(ebh.lookup(k) == k * 2 for k in keys)
+        assert len(ebh) == len(keys)
+
+    def test_rehash_can_change_interval(self):
+        ebh = make_ebh(capacity=16, low=0.0, high=10.0)
+        ebh.insert(5.0, "a")
+        ebh.rehash(32, low_key=0.0, high_key=100.0)
+        assert ebh.lookup(5.0) == "a"
+        assert ebh.high_key == 100.0
+
+    def test_rehash_rejects_too_small(self):
+        ebh = make_ebh(capacity=16)
+        for k in range(8):
+            ebh.insert(float(k), k)
+        with pytest.raises(ValueError):
+            ebh.rehash(4)
+
+    def test_rehash_counts_retrain_work(self):
+        counters = Counters()
+        ebh = ErrorBoundedHash(0.0, 100.0, 32, counters=counters)
+        for k in range(10):
+            ebh.insert(float(k), k)
+        ebh.rehash(64)
+        assert counters.retrains == 1
+        assert counters.retrain_keys == 10
+
+
+class TestStatsAndIteration:
+    def test_sorted_items(self):
+        ebh = make_ebh()
+        for k in (9.0, 1.0, 5.0):
+            ebh.insert(k, k)
+        assert [k for k, _ in ebh.sorted_items()] == [1.0, 5.0, 9.0]
+
+    def test_error_stats_empty(self):
+        assert make_ebh().error_stats() == (0, 0.0)
+
+    def test_size_bytes_scales_with_capacity(self):
+        assert make_ebh(capacity=100).size_bytes() > make_ebh(capacity=10).size_bytes()
+
+    def test_counters_accumulate_probes(self):
+        counters = Counters()
+        ebh = ErrorBoundedHash(0.0, 100.0, 32, counters=counters)
+        ebh.insert(1.0, 1.0)
+        before = counters.slot_probes
+        ebh.lookup(1.0)
+        assert counters.slot_probes > before
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+            min_size=1,
+            max_size=80,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_model_equivalence_to_dict(self, keys):
+        """EBH must behave exactly like a dict for any key set that fits."""
+        capacity = max(8, 2 * len(keys))
+        ebh = ErrorBoundedHash(min(keys), max(keys) + 1.0, capacity)
+        reference = {}
+        for k in keys:
+            ebh.insert(k, k * 3)
+            reference[k] = k * 3
+        for k in keys:
+            assert ebh.lookup(k) == reference[k]
+        assert sorted(dict(ebh.items())) == sorted(reference)
+        # Delete half, verify the rest.
+        for k in keys[::2]:
+            assert ebh.delete(k)
+            del reference[k]
+        for k in keys:
+            assert ebh.lookup(k) == reference.get(k)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=50,
+            unique=True,
+        ),
+        st.integers(min_value=1, max_value=997),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conflict_degree_never_underestimates(self, keys, alpha):
+        capacity = max(8, 2 * len(keys))
+        ebh = ErrorBoundedHash(min(keys), max(keys) + 1.0, capacity, alpha=alpha)
+        for k in keys:
+            ebh.insert(k, k)
+        max_offset, avg_offset = ebh.error_stats()
+        assert max_offset <= ebh.conflict_degree
+        assert avg_offset <= max_offset

@@ -1,0 +1,114 @@
+"""Additional EBH edge-case and failure-injection tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ChameleonConfig
+from repro.core.ebh import ErrorBoundedHash
+
+
+class TestRefitRehash:
+    def test_refit_shrinks_interval_to_live_keys(self):
+        ebh = ErrorBoundedHash(0.0, 1e9, 64)
+        for k in np.linspace(100.0, 200.0, 20):
+            ebh.insert(float(k), k)
+        ebh.rehash(64, refit=True)
+        assert ebh.low_key == 100.0
+        assert ebh.high_key < 210.0
+        for k in np.linspace(100.0, 200.0, 20):
+            assert ebh.lookup(float(k)) == k
+
+    def test_refit_reduces_conflicts_for_drifted_keys(self):
+        """Keys crammed into a corner of a stale interval: refit flattens."""
+        ebh = ErrorBoundedHash(0.0, 1e12, 512)
+        keys = [1000.0 + i for i in range(256)]
+        for k in keys:
+            ebh.insert(k, k)
+        drifted_cd = ebh.conflict_degree
+        ebh.rehash(512, refit=True)
+        assert ebh.conflict_degree <= drifted_cd
+        assert ebh.conflict_degree <= 4
+
+    def test_refit_noop_for_single_key(self):
+        ebh = ErrorBoundedHash(0.0, 10.0, 8)
+        ebh.insert(3.0, "x")
+        ebh.rehash(8, refit=True)
+        assert ebh.lookup(3.0) == "x"
+
+    def test_explicit_interval_beats_refit_default(self):
+        ebh = ErrorBoundedHash(0.0, 10.0, 8)
+        ebh.insert(3.0, "x")
+        ebh.rehash(8, low_key=0.0, high_key=100.0)
+        assert ebh.high_key == 100.0
+
+
+class TestAdversarialPatterns:
+    def test_identical_magnitude_ladder(self):
+        """Keys at 2^-k magnitudes (heavy float non-uniformity)."""
+        keys = [2.0**-i for i in range(1, 40)]
+        ebh = ErrorBoundedHash(min(keys), max(keys) + 1.0, 128)
+        for k in keys:
+            ebh.insert(k, k)
+        for k in keys:
+            assert ebh.lookup(k) == k
+
+    def test_keys_outside_model_interval(self):
+        """Out-of-interval keys hash via the mod wrap and stay retrievable."""
+        ebh = ErrorBoundedHash(100.0, 200.0, 64)
+        outside = [-50.0, 0.0, 250.0, 1e6]
+        for k in outside:
+            ebh.insert(k, k)
+        for k in outside:
+            assert ebh.lookup(k) == k
+        assert ebh.lookup(123.0) is None
+
+    def test_fill_delete_fill_cycles(self):
+        """Churn must not degrade correctness (no tombstone debt)."""
+        ebh = ErrorBoundedHash(0.0, 1000.0, 64)
+        rng = np.random.default_rng(0)
+        live = {}
+        for cycle in range(20):
+            adds = rng.uniform(0, 1000, 20)
+            for k in np.unique(adds):
+                k = float(k)
+                if k not in live and len(live) < 40:
+                    ebh.insert(k, cycle)
+                    live[k] = cycle
+            victims = rng.choice(list(live), size=min(10, len(live)), replace=False)
+            for k in victims:
+                assert ebh.delete(float(k))
+                del live[k]
+            for k, v in live.items():
+                assert ebh.lookup(k) == v
+        assert len(ebh) == len(live)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_theorem1_capacity_always_fits(self, n):
+        config = ChameleonConfig()
+        assert config.theorem1_capacity(n) >= n
+
+
+class TestCapacityEdges:
+    def test_capacity_one(self):
+        ebh = ErrorBoundedHash(0.0, 10.0, 1)
+        ebh.insert(5.0, "only")
+        assert ebh.lookup(5.0) == "only"
+        with pytest.raises(OverflowError):
+            ebh.insert(6.0, "no-room")
+
+    def test_exact_fill(self):
+        ebh = ErrorBoundedHash(0.0, 8.0, 8)
+        for k in range(8):
+            ebh.insert(float(k), k)
+        assert len(ebh) == 8
+        for k in range(8):
+            assert ebh.lookup(float(k)) == k
+
+    def test_load_factor(self):
+        ebh = ErrorBoundedHash(0.0, 10.0, 10)
+        assert ebh.load_factor == 0.0
+        ebh.insert(1.0, 1)
+        assert ebh.load_factor == pytest.approx(0.1)

@@ -1,0 +1,72 @@
+"""Capstone integration test: the full paper pipeline at micro scale.
+
+Train the MARL agents -> build the index with them -> serve a read-only
+workload -> switch to a mixed workload with a live retraining thread ->
+verify final consistency against an oracle.
+"""
+
+import numpy as np
+
+from repro.baselines.sorted_array import SortedArrayIndex
+from repro.core import ChameleonConfig, ChameleonIndex, IntervalLockManager
+from repro.core.builder import ChameleonBuilder
+from repro.core.retrainer import RetrainingThread
+from repro.datasets import osmc_like
+from repro.rl import MARLTrainer, default_dataset_factory
+from repro.workloads.mixed import read_write_workload, split_load_and_pool
+from repro.workloads.operations import OpKind, run_workload
+from repro.workloads.readonly import readonly_workload
+
+
+def test_full_pipeline_micro():
+    config = ChameleonConfig(b_t=8, b_d=16, matrix_width=8)
+
+    # 1. Train the agents briefly (Algorithm 2).
+    trainer = MARLTrainer(
+        config=config,
+        dataset_factory=default_dataset_factory(sizes=(400,)),
+        er_decay=0.4,
+        er_floor=0.3,
+        seed=0,
+    )
+    trainer.train(episodes_per_round=1, max_rounds=2)
+
+    # 2. Build with the trained agents.
+    builder = ChameleonBuilder(
+        config, strategy="ChaDATS",
+        dare_agent=trainer.dare, tsmdp_agent=trainer.tsmdp, ga_iterations=2,
+    )
+    manager = IntervalLockManager()
+    index = ChameleonIndex(config=config, builder=builder, lock_manager=manager)
+    dataset = osmc_like(6000, seed=3)
+    loaded, pool = split_load_and_pool(dataset, 0.6, seed=3)
+    index.bulk_load(loaded)
+    oracle = SortedArrayIndex()
+    oracle.bulk_load(loaded)
+
+    # 3. Read-only workload: everything answered, hits match the oracle.
+    read_ops = readonly_workload(loaded, 1500, seed=1, miss_fraction=0.2)
+    result = run_workload(index, read_ops)
+    oracle_result = run_workload(oracle, read_ops)
+    assert result.lookup_hits == oracle_result.lookup_hits
+
+    # 4. Mixed workload with a live retrainer.
+    retrainer = RetrainingThread(index, manager, period_s=0.02,
+                                 update_threshold=16)
+    retrainer.start()
+    try:
+        mixed_ops = read_write_workload(loaded, pool, 4000, 0.5, seed=2)
+        run_workload(index, mixed_ops)
+        run_workload(oracle, mixed_ops)
+    finally:
+        retrainer.stop()
+
+    # 5. Final consistency: index == oracle, key by key.
+    index_items = sorted(index.items())
+    oracle_items = sorted(oracle.items())
+    assert len(index) == len(oracle)
+    assert index_items == oracle_items
+    rng = np.random.default_rng(9)
+    live_keys = [k for k, _ in oracle_items]
+    for k in rng.choice(live_keys, 400):
+        assert index.lookup(float(k)) == oracle.lookup(float(k))

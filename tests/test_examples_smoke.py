@@ -1,0 +1,41 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the fast examples run here (the training walkthrough takes minutes and
+is exercised by the ablation bench instead).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "built:" in out
+    assert "per-lookup structural cost" in out
+
+
+def test_skew_adaptation_runs():
+    out = run_example("skew_adaptation.py")
+    assert "Construction strategies" in out
+
+
+def test_concurrent_retraining_runs():
+    out = run_example("concurrent_retraining.py")
+    assert "probe failures" in out
+    assert "answered correctly" in out

@@ -1,0 +1,126 @@
+"""Tests for the paper's deferred extensions implemented here:
+full DARE reconstruction and workload-aware construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChameleonIndex, IntervalLockManager
+from repro.core.builder import ChameleonBuilder, estimate_genes_cost
+from repro.core.config import ChameleonConfig
+from repro.core.retrainer import RetrainingThread
+from repro.datasets import face_like, uden
+from repro.rl.dare import gene_length
+
+
+class TestFullRebuild:
+    def test_rebuild_all_preserves_content(self):
+        keys = face_like(3000, seed=0)
+        index = ChameleonIndex(strategy="ChaB")
+        index.bulk_load(keys[:2000])
+        for k in keys[2000:]:
+            index.insert(float(k))
+        assert index.updates_since_build == 1000
+        rebuilt = index.rebuild_all()
+        assert rebuilt == 3000
+        assert index.updates_since_build == 0
+        for k in keys[::29]:
+            assert index.lookup(float(k)) == k
+
+    def test_rebuild_all_on_empty_index(self):
+        assert ChameleonIndex().rebuild_all() == 0
+
+    def test_update_counter_tracks_inserts_and_deletes(self):
+        keys = uden(500, seed=0)
+        index = ChameleonIndex(strategy="ChaB")
+        index.bulk_load(keys[:400])
+        for k in keys[400:450]:
+            index.insert(float(k))
+        for k in keys[:25]:
+            index.delete(float(k))
+        assert index.updates_since_build == 75
+
+    def test_bulk_load_resets_counter(self):
+        keys = uden(300, seed=0)
+        index = ChameleonIndex(strategy="ChaB")
+        index.bulk_load(keys[:200])
+        index.insert(float(keys[250]))
+        index.bulk_load(keys[:200])
+        assert index.updates_since_build == 0
+
+    def test_retrainer_triggers_full_rebuild(self):
+        keys = face_like(4000, seed=1)
+        manager = IntervalLockManager()
+        index = ChameleonIndex(strategy="ChaB", lock_manager=manager)
+        index.bulk_load(keys[:1000])
+        for k in keys[1000:]:
+            index.insert(float(k))
+        retrainer = RetrainingThread(
+            index, manager, full_rebuild_fraction=0.5
+        )
+        retrainer.sweep_once()
+        assert retrainer.stats.full_rebuilds == 1
+        assert index.updates_since_build == 0
+        for k in keys[::37]:
+            assert index.lookup(float(k)) == k
+
+    def test_retrainer_without_fraction_never_full_rebuilds(self):
+        keys = uden(600, seed=1)
+        manager = IntervalLockManager()
+        index = ChameleonIndex(strategy="ChaB", lock_manager=manager)
+        index.bulk_load(keys[:300])
+        for k in keys[300:]:
+            index.insert(float(k))
+        retrainer = RetrainingThread(index, manager)
+        retrainer.sweep_once()
+        assert retrainer.stats.full_rebuilds == 0
+
+
+class TestWorkloadAwareConstruction:
+    def test_query_sample_changes_cost_ranking(self):
+        """A structure that splits only where queries land must win under
+        query-mass weighting and not otherwise."""
+        config = ChameleonConfig()
+        # Data: uniform. Queries: hammer a narrow region.
+        keys = uden(4000, seed=2)
+        hot_lo, hot_hi = float(keys[1000]), float(keys[1100])
+        queries = np.linspace(hot_lo, hot_hi, 500)
+        genes_flat = np.full(gene_length(config), 2.0)
+        genes_flat[0] = 4.0  # coarse everywhere -> big leaves
+        genes_fine = np.full(gene_length(config), 8.0)
+        genes_fine[0] = 256.0  # fine everywhere -> small leaves, more memory
+        q_flat_data, _ = estimate_genes_cost(keys, genes_flat, config, 4000)
+        q_fine_data, _ = estimate_genes_cost(keys, genes_fine, config, 4000)
+        q_flat_hot, _ = estimate_genes_cost(
+            keys, genes_flat, config, 4000, query_sample=queries
+        )
+        q_fine_hot, _ = estimate_genes_cost(
+            keys, genes_fine, config, 4000, query_sample=queries
+        )
+        # Under the hot workload the fine structure's advantage over the
+        # coarse one must be at least as large as under uniform queries.
+        assert (q_flat_hot - q_fine_hot) >= (q_flat_data - q_fine_data) - 1e-6
+
+    def test_builder_accepts_query_sample(self):
+        keys = face_like(3000, seed=3)
+        queries = np.random.default_rng(0).choice(keys, 1000)
+        builder = ChameleonBuilder(
+            strategy="ChaDA", ga_iterations=2, query_sample=queries
+        )
+        index = ChameleonIndex(builder=builder)
+        index.bulk_load(keys)
+        for k in keys[::31]:
+            assert index.lookup(float(k)) == k
+
+    def test_query_weights_sum_preserved(self):
+        """All query mass must be attributed to exactly one leaf each."""
+        config = ChameleonConfig()
+        keys = uden(2000, seed=4)
+        queries = np.sort(np.random.default_rng(1).choice(keys, 800))
+        genes = np.full(gene_length(config), 4.0)
+        genes[0] = 64.0
+        q_cost, _ = estimate_genes_cost(
+            keys, genes, config, 2000, query_sample=queries
+        )
+        # Query cost is a weighted mean of per-leaf costs: with every leaf
+        # costing at least (depth + 1)/8, full mass implies a floor.
+        assert q_cost >= 2.0 / 8.0

@@ -1,0 +1,93 @@
+"""Tests for the genetic algorithm actor (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.ga import GeneticOptimizer
+
+
+def make_ga(dim=4, lower=1.0, upper=1024.0, **kwargs):
+    return GeneticOptimizer(
+        np.full(dim, lower), np.full(dim, upper), seed=0, **kwargs
+    )
+
+
+class TestValidation:
+    def test_bounds_shape(self):
+        with pytest.raises(ValueError):
+            GeneticOptimizer(np.ones(3), np.ones(2) * 10)
+
+    def test_bounds_ordering(self):
+        with pytest.raises(ValueError):
+            GeneticOptimizer(np.array([5.0]), np.array([5.0]))
+
+    def test_log_scale_needs_positive_lower(self):
+        with pytest.raises(ValueError):
+            GeneticOptimizer(np.array([0.0]), np.array([1.0]), log_scale=True)
+
+    def test_population_minimum(self):
+        with pytest.raises(ValueError):
+            make_ga(population_size=1)
+
+    def test_fitness_shape_checked(self):
+        ga = make_ga()
+        with pytest.raises(ValueError):
+            ga.optimize(lambda pool: np.zeros(3), iterations=1)
+
+
+class TestOptimization:
+    def test_finds_target_vector(self):
+        target = np.array([100.0, 7.0, 512.0, 33.0])
+        ga = make_ga(population_size=32)
+
+        def fitness(pool):
+            return -np.abs(np.log(pool) - np.log(target)).sum(axis=1)
+
+        best = ga.optimize(fitness, iterations=60, convergence_patience=60)
+        assert np.abs(np.log(best) - np.log(target)).mean() < 0.5
+
+    def test_respects_bounds(self):
+        ga = make_ga(lower=2.0, upper=64.0, population_size=16)
+        best = ga.optimize(lambda p: p.sum(axis=1), iterations=15)
+        assert (best >= 2.0).all() and (best <= 64.0).all()
+
+    def test_seed_individual_wins_when_optimal(self):
+        """A warm start at the optimum must never be lost (elitism)."""
+        target = np.array([31.0, 31.0, 31.0, 31.0])
+        ga = make_ga(population_size=8)
+
+        def fitness(pool):
+            return -np.abs(pool - target).sum(axis=1)
+
+        best = ga.optimize(fitness, iterations=3, seed_individual=target)
+        assert np.allclose(best, target)
+
+    def test_early_convergence(self):
+        """Constant fitness trips the convergence exit quickly."""
+        ga = make_ga(population_size=8)
+        calls = []
+
+        def fitness(pool):
+            calls.append(1)
+            return np.zeros(pool.shape[0])
+
+        ga.optimize(fitness, iterations=100, convergence_patience=2)
+        assert len(calls) <= 4
+
+    def test_deterministic_given_seed(self):
+        def fitness(pool):
+            return -np.abs(pool - 17.0).sum(axis=1)
+
+        a = make_ga().optimize(fitness, iterations=10)
+        b = make_ga().optimize(fitness, iterations=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_linear_scale_mode(self):
+        ga = GeneticOptimizer(
+            np.array([-10.0, -10.0]), np.array([10.0, 10.0]),
+            log_scale=False, seed=1, population_size=24,
+        )
+        best = ga.optimize(
+            lambda p: -(p**2).sum(axis=1), iterations=40, convergence_patience=40
+        )
+        assert np.abs(best).max() < 2.0

@@ -1,0 +1,62 @@
+"""Tiny-scale integration tests of the experiment runners.
+
+These use an extra-small BenchScale so the whole module stays fast; the
+full quick-scale shape assertions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.bench import BenchScale
+from repro.bench.experiments import (
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table1,
+    run_table5,
+)
+from repro.bench.mixed import run_fig12, run_fig14
+
+TINY = BenchScale(
+    base_keys=4_000, n_queries=800, mixed_bootstrap=1_500, mixed_ops=1_200
+)
+
+
+class TestReadOnlyRunners:
+    def test_fig8_rows_complete(self):
+        rows = run_fig8(TINY, datasets=("FACE",), indexes=("B+Tree", "Chameleon"))
+        assert len(rows) == 2 * len(TINY.cardinalities)
+        assert all(r["lookup_ns"] > 0 and r["size_mb"] > 0 for r in rows)
+
+    def test_fig9_includes_baseline_ratio_one(self):
+        rows = run_fig9(TINY, variances=(1e-3,), indexes=("B+Tree", "Chameleon"))
+        btree = next(r for r in rows if r["index"] == "B+Tree")
+        assert btree["ratio_cost"] == pytest.approx(1.0)
+        assert btree["ratio_wall"] == pytest.approx(1.0)
+
+    def test_fig10_covers_requested_indexes(self):
+        rows = run_fig10(TINY, datasets=("OSMC",), indexes=("B+Tree", "PGM"))
+        assert {r["index"] for r in rows} == {"B+Tree", "PGM"}
+
+    def test_table1_is_static(self):
+        rows = run_table1()
+        assert len(rows) == 9
+
+    def test_table5_contains_all_variants(self):
+        rows = run_table5(TINY, datasets=("UDEN",))
+        assert {r["index"] for r in rows} == {
+            "DILI", "ALEX", "ChaB", "ChaDA", "ChaDATS",
+        }
+
+
+class TestMixedRunners:
+    def test_fig12_extreme_ratios(self):
+        rows = run_fig12(
+            TINY, datasets=("UDEN",), insert_ratios=(0.0, 1.0),
+            indexes=("B+Tree", "Chameleon"),
+        )
+        assert all(r["throughput"] > 0 for r in rows)
+
+    def test_fig14_attributes_retrain_time(self):
+        rows = run_fig14(TINY, datasets=("UDEN",), indexes=("ALEX", "Chameleon"))
+        for r in rows:
+            assert r["retrain_ns"] <= r["insert_ns"] + 1e-9

@@ -1,0 +1,67 @@
+"""Tests for the shared index interface helpers."""
+
+import pytest
+
+from repro.baselines import INDEX_REGISTRY, UPDATABLE_INDEXES
+from repro.baselines.interfaces import Capabilities, as_key_value_arrays
+from repro.baselines.sorted_array import SortedArrayIndex
+
+
+class TestAsKeyValueArrays:
+    def test_defaults_values_to_keys(self):
+        keys, values = as_key_value_arrays([3.0, 1.0, 2.0], None)
+        assert keys == [1.0, 2.0, 3.0]
+        assert values == [1.0, 2.0, 3.0]
+
+    def test_sorts_values_alongside_keys(self):
+        keys, values = as_key_value_arrays([3.0, 1.0], ["c", "a"])
+        assert keys == [1.0, 3.0]
+        assert values == ["a", "c"]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            as_key_value_arrays([1.0, 1.0], None)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            as_key_value_arrays([1.0, 2.0], ["only-one"])
+
+    def test_empty(self):
+        assert as_key_value_arrays([], None) == ([], [])
+
+
+class TestRegistry:
+    def test_all_nine_paper_indexes_registered(self):
+        assert set(INDEX_REGISTRY) == {
+            "B+Tree", "DIC", "RS", "PGM", "ALEX", "LIPP", "DILI",
+            "FINEdex", "Chameleon",
+        }
+
+    def test_updatable_subset(self):
+        assert set(UPDATABLE_INDEXES) <= set(INDEX_REGISTRY)
+        assert "RS" not in UPDATABLE_INDEXES
+        assert "DIC" not in UPDATABLE_INDEXES
+
+    def test_every_index_has_capabilities(self):
+        for name, ctor in INDEX_REGISTRY.items():
+            caps = ctor().capabilities
+            assert isinstance(caps, Capabilities)
+            assert 0 <= caps.skew_support <= 3
+
+    def test_static_indexes_raise_on_updates(self):
+        for name in INDEX_REGISTRY:
+            if name in UPDATABLE_INDEXES:
+                continue
+            index = INDEX_REGISTRY[name]()
+            index.bulk_load([1.0, 2.0, 3.0])
+            with pytest.raises(NotImplementedError):
+                index.insert(4.0)
+            with pytest.raises(NotImplementedError):
+                index.delete(1.0)
+
+
+class TestDefaultRangeQuery:
+    def test_base_range_query_uses_items(self):
+        index = SortedArrayIndex()
+        index.bulk_load([1.0, 2.0, 3.0, 4.0])
+        assert index.range_query(1.5, 3.5) == [(2.0, 2.0), (3.0, 3.0)]

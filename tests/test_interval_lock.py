@@ -1,0 +1,167 @@
+"""Tests for the Interval Lock protocol (Definition 4, Section V-A)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines.counters import Counters
+from repro.core.interval_lock import IntervalLockManager
+
+
+@pytest.fixture
+def manager():
+    return IntervalLockManager()
+
+
+class TestQueryLock:
+    def test_reentrant_for_different_queries(self, manager):
+        """Multiple query threads share an interval simultaneously."""
+        inside = threading.Event()
+        release = threading.Event()
+        entered = []
+
+        def holder():
+            with manager.query_lock((0, 1)):
+                inside.set()
+                release.wait(timeout=2)
+
+        t = threading.Thread(target=holder, daemon=True)
+        t.start()
+        assert inside.wait(timeout=2)
+        # Another query on the same interval must NOT block.
+        start = time.perf_counter()
+        with manager.query_lock((0, 1)):
+            entered.append(time.perf_counter() - start)
+        release.set()
+        t.join(timeout=2)
+        assert entered[0] < 0.5
+
+    def test_counts_acquisitions(self, manager):
+        counters = Counters()
+        with manager.query_lock((1,), counters):
+            pass
+        assert counters.lock_acquisitions == 1
+        assert counters.lock_waits == 0
+
+
+class TestRetrainLock:
+    def test_exclusive_against_queries_same_interval(self, manager):
+        query_inside = threading.Event()
+        query_release = threading.Event()
+
+        def query():
+            with manager.query_lock((2,)):
+                query_inside.set()
+                query_release.wait(timeout=2)
+
+        t = threading.Thread(target=query, daemon=True)
+        t.start()
+        assert query_inside.wait(timeout=2)
+        # Retrain on the same interval must time out while the query runs.
+        with manager.retrain_lock((2,), timeout=0.05) as acquired:
+            assert not acquired
+        query_release.set()
+        t.join(timeout=2)
+        # Now it acquires.
+        with manager.retrain_lock((2,), timeout=1.0) as acquired:
+            assert acquired
+            assert manager.is_retraining((2,))
+        assert not manager.is_retraining((2,))
+
+    def test_different_intervals_do_not_conflict(self, manager):
+        """The paper's Fig. 7 scenario: retrain (0,0) while querying (n,1)."""
+        with manager.retrain_lock((0, 0)) as acquired:
+            assert acquired
+            done = threading.Event()
+
+            def query_other():
+                with manager.query_lock((5, 1)):
+                    done.set()
+
+            t = threading.Thread(target=query_other, daemon=True)
+            t.start()
+            assert done.wait(timeout=1.0), "query on another interval blocked"
+            t.join(timeout=1)
+
+    def test_query_waits_for_retraining(self, manager):
+        """A query arriving during a retrain waits, then proceeds."""
+        retrain_started = threading.Event()
+        query_done = threading.Event()
+        counters = Counters()
+
+        def retrainer():
+            with manager.retrain_lock((3,)) as acquired:
+                assert acquired
+                retrain_started.set()
+                time.sleep(0.2)
+
+        def query():
+            retrain_started.wait(timeout=2)
+            with manager.query_lock((3,), counters):
+                query_done.set()
+
+        t1 = threading.Thread(target=retrainer, daemon=True)
+        t2 = threading.Thread(target=query, daemon=True)
+        t1.start()
+        t2.start()
+        assert query_done.wait(timeout=2)
+        t1.join(timeout=2)
+        t2.join(timeout=2)
+        assert counters.lock_waits == 1
+
+    def test_retrain_excludes_retrain(self, manager):
+        with manager.retrain_lock((4,)) as first:
+            assert first
+            with manager.retrain_lock((4,), timeout=0.05) as second:
+                assert not second
+
+    def test_ids_comparison_not_overlap(self, manager):
+        """(0,) and (0, 0) are different intervals — IDs compare exactly."""
+        with manager.retrain_lock((0,)) as acquired:
+            assert acquired
+            with manager.retrain_lock((0, 0), timeout=0.2) as other:
+                assert other
+
+
+class TestDiagnostics:
+    def test_active_intervals(self, manager):
+        assert manager.active_intervals() == 0
+        with manager.query_lock((9,)):
+            assert manager.active_intervals() == 1
+        assert manager.active_intervals() == 0
+
+    def test_is_retraining_unknown_interval(self, manager):
+        assert not manager.is_retraining((42,))
+
+
+class TestStress:
+    def test_many_threads_no_deadlock(self, manager):
+        """Interleaved queries and retrains across intervals terminate."""
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(worker_id):
+            try:
+                barrier.wait(timeout=5)
+                for i in range(50):
+                    ids = (worker_id % 4,)
+                    if worker_id % 2 == 0:
+                        with manager.query_lock(ids):
+                            pass
+                    else:
+                        with manager.retrain_lock(ids, timeout=0.5):
+                            pass
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+            assert not t.is_alive(), "worker deadlocked"
+        assert not errors

@@ -1,0 +1,146 @@
+"""Structure-specific tests for LIPP, DILI, and ALEX — the behaviours the
+paper's comparisons rely on."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.alex import ALEXIndex
+from repro.baselines.dili import DILIIndex
+from repro.baselines.lipp import LIPPIndex, _fitted_interval
+from repro.datasets import face_like, uden
+
+
+class TestLIPPStructure:
+    def test_precise_positions_zero_error(self):
+        index = LIPPIndex()
+        index.bulk_load(face_like(2000, seed=0))
+        assert index.error_stats() == (0.0, 0.0)
+
+    def test_uniform_data_stays_flat(self):
+        index = LIPPIndex()
+        index.bulk_load(uden(2000, seed=0))
+        max_h, _ = index.height_stats()
+        assert max_h <= 2
+
+    def test_skew_grows_depth_and_nodes(self):
+        """The downward-splitting weakness Table V measures."""
+        flat = LIPPIndex()
+        flat.bulk_load(uden(3000, seed=1))
+        deep = LIPPIndex()
+        deep.bulk_load(face_like(3000, seed=1))
+        assert deep.height_stats()[0] > flat.height_stats()[0]
+        assert deep.node_count() > flat.node_count()
+
+    def test_conflict_insert_creates_child(self):
+        keys = np.linspace(0.0, 1000.0, 50)
+        index = LIPPIndex()
+        index.bulk_load(keys)
+        nodes_before = index.node_count()
+        # Insert keys immediately adjacent to existing ones to force
+        # same-slot conflicts.
+        for k in keys[:10]:
+            index.insert(float(k) + 1e-7)
+        assert index.node_count() > nodes_before
+        assert index.counters.splits > 0
+
+    def test_deep_chain_triggers_rebuild(self):
+        keys = np.linspace(0.0, 1000.0, 20)
+        index = LIPPIndex()
+        index.bulk_load(keys)
+        # Hammer one point with ever-closer keys: chains then rebuild.
+        base = 500.0
+        for i in range(1, 60):
+            index.insert(base + i * 1e-9)
+        for i in range(1, 60, 7):
+            assert index.lookup(base + i * 1e-9) is not None
+
+    def test_fitted_interval_always_contains_keys(self):
+        lo, hi = _fitted_interval([5.0, 6.0], 100.0, 200.0)
+        assert lo <= 5.0 and hi > 6.0
+        lo, hi = _fitted_interval([5.0, 6.0], 0.0, 200.0)
+        assert (lo, hi) == (0.0, 200.0)
+        lo, hi = _fitted_interval([5.0], 9.0, 9.0)
+        assert hi > lo
+
+
+class TestDILIStructure:
+    def test_precise_leaves(self):
+        index = DILIIndex()
+        index.bulk_load(face_like(2000, seed=0))
+        assert index.error_stats() == (0.0, 0.0)
+
+    def test_bottom_up_segmentation_reacts_to_skew(self):
+        flat = DILIIndex()
+        flat.bulk_load(uden(3000, seed=1))
+        skew = DILIIndex()
+        skew.bulk_load(face_like(3000, seed=1))
+        assert skew.node_count() > flat.node_count()
+
+    def test_leaf_split_rebuilds_router(self):
+        keys = uden(3000, seed=2)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(keys)
+        index = DILIIndex()
+        index.bulk_load(np.sort(perm[:1000]))
+        for k in perm[1000:]:
+            index.insert(float(k))
+        assert index.counters.retrains >= 1
+        for k in keys[::23]:
+            assert index.lookup(float(k)) == k
+
+    def test_capabilities_direction(self):
+        assert DILIIndex.capabilities.construction_direction == "BU+TD"
+
+
+class TestALEXStructure:
+    def test_model_error_grows_with_skew(self):
+        """Table V: ALEX's MaxError explodes on locally skewed data."""
+        flat = ALEXIndex()
+        flat.bulk_load(uden(4000, seed=1))
+        skew = ALEXIndex()
+        skew.bulk_load(face_like(4000, seed=1))
+        assert skew.error_stats()[0] > 5 * max(1.0, flat.error_stats()[0])
+
+    def test_gapped_array_absorbs_inserts_cheaply(self):
+        """Inserting into a fresh node must shift at most a few slots."""
+        keys = uden(1000, seed=3)
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(keys)
+        index = ALEXIndex()
+        index.bulk_load(np.sort(perm[:800]))
+        before = index.counters.shifts
+        for k in perm[800:850]:
+            index.insert(float(k))
+        shifts_per_insert = (index.counters.shifts - before) / 50
+        assert shifts_per_insert < 10
+
+    def test_retrain_log_records_spikes(self):
+        keys = face_like(3000, seed=2)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(keys)
+        index = ALEXIndex()
+        index.bulk_load(np.sort(perm[:1000]))
+        for k in perm[1000:]:
+            index.insert(float(k))
+        assert len(index.retrain_log) == index.counters.retrains
+
+    def test_density_bound_respected(self):
+        keys = uden(2000, seed=4)
+        index = ALEXIndex()
+        index.bulk_load(keys)
+        for node in index._unique_nodes():
+            if node.n_keys:
+                assert node.n_keys / node.capacity <= 0.85
+
+    def test_node_split_keeps_slot_alignment(self):
+        """After splits, routing stays exact: every key reachable."""
+        keys = face_like(4000, seed=5)
+        rng = np.random.default_rng(2)
+        perm = rng.permutation(keys)
+        index = ALEXIndex(max_node_keys=256)  # force frequent splits
+        index.bulk_load(np.sort(perm[:1000]))
+        for k in perm[1000:]:
+            index.insert(float(k))
+        assert index.counters.splits > 0
+        for k in keys[::17]:
+            assert index.lookup(float(k)) == k

@@ -1,0 +1,111 @@
+"""Tests for inner/leaf tree nodes and subtree statistics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.counters import Counters
+from repro.core.builder import make_leaf
+from repro.core.config import ChameleonConfig
+from repro.core.node import InnerNode, LeafNode, subtree_stats, walk_leaves
+
+
+@pytest.fixture
+def counters():
+    return Counters()
+
+
+@pytest.fixture
+def config():
+    return ChameleonConfig()
+
+
+class TestInnerNodeRouting:
+    def test_eq1_routing_is_equal_width(self, counters):
+        node = InnerNode(0.0, 100.0, 4, counters)
+        assert node.route(0.0) == 0
+        assert node.route(24.9) == 0
+        assert node.route(25.0) == 1
+        assert node.route(99.9) == 3
+
+    def test_routing_clamps_out_of_interval_keys(self, counters):
+        node = InnerNode(0.0, 100.0, 4, counters)
+        assert node.route(-50.0) == 0
+        assert node.route(100.0) == 3
+        assert node.route(1e9) == 3
+
+    def test_child_interval_partitions_exactly(self, counters):
+        node = InnerNode(0.0, 100.0, 7, counters)
+        previous_high = 0.0
+        for rank in range(7):
+            low, high = node.child_interval(rank)
+            assert low == pytest.approx(previous_high)
+            previous_high = high
+        assert previous_high == 100.0
+
+    def test_child_interval_bounds_checked(self, counters):
+        node = InnerNode(0.0, 1.0, 3, counters)
+        with pytest.raises(IndexError):
+            node.child_interval(3)
+        with pytest.raises(IndexError):
+            node.child_interval(-1)
+
+    def test_routing_consistent_with_child_interval(self, counters):
+        """Every key must route into the child whose interval contains it."""
+        node = InnerNode(0.0, 1000.0, 13, counters)
+        rng = np.random.default_rng(1)
+        for key in rng.uniform(0, 1000, 200):
+            rank = node.route(float(key))
+            low, high = node.child_interval(rank)
+            assert low <= key < high or (rank == 12 and key <= high)
+
+    def test_invalid_construction(self, counters):
+        with pytest.raises(ValueError):
+            InnerNode(0.0, 1.0, 0, counters)
+        with pytest.raises(ValueError):
+            InnerNode(1.0, 1.0, 2, counters)
+
+    def test_route_counts_model_evals(self, counters):
+        node = InnerNode(0.0, 1.0, 2, counters)
+        node.route(0.5)
+        assert counters.model_evals == 1
+
+
+class TestSubtreeStats:
+    def build_small_tree(self, counters, config):
+        root = InnerNode(0.0, 100.0, 2, counters)
+        left_keys = np.array([1.0, 2.0, 3.0])
+        right_keys = np.array([60.0, 70.0])
+        root.children[0] = make_leaf(left_keys, list(left_keys), 0.0, 50.0, config, counters)
+        root.children[1] = make_leaf(right_keys, list(right_keys), 50.0, 100.0, config, counters)
+        return root
+
+    def test_walk_leaves(self, counters, config):
+        root = self.build_small_tree(counters, config)
+        leaves = list(walk_leaves(root))
+        assert len(leaves) == 2
+        assert sum(leaf.n_keys for leaf in leaves) == 5
+
+    def test_stats_fields(self, counters, config):
+        root = self.build_small_tree(counters, config)
+        stats = subtree_stats(root)
+        assert stats["n_keys"] == 5
+        assert stats["n_nodes"] == 3
+        assert stats["max_height"] == 2
+        assert stats["avg_height"] == pytest.approx(2.0)
+        assert stats["size_bytes"] > 0
+
+    def test_single_leaf_stats(self, counters, config):
+        leaf = make_leaf(np.array([1.0]), [1.0], 0.0, 2.0, config, counters)
+        stats = subtree_stats(leaf)
+        assert stats["max_height"] == 1
+        assert stats["n_nodes"] == 1
+
+    def test_leaf_update_counter_starts_at_zero(self, counters, config):
+        leaf = make_leaf(np.array([1.0]), [1.0], 0.0, 2.0, config, counters)
+        assert leaf.update_count == 0
+
+    def test_repr_smoke(self, counters, config):
+        leaf = make_leaf(np.array([1.0]), [1.0], 0.0, 2.0, config, counters)
+        node = InnerNode(0.0, 1.0, 2, counters)
+        assert "LeafNode" in repr(leaf)
+        assert "InnerNode" in repr(node)

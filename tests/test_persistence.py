@@ -1,0 +1,60 @@
+"""Tests for index save/load persistence."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import INDEX_REGISTRY, UPDATABLE_INDEXES
+from repro.baselines.btree import BPlusTreeIndex
+from repro.core import ChameleonIndex, IntervalLockManager
+from repro.datasets import face_like
+
+
+@pytest.mark.parametrize("name", sorted(INDEX_REGISTRY))
+def test_save_load_roundtrip(name, tmp_path):
+    keys = face_like(800, seed=6)
+    index = INDEX_REGISTRY[name]()
+    index.bulk_load(keys)
+    path = tmp_path / f"{name}.idx"
+    index.save(path)
+    restored = type(index).load(path)
+    assert len(restored) == len(index)
+    for k in keys[::23]:
+        assert restored.lookup(float(k)) == k
+
+
+def test_load_rejects_wrong_class(tmp_path):
+    index = BPlusTreeIndex()
+    index.bulk_load([1.0, 2.0, 3.0])
+    path = tmp_path / "btree.idx"
+    index.save(path)
+    with pytest.raises(TypeError):
+        ChameleonIndex.load(path)
+
+
+def test_chameleon_drops_lock_manager(tmp_path):
+    keys = face_like(500, seed=1)
+    index = ChameleonIndex(strategy="ChaB", lock_manager=IntervalLockManager())
+    index.bulk_load(keys)
+    path = tmp_path / "cham.idx"
+    index.save(path)
+    restored = ChameleonIndex.load(path)
+    assert restored.lock_manager is None
+    # Reattach a fresh manager and keep operating.
+    restored.lock_manager = IntervalLockManager()
+    new_key = float(keys[0]) + 0.5
+    restored.insert(new_key)
+    assert restored.lookup(new_key) == new_key
+
+
+@pytest.mark.parametrize("name", sorted(UPDATABLE_INDEXES))
+def test_restored_index_accepts_updates(name, tmp_path):
+    keys = face_like(600, seed=2)
+    index = INDEX_REGISTRY[name]()
+    index.bulk_load(keys[:500])
+    path = tmp_path / "idx.bin"
+    index.save(path)
+    restored = type(index).load(path)
+    for k in keys[500:]:
+        restored.insert(float(k))
+    for k in keys[::17]:
+        assert restored.lookup(float(k)) == k

@@ -1,0 +1,129 @@
+"""Structure-specific tests for PGM and RadixSpline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pgm import PGMIndex, build_pla_segments
+from repro.baselines.radix_spline import RadixSplineIndex
+from repro.datasets import face_like, uden
+
+
+class TestPLASegments:
+    def test_uniform_data_needs_one_segment(self):
+        keys = list(np.linspace(0, 1000, 500))
+        segments = build_pla_segments(keys, epsilon=8)
+        assert len(segments) == 1
+
+    def test_error_bound_invariant(self):
+        """Every key's predicted rank must be within epsilon of its rank."""
+        keys = sorted(np.unique(face_like(2000, seed=1)).tolist())
+        for epsilon in (4, 16, 64):
+            segments = build_pla_segments(keys, epsilon=epsilon)
+            seg_idx = 0
+            for rank, key in enumerate(keys):
+                while (
+                    seg_idx + 1 < len(segments)
+                    and segments[seg_idx + 1].first_key <= key
+                ):
+                    seg_idx += 1
+                predicted = segments[seg_idx].predict(key)
+                assert abs(predicted - rank) <= epsilon + 1
+
+    def test_smaller_epsilon_needs_more_segments(self):
+        keys = sorted(np.unique(face_like(2000, seed=1)).tolist())
+        fine = build_pla_segments(keys, epsilon=4)
+        coarse = build_pla_segments(keys, epsilon=64)
+        assert len(fine) >= len(coarse)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            build_pla_segments([1.0, 2.0], epsilon=0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e9, allow_nan=False),
+            min_size=2,
+            max_size=150,
+            unique=True,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_segments_cover_all_keys(self, raw):
+        keys = sorted(raw)
+        segments = build_pla_segments(keys, epsilon=8)
+        assert segments[0].first_key == keys[0]
+        firsts = [s.first_key for s in segments]
+        assert firsts == sorted(firsts)
+
+
+class TestPGMSpecific:
+    def test_multi_level_structure(self):
+        index = PGMIndex(epsilon=4)
+        index.bulk_load(face_like(5000, seed=2))
+        assert len(index._levels) >= 2
+        assert len(index._levels[-1]) == 1  # single root segment
+
+    def test_buffer_rebuild_threshold(self):
+        keys = uden(2000, seed=1)
+        index = PGMIndex()
+        index.bulk_load(keys[:1000])
+        pool = keys[1000:]
+        for k in pool:
+            index.insert(float(k))
+        assert index.counters.retrains >= 1  # buffer merged at least once
+        for k in keys[::19]:
+            assert index.lookup(float(k)) == k
+
+    def test_tombstone_semantics(self):
+        keys = uden(500, seed=1)
+        index = PGMIndex()
+        index.bulk_load(keys)
+        victim = float(keys[100])
+        assert index.delete(victim)
+        assert index.lookup(victim) is None
+        # Reinsert the tombstoned key.
+        index.insert(victim)
+        assert index.lookup(victim) == victim
+
+    def test_out_of_place_capability(self):
+        assert PGMIndex.capabilities.insertion_strategy == "Out-of-place"
+
+
+class TestRadixSplineSpecific:
+    def test_radix_table_is_monotone(self):
+        index = RadixSplineIndex()
+        index.bulk_load(face_like(3000, seed=0))
+        radix = index._radix
+        assert all(a <= b for a, b in zip(radix, radix[1:]))
+
+    def test_more_radix_bits_smaller_knot_windows(self):
+        keys = face_like(3000, seed=0)
+        narrow = RadixSplineIndex(radix_bits=4)
+        wide = RadixSplineIndex(radix_bits=16)
+        narrow.bulk_load(keys)
+        wide.bulk_load(keys)
+        for k in keys[::301]:
+            assert narrow.lookup(float(k)) == k
+            assert wide.lookup(float(k)) == k
+
+    def test_out_of_range_lookups(self):
+        keys = uden(100, seed=0)
+        index = RadixSplineIndex()
+        index.bulk_load(keys)
+        assert index.lookup(float(keys[0]) - 1e6) is None
+        assert index.lookup(float(keys[-1]) + 1e6) is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RadixSplineIndex(spline_error=0)
+        with pytest.raises(ValueError):
+            RadixSplineIndex(radix_bits=0)
+
+    def test_skewed_data_needs_more_knots(self):
+        uniform = RadixSplineIndex()
+        uniform.bulk_load(uden(3000, seed=1))
+        skewed = RadixSplineIndex()
+        skewed.bulk_load(face_like(3000, seed=1))
+        assert skewed.node_count() > uniform.node_count()

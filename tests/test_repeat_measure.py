@@ -1,0 +1,45 @@
+"""Tests for the seeded repeat-measurement harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sorted_array import SortedArrayIndex
+from repro.bench.harness import repeat_measure
+from repro.datasets import uden
+from repro.workloads.readonly import readonly_workload
+
+
+def test_repeat_measure_aggregates():
+    keys = uden(1000, seed=0)
+    result = repeat_measure(
+        SortedArrayIndex,
+        keys,
+        lambda seed: readonly_workload(keys, 200, seed=seed),
+        repeats=3,
+    )
+    assert len(result.runs) == 3
+    assert result.wall_ns_mean > 0
+    assert result.cost_mean > 0
+    assert result.wall_ns_std >= 0
+
+
+def test_repeat_measure_deterministic_cost():
+    """Structural cost is deterministic per seed, so identical seeds give
+    zero cost variance."""
+    keys = uden(500, seed=1)
+    result = repeat_measure(
+        SortedArrayIndex,
+        keys,
+        lambda seed: readonly_workload(keys, 100, seed=42),  # fixed seed
+        repeats=3,
+    )
+    assert result.cost_std == pytest.approx(0.0)
+
+
+def test_repeat_measure_validates_repeats():
+    keys = uden(100, seed=2)
+    with pytest.raises(ValueError):
+        repeat_measure(
+            SortedArrayIndex, keys,
+            lambda seed: readonly_workload(keys, 10, seed=seed), repeats=0,
+        )

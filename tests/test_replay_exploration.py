@@ -1,0 +1,102 @@
+"""Tests for the replay buffer and exploration strategies."""
+
+import numpy as np
+import pytest
+
+from repro.rl.exploration import (
+    DecaySchedule,
+    boltzmann_probabilities,
+    boltzmann_select,
+)
+from repro.rl.replay import ReplayBuffer, Transition
+
+
+def make_transition(reward=1.0, terminal=False):
+    children = () if terminal else (np.zeros(3),)
+    weights = () if terminal else (1.0,)
+    return Transition(np.ones(3), 0, reward, children, weights)
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buf = ReplayBuffer(capacity=4)
+        for i in range(3):
+            buf.push(make_transition(reward=i))
+        assert len(buf) == 3
+
+    def test_ring_eviction(self):
+        buf = ReplayBuffer(capacity=3)
+        for i in range(5):
+            buf.push(make_transition(reward=i))
+        assert len(buf) == 3
+        rewards = {t.reward for t in buf.sample(3)}
+        assert rewards <= {2.0, 3.0, 4.0}
+
+    def test_sample_without_replacement(self):
+        buf = ReplayBuffer(capacity=10)
+        for i in range(10):
+            buf.push(make_transition(reward=i))
+        batch = buf.sample(10)
+        assert len({t.reward for t in batch}) == 10
+
+    def test_sample_more_than_stored(self):
+        buf = ReplayBuffer(capacity=10)
+        buf.push(make_transition())
+        assert len(buf.sample(5)) == 1
+
+    def test_empty_sample(self):
+        assert ReplayBuffer(capacity=2).sample(4) == []
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+    def test_terminal_flag(self):
+        assert make_transition(terminal=True).terminal
+        assert not make_transition(terminal=False).terminal
+
+
+class TestBoltzmann:
+    def test_probabilities_sum_to_one(self):
+        p = boltzmann_probabilities(np.array([1.0, 2.0, 3.0]), 1.0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_low_temperature_is_greedy(self):
+        p = boltzmann_probabilities(np.array([1.0, 5.0, 2.0]), 0.01)
+        assert p[1] > 0.999
+
+    def test_high_temperature_is_uniform(self):
+        p = boltzmann_probabilities(np.array([1.0, 5.0, 2.0]), 1e6)
+        assert np.allclose(p, 1 / 3, atol=1e-3)
+
+    def test_temperature_must_be_positive(self):
+        with pytest.raises(ValueError):
+            boltzmann_probabilities(np.array([1.0]), 0.0)
+
+    def test_select_respects_distribution(self):
+        rng = np.random.default_rng(0)
+        q = np.array([0.0, 10.0])
+        picks = [boltzmann_select(q, 1.0, rng) for _ in range(200)]
+        assert sum(picks) > 190  # action 1 dominates
+
+    def test_numerical_stability_with_large_values(self):
+        p = boltzmann_probabilities(np.array([1e9, 1e9 - 1]), 1.0)
+        assert np.isfinite(p).all()
+
+
+class TestDecaySchedule:
+    def test_decays_toward_floor(self):
+        sched = DecaySchedule(floor=0.1, decay=0.5, start=1.0)
+        values = [sched.step() for _ in range(10)]
+        assert values[0] == 0.5
+        assert values[-1] == 0.1
+        assert sched.finished
+
+    def test_not_finished_initially(self):
+        assert not DecaySchedule(floor=0.1, decay=0.9).finished
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecaySchedule(decay=1.5)
+        with pytest.raises(ValueError):
+            DecaySchedule(floor=0.0)

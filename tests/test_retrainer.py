@@ -1,0 +1,98 @@
+"""Tests for the background retraining thread (Section V)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ChameleonIndex, IntervalLockManager
+from repro.core.retrainer import RetrainingThread
+from repro.datasets import face_like
+
+
+@pytest.fixture
+def loaded_index():
+    manager = IntervalLockManager()
+    index = ChameleonIndex(strategy="ChaB", lock_manager=manager)
+    keys = face_like(3000, seed=11)
+    index.bulk_load(keys[:2000])
+    return index, manager, keys
+
+
+class TestSweep:
+    def test_no_retrain_below_threshold(self, loaded_index):
+        index, manager, _ = loaded_index
+        retrainer = RetrainingThread(index, manager, update_threshold=10)
+        assert retrainer.sweep_once() == 0
+
+    def test_retrains_drifted_intervals(self, loaded_index):
+        index, manager, keys = loaded_index
+        for k in keys[2000:2600]:
+            index.insert(float(k))
+        retrainer = RetrainingThread(index, manager, update_threshold=8)
+        rebuilt = retrainer.sweep_once()
+        assert rebuilt > 0
+        assert retrainer.stats.retrained_intervals == rebuilt
+        # Every key still reachable after the sweep.
+        for k in keys[:2600:41]:
+            assert index.lookup(float(k)) == k
+
+    def test_update_counts_reset_after_sweep(self, loaded_index):
+        index, manager, keys = loaded_index
+        for k in keys[2000:2600]:
+            index.insert(float(k))
+        retrainer = RetrainingThread(index, manager, update_threshold=8)
+        retrainer.sweep_once()
+        assert retrainer.sweep_once() == 0  # counters were reset
+
+    def test_stats_accumulate(self, loaded_index):
+        index, manager, keys = loaded_index
+        for k in keys[2000:2500]:
+            index.insert(float(k))
+        retrainer = RetrainingThread(index, manager, update_threshold=8)
+        retrainer.sweep_once()
+        assert retrainer.stats.passes == 1
+        assert retrainer.stats.total_retrain_seconds >= 0.0
+
+
+class TestThreadLifecycle:
+    def test_start_stop(self, loaded_index):
+        index, manager, keys = loaded_index
+        retrainer = RetrainingThread(index, manager, period_s=0.02,
+                                     update_threshold=8)
+        retrainer.start()
+        for k in keys[2000:2800]:
+            index.insert(float(k))
+        deadline = time.time() + 3.0
+        while retrainer.stats.passes == 0 and time.time() < deadline:
+            time.sleep(0.02)
+        retrainer.stop()
+        assert not retrainer.is_alive()
+        assert retrainer.stats.passes >= 1
+
+    def test_stop_is_idempotent(self, loaded_index):
+        index, manager, _ = loaded_index
+        retrainer = RetrainingThread(index, manager, period_s=0.02)
+        retrainer.start()
+        retrainer.stop()
+        retrainer.stop()
+        assert not retrainer.is_alive()
+
+    def test_queries_remain_correct_during_retraining(self, loaded_index):
+        """The headline property: concurrent retraining never breaks reads."""
+        index, manager, keys = loaded_index
+        retrainer = RetrainingThread(index, manager, period_s=0.005,
+                                     update_threshold=4)
+        retrainer.start()
+        try:
+            rng = np.random.default_rng(0)
+            live = list(keys[:2000])
+            for k in keys[2000:]:
+                index.insert(float(k))
+                live.append(float(k))
+                probe = live[int(rng.integers(0, len(live)))]
+                assert index.lookup(probe) == probe
+        finally:
+            retrainer.stop()
+        for k in keys[::37]:
+            assert index.lookup(float(k)) == k

@@ -1,0 +1,83 @@
+"""Tests for reward functions and the Dynamic Reward Function."""
+
+import numpy as np
+import pytest
+
+from repro.rl.rewards import (
+    COST_COMPONENTS,
+    RewardWeights,
+    dynamic_reward,
+    tsmdp_reward,
+)
+
+
+class TestRewardWeights:
+    def test_defaults_are_paper_values(self):
+        w = RewardWeights()
+        assert w.query == 0.5 and w.memory == 0.5
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            RewardWeights(query=0.5, memory=0.6)
+
+    def test_non_negative(self):
+        with pytest.raises(ValueError):
+            RewardWeights(query=-0.5, memory=1.5)
+
+    def test_random_weights_valid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            w = RewardWeights.random(rng)
+            assert abs(w.query + w.memory - 1.0) < 1e-9
+            assert 0 < w.query < 1
+
+    def test_as_array(self):
+        np.testing.assert_allclose(
+            RewardWeights(query=0.3, memory=0.7).as_array(), [0.3, 0.7]
+        )
+
+
+class TestTsmdpReward:
+    def test_negates_weighted_costs(self):
+        assert tsmdp_reward(2.0, 4.0) == pytest.approx(-(0.5 * 2 + 0.5 * 4))
+
+    def test_custom_weights(self):
+        w = RewardWeights(query=1.0, memory=0.0)
+        assert tsmdp_reward(2.0, 100.0, w) == -2.0
+
+    def test_cheaper_is_better(self):
+        assert tsmdp_reward(1.0, 1.0) > tsmdp_reward(5.0, 5.0)
+
+
+class TestDynamicReward:
+    def test_drf_is_weighted_negation(self):
+        costs = np.array([2.0, 4.0])
+        w = RewardWeights(query=0.25, memory=0.75)
+        assert dynamic_reward(costs, w) == pytest.approx(-(0.5 + 3.0))
+
+    def test_batched(self):
+        costs = np.array([[1.0, 1.0], [2.0, 2.0]])
+        rewards = dynamic_reward(costs, RewardWeights())
+        assert rewards.shape == (2,)
+        assert rewards[0] > rewards[1]
+
+    def test_component_count_validated(self):
+        with pytest.raises(ValueError):
+            dynamic_reward(np.array([1.0, 2.0, 3.0]), RewardWeights())
+
+    def test_reweighting_without_retraining(self):
+        """The DRF's point: the same costs re-rank under new weights with
+        no model involvement."""
+        cheap_query = np.array([1.0, 10.0])
+        cheap_memory = np.array([10.0, 1.0])
+        query_first = RewardWeights(query=0.9, memory=0.1)
+        memory_first = RewardWeights(query=0.1, memory=0.9)
+        assert dynamic_reward(cheap_query, query_first) > dynamic_reward(
+            cheap_memory, query_first
+        )
+        assert dynamic_reward(cheap_memory, memory_first) > dynamic_reward(
+            cheap_query, memory_first
+        )
+
+    def test_component_names(self):
+        assert COST_COMPONENTS == ("query_cost", "memory_cost")

@@ -1,0 +1,161 @@
+"""White-box tests of the search machinery inside each baseline.
+
+These pin the internal invariants the differential tests can't see
+directly: ALEX's exponential search over gapped arrays, B+Tree rebalancing
+branches, PGM level descent, and the RadixSpline prefix function.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.alex import _DataNode, _LinearModel
+from repro.baselines.btree import BPlusTreeIndex
+from repro.baselines.counters import Counters
+from repro.baselines.pgm import PGMIndex
+from repro.baselines.radix_spline import RadixSplineIndex
+from repro.datasets import face_like, uden
+
+
+class TestLinearModel:
+    def test_perfect_fit_on_line(self):
+        keys = [1.0, 2.0, 3.0, 4.0]
+        model = _LinearModel.fit(keys, [10.0, 20.0, 30.0, 40.0])
+        for k, p in zip(keys, [10.0, 20.0, 30.0, 40.0]):
+            assert model.predict(k) == pytest.approx(p)
+
+    def test_degenerate_inputs(self):
+        assert _LinearModel.fit([], []).predict(5.0) == 0.0
+        assert _LinearModel.fit([2.0], [7.0]).predict(99.0) == 7.0
+        constant = _LinearModel.fit([3.0, 3.0], [1.0, 5.0])
+        assert constant.predict(3.0) == pytest.approx(3.0)
+
+
+class TestAlexDataNode:
+    def build_node(self, keys):
+        node = _DataNode()
+        node.build(list(map(float, keys)), list(map(float, keys)))
+        return node
+
+    def test_build_preserves_sorted_order_with_gaps(self):
+        node = self.build_node(np.sort(np.random.default_rng(0).uniform(0, 1e6, 200)))
+        occupied = [k for k in node.slot_keys if k is not None]
+        assert occupied == sorted(occupied)
+        assert node.capacity > node.n_keys  # gaps exist
+
+    def test_exponential_search_finds_every_key(self):
+        keys = np.sort(np.random.default_rng(1).uniform(0, 1e6, 300))
+        node = self.build_node(keys)
+        counters = Counters()
+        for k in keys:
+            pos = node._exponential_search(float(k), counters)
+            assert node._cmp_key(pos, counters) == k
+
+    def test_exponential_search_bounds_for_absent_keys(self):
+        node = self.build_node([10.0, 20.0, 30.0])
+        counters = Counters()
+        # Below all keys: anchor must be greater than the probe.
+        pos = node._exponential_search(5.0, counters)
+        assert node._cmp_key(pos, counters) in (float("-inf"), 10.0)
+        # Between keys: anchor is the floor key.
+        pos = node._exponential_search(25.0, counters)
+        assert node._cmp_key(pos, counters) == 20.0
+        # Above all keys: anchor is the max key.
+        pos = node._exponential_search(99.0, counters)
+        assert node._cmp_key(pos, counters) == 30.0
+
+    def test_insert_keeps_order_at_extremes(self):
+        # Ten keys at DENSITY_LOW leave room for two inserts below the
+        # DENSITY_HIGH refusal bound.
+        node = self.build_node([float(k) for k in range(10, 110, 10)])
+        counters = Counters()
+        assert node.insert(5.0, 5.0, counters)
+        assert node.insert(135.0, 135.0, counters)
+        occupied = [k for k in node.slot_keys if k is not None]
+        assert occupied == sorted(occupied)
+
+    def test_insert_refuses_beyond_density(self):
+        node = self.build_node(list(range(10)))
+        counters = Counters()
+        added = 0
+        while node.insert(100.0 + added, 0.0, counters):
+            added += 1
+        assert node.n_keys / node.capacity <= 0.9
+
+    def test_prediction_error_small_on_linear_keys(self):
+        node = self.build_node([float(i) for i in range(100)])
+        max_err, avg_err = node.error_stats(Counters())
+        assert max_err <= 2
+
+
+class TestBTreeRebalancing:
+    def build(self, n, order=8):
+        index = BPlusTreeIndex(order=order)
+        index.bulk_load([float(i) for i in range(n)])
+        return index
+
+    def test_borrow_from_right_sibling(self):
+        index = self.build(64)
+        # Delete from the leftmost leaf until it underflows and borrows.
+        for i in range(5):
+            index.delete(float(i))
+        for i in range(5, 64):
+            assert index.lookup(float(i)) == float(i)
+
+    def test_root_collapse(self):
+        index = self.build(200, order=8)
+        for i in range(199):
+            index.delete(float(i))
+        assert index.lookup(199.0) == 199.0
+        assert index.height_stats()[0] == 1  # shrunk to a single leaf
+
+    def test_alternating_insert_delete_stays_balanced(self):
+        index = self.build(100, order=8)
+        rng = np.random.default_rng(0)
+        live = set(float(i) for i in range(100))
+        next_key = 1000.0
+        for _ in range(500):
+            if rng.random() < 0.5 and live:
+                victim = live.pop()
+                assert index.delete(victim)
+            else:
+                index.insert(next_key)
+                live.add(next_key)
+                next_key += 1
+        max_h, avg_h = index.height_stats()
+        assert max_h == avg_h  # perfectly balanced
+        for k in list(live)[:50]:
+            assert index.lookup(k) == k
+
+
+class TestPGMDescent:
+    def test_segment_for_returns_covering_segment(self):
+        index = PGMIndex(epsilon=8)
+        keys = face_like(3000, seed=0)
+        index.bulk_load(keys)
+        for k in keys[::97]:
+            seg = index._segment_for(float(k))
+            assert seg is not None
+            assert seg.first_key <= k
+
+    def test_level_fanout_shrinks_upward(self):
+        index = PGMIndex(epsilon=8)
+        index.bulk_load(face_like(5000, seed=1))
+        sizes = [len(level) for level in index._levels]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] == 1
+
+
+class TestRadixPrefix:
+    def test_prefix_monotone_in_key(self):
+        index = RadixSplineIndex(radix_bits=8)
+        index.bulk_load(uden(2000, seed=0))
+        keys = np.linspace(index._keys[0], index._keys[-1], 100)
+        prefixes = [index._prefix_of(float(k)) for k in keys]
+        assert prefixes == sorted(prefixes)
+        assert 0 <= min(prefixes) and max(prefixes) < 256
+
+    def test_prefix_clamps_out_of_range(self):
+        index = RadixSplineIndex(radix_bits=8)
+        index.bulk_load(uden(100, seed=0))
+        assert index._prefix_of(index._keys[0] - 1e9) == 0
+        assert index._prefix_of(index._keys[-1] + 1e9) == 255

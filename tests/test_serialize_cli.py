@@ -1,0 +1,84 @@
+"""Tests for workload serialization and the datasets CLI."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import uden
+from repro.datasets.__main__ import main as datasets_main
+from repro.datasets.sosd import read_sosd
+from repro.workloads.mixed import read_write_workload, split_load_and_pool
+from repro.workloads.operations import OpKind, Operation
+from repro.workloads.serialize import load_workload, save_workload
+
+
+class TestWorkloadSerialization:
+    def test_roundtrip_all_kinds(self, tmp_path):
+        ops = [
+            Operation(OpKind.LOOKUP, 1.5),
+            Operation(OpKind.INSERT, 2.25),
+            Operation(OpKind.DELETE, 3.125),
+            Operation(OpKind.RANGE, 4.0, high=5.0),
+        ]
+        path = tmp_path / "ops.tsv"
+        assert save_workload(ops, path) == 4
+        assert load_workload(path) == ops
+
+    def test_roundtrip_generated_stream(self, tmp_path):
+        keys = uden(1000, seed=0)
+        loaded, pool = split_load_and_pool(keys, 0.6, seed=0)
+        ops = read_write_workload(loaded, pool, 500, 0.4, seed=1)
+        path = tmp_path / "stream.tsv"
+        save_workload(ops, path)
+        assert load_workload(path) == ops
+
+    def test_float_keys_roundtrip_exactly(self, tmp_path):
+        tricky = [0.1, 1e-300, 2**52 + 0.5, 123456789.000001]
+        ops = [Operation(OpKind.LOOKUP, k) for k in tricky]
+        path = tmp_path / "tricky.tsv"
+        save_workload(ops, path)
+        assert [op.key for op in load_workload(path)] == tricky
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "mixed.tsv"
+        path.write_text("# header\n\nlookup\t1.0\n")
+        assert load_workload(path) == [Operation(OpKind.LOOKUP, 1.0)]
+
+    def test_unknown_op_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("upsert\t1.0\n")
+        with pytest.raises(ValueError, match="unknown op"):
+            load_workload(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad2.tsv"
+        path.write_text("range\t1.0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_workload(path)
+
+
+class TestDatasetsCli:
+    def test_stats_output(self, capsys):
+        assert datasets_main(["UDEN", "500", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "lsn" in out and "0.250*pi" in out
+
+    def test_export_sosd(self, tmp_path, capsys):
+        out_file = tmp_path / "uden_sosd"
+        assert datasets_main(["UDEN", "400", "--out", str(out_file)]) == 0
+        raw = read_sosd(out_file)
+        assert raw.size > 0
+        assert (np.diff(raw.astype(np.float64)) > 0).all()
+
+    def test_mixture_generator(self, capsys):
+        assert datasets_main(
+            ["mixture", "400", "--variance", "1e-4", "--stats"]
+        ) == 0
+        assert "lsn" in capsys.readouterr().out
+
+    def test_unknown_dataset_errors(self):
+        with pytest.raises(SystemExit):
+            datasets_main(["WIKI", "100"])
+
+    def test_default_message(self, capsys):
+        assert datasets_main(["FACE", "300"]) == 0
+        assert "generated" in capsys.readouterr().out

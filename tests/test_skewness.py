@@ -1,0 +1,168 @@
+"""Unit and property tests for the local-skewness metric (Definitions 2-3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.skewness import (
+    LSN_MAX,
+    LSN_UNIFORM,
+    conflict_degree,
+    local_skewness,
+    local_skewness_windows,
+    probability_density,
+)
+
+
+class TestLocalSkewness:
+    def test_equally_spaced_keys_give_exactly_pi_over_4(self):
+        keys = np.linspace(0.0, 1000.0, 101)
+        assert local_skewness(keys) == pytest.approx(math.pi / 4)
+
+    def test_equally_spaced_integers(self):
+        assert local_skewness(np.arange(50, dtype=float)) == pytest.approx(
+            math.pi / 4
+        )
+
+    def test_dense_cluster_raises_lsn(self):
+        uniform = np.linspace(0.0, 1e6, 1000)
+        clustered = np.concatenate(
+            [np.linspace(0.0, 1e6, 500), np.linspace(5e5, 5e5 + 100, 500)]
+        )
+        assert local_skewness(clustered) > local_skewness(uniform)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        keys = np.unique(rng.uniform(0, 1e9, 500))
+        lsn = local_skewness(keys)
+        assert LSN_UNIFORM <= lsn < LSN_MAX
+
+    def test_unsorted_input_is_sorted_internally(self):
+        keys = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert local_skewness(keys) == local_skewness(np.sort(keys))
+
+    def test_requires_two_keys(self):
+        with pytest.raises(ValueError):
+            local_skewness(np.array([1.0]))
+
+    def test_requires_distinct_keys(self):
+        with pytest.raises(ValueError):
+            local_skewness(np.array([2.0, 2.0, 2.0]))
+
+    def test_duplicates_among_distinct_keys_stay_finite(self):
+        keys = np.array([0.0, 1.0, 1.0, 2.0, 100.0])
+        lsn = local_skewness(keys)
+        assert LSN_UNIFORM <= lsn < LSN_MAX
+
+    def test_scale_invariance(self):
+        keys = np.array([0.0, 1.0, 2.0, 10.0, 11.0, 12.0, 50.0])
+        assert local_skewness(keys) == pytest.approx(
+            local_skewness(keys * 1e6), rel=1e-9
+        )
+        assert local_skewness(keys) == pytest.approx(
+            local_skewness(keys + 1e9), rel=1e-6
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e12, allow_nan=False),
+            min_size=3,
+            max_size=200,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60)
+    def test_property_bounds_hold_for_any_key_set(self, keys):
+        lsn = local_skewness(np.asarray(keys))
+        assert math.pi / 4 - 1e-9 <= lsn < math.pi / 2
+
+
+class TestLocalSkewnessWindows:
+    def test_windows_locate_the_skewed_region(self):
+        uniform_part = np.linspace(0.0, 1e6, 256)
+        dense_part = np.linspace(2e6, 2e6 + 10, 256)
+        keys = np.concatenate([uniform_part, dense_part])
+        values = local_skewness_windows(keys, window=256)
+        assert len(values) == 2
+        assert values[0] == pytest.approx(math.pi / 4, abs=1e-6)
+        assert values[1] == pytest.approx(math.pi / 4, abs=1e-6)
+        # Each window alone is uniform; the whole dataset is not.
+        assert local_skewness(keys) > math.pi / 4 + 0.1
+
+    def test_window_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            local_skewness_windows(np.arange(10.0), window=1)
+
+
+class TestConflictDegree:
+    def test_paper_worked_example(self):
+        # Keys {3,4,5,6,7,9,11}, P(k) = 131*(10/8*(k-3)) mod 10, capacity 10.
+        # The paper prints the predictions as 0,3,7,1,5,2,7; evaluating the
+        # stated formula gives 0,3,7,1,5,2,0 (131*10 mod 10 is 0, not 7 —
+        # the paper's last value is a typo). Either way one slot holds two
+        # keys, so the conflict degree of the example is 1 as the paper says.
+        keys = [3, 4, 5, 6, 7, 9, 11]
+        slots = [int(131 * (10 / 8 * (k - 3))) % 10 for k in keys]
+        assert slots == [0, 3, 7, 1, 5, 2, 0]
+        assert conflict_degree(slots, capacity=10) == 1
+
+    def test_no_conflicts(self):
+        assert conflict_degree([0, 1, 2, 3], capacity=4) == 0
+
+    def test_all_in_one_slot(self):
+        assert conflict_degree([2, 2, 2, 2], capacity=4) == 3
+
+    def test_empty(self):
+        assert conflict_degree([], capacity=8) == 0
+
+    def test_out_of_range_slot_rejected(self):
+        with pytest.raises(ValueError):
+            conflict_degree([0, 5], capacity=4)
+        with pytest.raises(ValueError):
+            conflict_degree([-1], capacity=4)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            conflict_degree([0], capacity=0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=31), max_size=200),
+    )
+    @settings(max_examples=50)
+    def test_property_matches_bincount_definition(self, slots):
+        cd = conflict_degree(slots, capacity=32)
+        counts = np.bincount(np.asarray(slots, dtype=int), minlength=32)
+        assert cd == max(0, int(counts.max()) - 1) if slots else cd == 0
+
+
+class TestProbabilityDensity:
+    def test_sums_to_one(self):
+        pdf = probability_density(np.linspace(0, 1, 100), buckets=16)
+        assert pdf.sum() == pytest.approx(1.0)
+        assert pdf.shape == (16,)
+
+    def test_uniform_keys_give_flat_pdf(self):
+        pdf = probability_density(np.linspace(0, 1, 1600), buckets=16)
+        assert pdf.max() - pdf.min() < 0.01
+
+    def test_empty_keys_give_zeros(self):
+        pdf = probability_density(np.array([]), buckets=8)
+        assert pdf.sum() == 0.0
+
+    def test_degenerate_range_puts_mass_in_first_bucket(self):
+        pdf = probability_density(np.array([5.0, 5.0]), buckets=4)
+        assert pdf[0] == 1.0
+
+    def test_explicit_range(self):
+        pdf = probability_density(
+            np.array([0.5, 1.5]), buckets=2, low=0.0, high=2.0
+        )
+        assert pdf[0] == pytest.approx(0.5)
+        assert pdf[1] == pytest.approx(0.5)
+
+    def test_buckets_must_be_positive(self):
+        with pytest.raises(ValueError):
+            probability_density(np.array([1.0]), buckets=0)

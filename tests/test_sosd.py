@@ -1,0 +1,102 @@
+"""Tests for SOSD binary-format I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import uden
+from repro.datasets.sosd import MAX_EXACT_FLOAT, load_sosd, read_sosd, write_sosd
+
+
+class TestRoundTrip:
+    def test_write_read_roundtrip_64(self, tmp_path):
+        keys = np.unique(np.floor(uden(1000, seed=1)))
+        path = tmp_path / "keys_uint64"
+        write_sosd(keys, path)
+        raw = read_sosd(path)
+        assert raw.dtype == np.uint64
+        np.testing.assert_array_equal(raw.astype(np.float64), keys)
+
+    def test_write_read_roundtrip_32(self, tmp_path):
+        keys = np.arange(0, 5000, 7, dtype=np.float64)
+        path = tmp_path / "keys_uint32"
+        write_sosd(keys, path, key_bits=32)
+        raw = read_sosd(path, key_bits=32)
+        assert raw.dtype == np.uint32
+        np.testing.assert_array_equal(raw.astype(np.float64), keys)
+
+    def test_load_sorts_and_dedupes(self, tmp_path):
+        path = tmp_path / "dups"
+        write_sosd(np.array([5.0, 1.0, 5.0, 3.0]), path)
+        keys = load_sosd(path)
+        np.testing.assert_array_equal(keys, [1.0, 3.0, 5.0])
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty"
+        write_sosd(np.array([]), path)
+        assert read_sosd(path).size == 0
+
+
+class TestValidation:
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "trunc"
+        write_sosd(np.arange(100, dtype=np.float64), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            read_sosd(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "nohdr"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="header"):
+            read_sosd(path)
+
+    def test_negative_keys_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_sosd(np.array([-1.0]), tmp_path / "neg")
+
+    def test_bad_key_bits(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_sosd(np.array([1.0]), tmp_path / "x", key_bits=16)
+        with pytest.raises(ValueError):
+            read_sosd(tmp_path / "x", key_bits=16)
+
+    def test_keys_beyond_float53_rejected_on_load(self, tmp_path):
+        path = tmp_path / "big"
+        big = np.array([MAX_EXACT_FLOAT * 4], dtype=np.uint64)
+        with open(path, "wb") as f:
+            np.asarray([1], dtype=np.uint64).tofile(f)
+            big.tofile(f)
+        with pytest.raises(ValueError, match="2\\^53"):
+            load_sosd(path)
+
+
+class TestSubsample:
+    def test_subsample_size_and_order(self, tmp_path):
+        keys = np.unique(np.floor(uden(2000, seed=2)))
+        path = tmp_path / "sub"
+        write_sosd(keys, path)
+        sub = load_sosd(path, subsample=500, seed=1)
+        assert len(sub) == 500
+        assert (np.diff(sub) > 0).all()
+        assert set(sub.tolist()) <= set(keys.tolist())
+
+    def test_subsample_larger_than_data_is_noop(self, tmp_path):
+        keys = uden(100, seed=3)
+        path = tmp_path / "small"
+        write_sosd(keys, path)
+        assert len(load_sosd(path, subsample=1000)) == 100
+
+
+class TestEndToEnd:
+    def test_exported_dataset_loads_into_index(self, tmp_path):
+        from repro.core import ChameleonIndex
+
+        keys = uden(1500, seed=4)
+        path = tmp_path / "uden_1500_uint64"
+        write_sosd(keys, path)
+        loaded = load_sosd(path)
+        index = ChameleonIndex(strategy="ChaB")
+        index.bulk_load(loaded)
+        for k in loaded[::37]:
+            assert index.lookup(float(k)) == k

@@ -1,0 +1,79 @@
+"""Tests for the text-mode visualisations."""
+
+import numpy as np
+import pytest
+
+from repro.bench.visualize import (
+    cdf_plot,
+    latency_trace,
+    segmentation_view,
+    skew_profile,
+)
+from repro.core import ChameleonIndex
+from repro.datasets import face_like, uden
+
+
+class TestCdfPlot:
+    def test_shape_and_footer(self):
+        plot = cdf_plot(uden(500, seed=0), width=40, height=8)
+        lines = plot.splitlines()
+        assert len(lines) == 10  # 8 rows + rule + footer
+        assert all(len(line) <= 40 for line in lines[:8])
+        assert "n=500" in lines[-1]
+
+    def test_uniform_cdf_is_diagonalish(self):
+        plot = cdf_plot(uden(2000, seed=0), width=20, height=10)
+        rows = plot.splitlines()[:10]
+        # Uniform CDF: the mark in the top row is on the right, bottom row
+        # on the left.
+        assert rows[0].rstrip().endswith("*")
+        assert rows[-1].lstrip().startswith("*")
+
+    def test_degenerate_input(self):
+        assert "two keys" in cdf_plot(np.array([1.0]))
+
+
+class TestSkewProfile:
+    def test_uniform_profile_is_light(self):
+        strip = skew_profile(uden(4000, seed=1))
+        assert "lsn/window" in strip
+
+    def test_skewed_profile_differs_from_uniform(self):
+        flat = skew_profile(uden(4000, seed=1))
+        rough = skew_profile(face_like(4000, seed=1))
+        assert flat != rough
+
+    def test_tiny_input(self):
+        assert skew_profile(np.linspace(0, 1, 10))  # no crash
+
+
+class TestSegmentationView:
+    def test_describes_leaves(self):
+        index = ChameleonIndex(strategy="ChaB")
+        index.bulk_load(face_like(3000, seed=2))
+        view = segmentation_view(index)
+        assert "leaves;" in view
+        assert "keys/leaf" in view
+
+    def test_empty_index(self):
+        assert "empty" in segmentation_view(ChameleonIndex())
+
+    def test_skewed_data_concentrates_boundaries(self):
+        """On skewed data, some key-space columns get many more leaf
+        boundaries than others (fanout goes where the density is)."""
+        index = ChameleonIndex(strategy="ChaB")
+        index.bulk_load(face_like(5000, seed=3))
+        strip = segmentation_view(index, width=40).splitlines()[0]
+        body = strip.split("|")[1]
+        assert " " in body or "." in body  # some sparse columns
+        assert any(c in body for c in "#%@+*=")  # some dense columns
+
+
+class TestLatencyTrace:
+    def test_renders_samples(self):
+        trace = latency_trace([100, 200, 100, 90_000, 120])
+        assert "log scale" in trace
+        assert "max=90000ns" in trace
+
+    def test_empty(self):
+        assert latency_trace([]) == "(no samples)"

@@ -1,0 +1,195 @@
+"""Tests for workload generation and the workload driver."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sorted_array import SortedArrayIndex
+from repro.workloads import (
+    OpKind,
+    Operation,
+    batched_workload_phases,
+    insert_delete_workload,
+    read_write_workload,
+    readonly_workload,
+    run_workload,
+)
+from repro.workloads.mixed import split_load_and_pool
+from repro.workloads.operations import interleave
+from repro.workloads.readonly import range_workload
+
+
+@pytest.fixture
+def keys():
+    return np.linspace(0.0, 1e6, 2001)
+
+
+class TestReadonlyWorkload:
+    def test_all_lookups_hit(self, keys):
+        ops = readonly_workload(keys, 500, seed=0)
+        assert len(ops) == 500
+        assert all(op.kind is OpKind.LOOKUP for op in ops)
+        loaded = set(keys.tolist())
+        assert all(op.key in loaded for op in ops)
+
+    def test_miss_fraction(self, keys):
+        ops = readonly_workload(keys, 400, seed=0, miss_fraction=0.5)
+        loaded = set(keys.tolist())
+        misses = sum(1 for op in ops if op.key not in loaded)
+        assert misses > 100
+
+    def test_deterministic(self, keys):
+        a = readonly_workload(keys, 100, seed=3)
+        b = readonly_workload(keys, 100, seed=3)
+        assert a == b
+
+    def test_validation(self, keys):
+        with pytest.raises(ValueError):
+            readonly_workload(keys, -1)
+        with pytest.raises(ValueError):
+            readonly_workload(np.array([]), 10)
+        with pytest.raises(ValueError):
+            readonly_workload(keys, 10, miss_fraction=2.0)
+
+    def test_range_workload(self, keys):
+        ops = range_workload(keys, 20, span_keys=10, seed=0)
+        assert len(ops) == 20
+        assert all(op.kind is OpKind.RANGE and op.high >= op.key for op in ops)
+
+
+class TestSplitLoadAndPool:
+    def test_partition_is_exact(self, keys):
+        loaded, pool = split_load_and_pool(keys, 0.6, seed=0)
+        assert len(loaded) + len(pool) == len(keys)
+        assert set(loaded.tolist()).isdisjoint(pool.tolist())
+        assert (np.diff(loaded) > 0).all()
+
+    def test_invalid_fraction(self, keys):
+        with pytest.raises(ValueError):
+            split_load_and_pool(keys, 0.0)
+
+
+def _replay_is_consistent(loaded, ops):
+    """Simulate the stream: deletes must hit live keys, inserts fresh ones."""
+    live = set(loaded.tolist())
+    for op in ops:
+        if op.kind is OpKind.INSERT:
+            assert op.key not in live
+            live.add(op.key)
+        elif op.kind is OpKind.DELETE:
+            assert op.key in live
+            live.discard(op.key)
+        elif op.kind is OpKind.LOOKUP:
+            assert op.key in live
+
+
+class TestReadWriteWorkload:
+    @pytest.mark.parametrize("ratio", [0.0, 0.2, 0.5, 0.8])
+    def test_stream_is_executable(self, keys, ratio):
+        loaded, pool = split_load_and_pool(keys, 0.5, seed=1)
+        ops = read_write_workload(loaded, pool, 800, ratio, seed=1)
+        _replay_is_consistent(loaded, ops)
+
+    def test_paper_cycle_shape(self, keys):
+        """ratio 0.2 -> 8 reads then 1 insert + 1 delete per cycle."""
+        loaded, pool = split_load_and_pool(keys, 0.5, seed=1)
+        ops = read_write_workload(loaded, pool, 100, 0.2, seed=1)
+        first_cycle = ops[:10]
+        kinds = [op.kind for op in first_cycle]
+        assert kinds.count(OpKind.LOOKUP) == 8
+        assert kinds.count(OpKind.INSERT) == 1
+        assert kinds.count(OpKind.DELETE) == 1
+
+    def test_write_ratio_respected(self, keys):
+        loaded, pool = split_load_and_pool(keys, 0.5, seed=1)
+        ops = read_write_workload(loaded, pool, 1000, 0.4, seed=1)
+        writes = sum(1 for op in ops if op.kind is not OpKind.LOOKUP)
+        assert writes / len(ops) == pytest.approx(0.4, abs=0.05)
+
+    def test_pool_exhaustion_terminates(self, keys):
+        loaded, pool = split_load_and_pool(keys, 0.99, seed=1)
+        ops = read_write_workload(loaded, pool[:3], 10_000, 1.0, seed=1)
+        assert len(ops) < 10_000  # ran out of fresh keys, no infinite loop
+
+    def test_validation(self, keys):
+        loaded, pool = split_load_and_pool(keys, 0.5, seed=1)
+        with pytest.raises(ValueError):
+            read_write_workload(loaded, pool, 10, 1.5)
+
+
+class TestInsertDeleteWorkload:
+    @pytest.mark.parametrize("ratio", [0.0, 0.25, 0.5, 1.0])
+    def test_stream_is_executable(self, keys, ratio):
+        loaded, pool = split_load_and_pool(keys, 0.5, seed=2)
+        ops = insert_delete_workload(loaded, pool, 600, ratio, seed=2)
+        _replay_is_consistent(loaded, ops)
+
+    def test_pure_insert(self, keys):
+        loaded, pool = split_load_and_pool(keys, 0.5, seed=2)
+        ops = insert_delete_workload(loaded, pool, 200, 1.0, seed=2)
+        assert all(op.kind is OpKind.INSERT for op in ops)
+
+    def test_pure_delete(self, keys):
+        loaded, pool = split_load_and_pool(keys, 0.5, seed=2)
+        ops = insert_delete_workload(loaded, pool, 200, 0.0, seed=2)
+        assert all(op.kind is OpKind.DELETE for op in ops)
+
+
+class TestDriver:
+    def test_counts_and_hits(self, keys):
+        index = SortedArrayIndex()
+        index.bulk_load(keys)
+        ops = [
+            Operation(OpKind.LOOKUP, float(keys[0])),
+            Operation(OpKind.LOOKUP, 0.123),  # miss
+            Operation(OpKind.INSERT, 0.5),
+            Operation(OpKind.DELETE, 0.5),
+            Operation(OpKind.DELETE, 0.777),  # absent
+            Operation(OpKind.RANGE, float(keys[0]), high=float(keys[5])),
+        ]
+        result = run_workload(index, ops)
+        assert result.total_ops == 6
+        assert result.lookup_hits == 1
+        assert result.failed_deletes == 1
+        assert result.op_counts[OpKind.LOOKUP] == 2
+        assert result.total_seconds > 0
+        assert result.counter_delta["comparisons"] > 0
+
+    def test_latency_recording(self, keys):
+        index = SortedArrayIndex()
+        index.bulk_load(keys)
+        ops = [Operation(OpKind.LOOKUP, float(keys[i])) for i in range(10)]
+        result = run_workload(index, ops, record_latencies=True)
+        assert len(result.latencies_ns[OpKind.LOOKUP]) == 10
+        assert result.mean_latency_ns(OpKind.LOOKUP) > 0
+
+    def test_throughput_and_cost(self, keys):
+        index = SortedArrayIndex()
+        index.bulk_load(keys)
+        ops = [Operation(OpKind.LOOKUP, float(k)) for k in keys[:50]]
+        result = run_workload(index, ops)
+        assert result.throughput_ops_per_sec() > 0
+        assert result.structural_cost_per_op() > 0
+
+    def test_interleave(self):
+        a = [Operation(OpKind.LOOKUP, 1.0)] * 3
+        b = [Operation(OpKind.INSERT, 2.0)] * 1
+        merged = interleave([a, b])
+        assert len(merged) == 4
+        assert merged[0].kind is OpKind.LOOKUP
+        assert merged[1].kind is OpKind.INSERT
+
+
+class TestBatchedWorkload:
+    def test_phases_cover_insert_then_delete(self, keys):
+        index = SortedArrayIndex()
+        phases = batched_workload_phases(index, keys[:400], batches=2,
+                                         queries_per_phase=50, seed=0)
+        assert [p.phase for p in phases] == ["insert", "insert", "delete", "delete"]
+        assert phases[0].live_keys < phases[1].live_keys
+        assert phases[-1].live_keys < phases[1].live_keys
+        for p in phases:
+            assert p.read_result.lookup_hits == p.read_result.total_ops
+
+    def test_batches_validation(self, keys):
+        with pytest.raises(ValueError):
+            batched_workload_phases(SortedArrayIndex(), keys[:100], batches=0)

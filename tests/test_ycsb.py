@@ -1,0 +1,122 @@
+"""Tests for the YCSB workload presets."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sorted_array import SortedArrayIndex
+from repro.datasets import uden
+from repro.workloads.mixed import split_load_and_pool
+from repro.workloads.operations import OpKind, run_workload
+from repro.workloads.ycsb import (
+    SPECS,
+    WORKLOAD_NAMES,
+    YcsbSpec,
+    generate_ycsb,
+    zipfian_ranks,
+)
+
+
+@pytest.fixture
+def population():
+    keys = uden(4000, seed=0)
+    return split_load_and_pool(keys, 0.6, seed=0)
+
+
+class TestZipfian:
+    def test_ranks_in_range(self):
+        rng = np.random.default_rng(0)
+        ranks = zipfian_ranks(100, 1000, 0.99, rng)
+        assert ranks.min() >= 0 and ranks.max() < 100
+
+    def test_skew_concentrates_on_low_ranks(self):
+        rng = np.random.default_rng(0)
+        ranks = zipfian_ranks(1000, 5000, 0.99, rng)
+        top10 = (ranks < 10).mean()
+        assert top10 > 0.2  # zipf(0.99): top-1% of items get >20% of hits
+
+    def test_theta_zero_is_uniform(self):
+        rng = np.random.default_rng(0)
+        ranks = zipfian_ranks(100, 20_000, 0.0, rng)
+        top10 = (ranks < 10).mean()
+        assert top10 == pytest.approx(0.1, abs=0.02)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            zipfian_ranks(0, 10, 0.5, rng)
+        with pytest.raises(ValueError):
+            zipfian_ranks(10, 10, -1.0, rng)
+
+
+class TestSpecs:
+    def test_all_six_presets_defined(self):
+        assert set(SPECS) == set(WORKLOAD_NAMES)
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            YcsbSpec(read=0.5, update=0.6)
+
+    def test_workload_c_is_read_only(self):
+        assert SPECS["C"].read == 1.0
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestGeneratedStreams:
+    def test_stream_is_executable_on_oracle(self, name, population):
+        loaded, pool = population
+        ops = generate_ycsb(name, loaded, pool, 1200, seed=1)
+        index = SortedArrayIndex()
+        index.bulk_load(loaded)
+        result = run_workload(index, ops)
+        assert result.failed_deletes == 0
+        assert result.total_ops == len(ops)
+
+    def test_mix_roughly_matches_spec(self, name, population):
+        loaded, pool = population
+        ops = generate_ycsb(name, loaded, pool, 2000, seed=2)
+        spec = SPECS[name]
+        counts = {k: 0 for k in OpKind}
+        for op in ops:
+            counts[op.kind] += 1
+        total = len(ops)
+        if spec.read or spec.rmw:
+            # Per draw: read -> 1 lookup; update -> delete+insert;
+            # rmw -> lookup+delete+insert; insert/scan -> 1 op.
+            ops_per_draw = (
+                spec.read + 2 * spec.update + spec.insert + spec.scan + 3 * spec.rmw
+            )
+            expected_lookups = (spec.read + spec.rmw) / ops_per_draw
+            assert counts[OpKind.LOOKUP] / total == pytest.approx(
+                expected_lookups, abs=0.15
+            )
+        if spec.scan:
+            assert counts[OpKind.RANGE] > 0
+        if not (spec.insert or spec.update or spec.rmw):
+            assert counts[OpKind.INSERT] == 0
+
+    def test_deterministic(self, name, population):
+        loaded, pool = population
+        a = generate_ycsb(name, loaded, pool, 300, seed=3)
+        b = generate_ycsb(name, loaded, pool, 300, seed=3)
+        assert a == b
+
+
+class TestValidation:
+    def test_unknown_workload(self, population):
+        loaded, pool = population
+        with pytest.raises(KeyError):
+            generate_ycsb("Z", loaded, pool, 10)
+
+    def test_case_insensitive(self, population):
+        loaded, pool = population
+        assert generate_ycsb("c", loaded, pool, 10)
+
+    def test_zipfian_reads_hit_hot_keys(self, population):
+        """Workload C with high theta must concentrate lookups."""
+        loaded, pool = population
+        ops = generate_ycsb("C", loaded, pool, 3000, theta=1.2, seed=4)
+        from collections import Counter
+
+        top = Counter(op.key for op in ops).most_common(10)
+        hot_fraction = sum(c for _, c in top) / len(ops)
+        assert hot_fraction > 0.15
