@@ -1,0 +1,36 @@
+"""Chaos benchmark: correctness and recovery under injected faults.
+
+Runs the seeded chaos harness (mixed workload + fault injection + guarded
+retraining sweeps, see ``repro.robustness.chaos``) and asserts the headline
+robustness properties: no wrong lookups, no integrity violations, locks
+quiescent, and the retrainer back to HEALTHY. The benchmark time is the
+wall-clock cost of surviving the fault storm.
+"""
+
+from conftest import run_once
+
+from repro.robustness.chaos import ChaosConfig, run_chaos
+
+QUICK = ChaosConfig(
+    n_keys=2000, n_ops=1200, sweeps=12, fault_probability=0.15, seed=0
+)
+
+
+def test_chaos_survives_fault_storm(benchmark):
+    report = run_once(benchmark, lambda: run_chaos(QUICK))
+    assert report.ok, report.summary()
+    assert report.faults_injected > 0
+    assert report.sweeps_run >= 12
+
+
+def main() -> None:
+    report = run_chaos(ChaosConfig(fault_probability=0.15, seed=0))
+    print(report.summary())
+    for event in report.events:
+        print(f"  {event}")
+    if not report.ok:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

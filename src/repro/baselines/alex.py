@@ -499,3 +499,87 @@ class ALEXIndex(BaseIndex):
             weighted += node_avg * node.n_keys
             total += node.n_keys
         return max_error, (weighted / total if total else 0.0)
+
+    # -- integrity --------------------------------------------------------------------
+
+    def _verify_structure(self, report) -> None:
+        """ALEX invariants: slot-range partition, key order, routing.
+
+        * linkage: data nodes own contiguous, non-overlapping slot ranges
+          that partition the root pointer array exactly;
+        * key-order: occupied slots within a node are strictly ascending
+          and the cached min/max match the stored extremes;
+        * live-count: per-node occupancy matches ``n_keys`` and the total
+          matches ``len(self)``;
+        * leaf-placement: every stored key routes (via the root model) into
+          its owner's slot range.
+        """
+        for check in ("linkage", "leaf-placement"):
+            report.ran(check)
+        if not self._pointers:
+            if self._n != 0:
+                report.add("live-count", "root", f"no pointers but len()={self._n}")
+            return
+        covered = 0
+        total_keys = 0
+        ranges = sorted(self._slot_ranges.values())
+        prev_end = 0
+        for start, end in ranges:
+            if start != prev_end:
+                report.add(
+                    "linkage", f"slots [{start}, {end})",
+                    f"slot range starts at {start}, expected {prev_end} "
+                    "(gap or overlap in the root partition)",
+                )
+            prev_end = end
+        if prev_end != len(self._pointers):
+            report.add(
+                "linkage", "root",
+                f"slot ranges cover [0, {prev_end}) but the root has "
+                f"{len(self._pointers)} slots",
+            )
+        for node in self._unique_nodes():
+            start, end = self._slot_ranges.get(id(node), (None, None))
+            where = f"node[{start}:{end}]"
+            if start is None:
+                report.add("linkage", where, "data node missing from slot ranges")
+                continue
+            covered += 1
+            for s in range(start, end):
+                if self._pointers[s] is not node:
+                    report.add(
+                        "linkage", where,
+                        f"slot {s} points at a different node than its range owner",
+                    )
+            occupied = [k for k in node.slot_keys if k is not None]
+            total_keys += node.n_keys
+            if len(occupied) != node.n_keys:
+                report.add(
+                    "live-count", where,
+                    f"{len(occupied)} occupied slots but n_keys={node.n_keys}",
+                )
+            for a, b in zip(occupied, occupied[1:]):
+                if b <= a:
+                    report.add(
+                        "key-order", where,
+                        f"keys out of order: {a!r} before {b!r}",
+                    )
+            if occupied:
+                if node.min_key != occupied[0] or node.max_key != occupied[-1]:
+                    report.add(
+                        "key-order", where,
+                        f"cached bounds [{node.min_key}, {node.max_key}] do not "
+                        f"match stored extremes [{occupied[0]}, {occupied[-1]}]",
+                    )
+            for k in occupied:
+                slot = self._slot_for(k)
+                if not start <= slot < end:
+                    report.add(
+                        "leaf-placement", where,
+                        f"key {k!r} routes to slot {slot}, outside [{start}, {end})",
+                    )
+        if total_keys != self._n:
+            report.add(
+                "live-count", "root",
+                f"nodes hold {total_keys} keys but len()={self._n}",
+            )

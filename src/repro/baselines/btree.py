@@ -309,3 +309,80 @@ class BPlusTreeIndex(BaseIndex):
             if not node.is_leaf:
                 stack.extend(node.children)
         return count
+
+    # -- integrity -----------------------------------------------------------------
+
+    def _verify_structure(self, report) -> None:
+        """B+Tree invariants: separator bounds, leaf chain, fan-out, counts.
+
+        * key-order: keys inside every node are strictly ascending, and
+          each child's keys respect the parent's separator bounds
+          (``sep[i-1] <= key < sep[i]`` under bisect_right routing);
+        * linkage: inner fan-out is ``len(keys) + 1``; the ``next_leaf``
+          chain visits exactly the tree's leaves in left-to-right order;
+        * live-count: leaf keys/values stay aligned and total ``len(self)``;
+        * node fill: no node exceeds ``order`` keys.
+        """
+        for check in ("key-order", "linkage", "node-fill"):
+            report.ran(check)
+        total = 0
+        tree_leaves: list[_BTreeNode] = []
+        stack: list[tuple[_BTreeNode, float, float, str]] = [
+            (self._root, float("-inf"), float("inf"), "root")
+        ]
+        while stack:
+            node, low, high, where = stack.pop()
+            if len(node.keys) > self.order:
+                report.add(
+                    "node-fill", where,
+                    f"{len(node.keys)} keys exceed order {self.order}",
+                )
+            for a, b in zip(node.keys, node.keys[1:]):
+                if b <= a:
+                    report.add(
+                        "key-order", where,
+                        f"keys out of order: {a!r} before {b!r}",
+                    )
+            for k in node.keys:
+                if not low <= k < high:
+                    report.add(
+                        "key-order", where,
+                        f"key {k!r} outside separator bounds [{low}, {high})",
+                    )
+            if node.is_leaf:
+                tree_leaves.append(node)
+                total += len(node.keys)
+                if len(node.values) != len(node.keys):
+                    report.add(
+                        "live-count", where,
+                        f"{len(node.keys)} keys but {len(node.values)} values",
+                    )
+                continue
+            if len(node.children) != len(node.keys) + 1:
+                report.add(
+                    "linkage", where,
+                    f"{len(node.children)} children for {len(node.keys)} keys",
+                )
+            bounds = [low, *node.keys, high]
+            # Reverse push keeps DFS order left-to-right for the leaf chain.
+            for i in range(len(node.children) - 1, -1, -1):
+                child_high = bounds[i + 1] if i + 1 < len(bounds) else high
+                stack.append(
+                    (node.children[i], bounds[i], child_high, f"{where}.{i}")
+                )
+        if total != self._n:
+            report.add(
+                "live-count", "root",
+                f"leaves hold {total} keys but len()={self._n}",
+            )
+        chain: list[_BTreeNode] = []
+        node: _BTreeNode | None = self._leftmost_leaf()
+        while node is not None and len(chain) <= len(tree_leaves):
+            chain.append(node)
+            node = node.next_leaf
+        if [id(n) for n in chain] != [id(n) for n in tree_leaves]:
+            report.add(
+                "linkage", "leaf-chain",
+                f"next_leaf chain visits {len(chain)} leaves; the tree has "
+                f"{len(tree_leaves)} (order or membership mismatch)",
+            )

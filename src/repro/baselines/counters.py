@@ -29,6 +29,17 @@ class Counters:
         buffer_ops: delta-buffer reads/writes (out-of-place designs).
         lock_acquisitions: interval/node lock acquisitions.
         lock_waits: lock acquisitions that had to wait or retry.
+
+    Fault/recovery telemetry (populated only when a
+    :class:`~repro.robustness.faults.FaultInjector` is installed or a
+    :class:`~repro.robustness.supervisor.SupervisedRetrainer` is running;
+    always zero on the plain query/update paths):
+        faults_injected: fault-point activations, any mode.
+        fault_delays: activations that injected a delay.
+        fault_skips: activations that skipped the guarded operation.
+        retrain_failures: retrain attempts contained after an exception.
+        retrain_recoveries: supervisor transitions back to HEALTHY.
+        watchdog_restarts: dead retrainer threads restarted by the watchdog.
     """
 
     node_hops: int = 0
@@ -43,6 +54,12 @@ class Counters:
     buffer_ops: int = 0
     lock_acquisitions: int = 0
     lock_waits: int = 0
+    faults_injected: int = 0
+    fault_delays: int = 0
+    fault_skips: int = 0
+    retrain_failures: int = 0
+    retrain_recoveries: int = 0
+    watchdog_restarts: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""
@@ -52,6 +69,15 @@ class Counters:
     def snapshot(self) -> dict[str, int]:
         """Return a plain-dict copy of the current counter values."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def restore(self, snapshot: dict[str, int]) -> None:
+        """Reset every counter to an earlier :meth:`snapshot`.
+
+        Lets diagnostic passes (integrity validation) probe the structure
+        without perturbing the cost model they run inside of.
+        """
+        for f in fields(self):
+            setattr(self, f.name, snapshot.get(f.name, 0))
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
         """Return per-counter deltas relative to an earlier snapshot."""

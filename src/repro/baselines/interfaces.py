@@ -157,6 +157,35 @@ class BaseIndex(abc.ABC):
         """
         return 0.0, 0.0
 
+    # -- integrity -----------------------------------------------------------
+
+    def verify_integrity(self) -> "IntegrityReport":
+        """Validate structural invariants; return a violation report.
+
+        Runs the interface-level checks (live-count consistency, duplicate
+        keys, reachability of every stored pair) plus the structure-specific
+        invariants contributed by :meth:`_verify_structure` overrides. The
+        pass is counter-neutral: the probe work it performs is rolled back
+        so diagnostics never perturb the cost model.
+        """
+        from ..robustness.integrity import IntegrityReport, verify_ordered_map
+
+        report = IntegrityReport(
+            index_name=getattr(self.capabilities, "name", type(self).__name__)
+            if hasattr(self, "capabilities")
+            else type(self).__name__
+        )
+        before = self.counters.snapshot()
+        try:
+            verify_ordered_map(self, report)
+            self._verify_structure(report)
+        finally:
+            self.counters.restore(before)
+        return report
+
+    def _verify_structure(self, report: "IntegrityReport") -> None:
+        """Subclass hook: append structure-specific violations to ``report``."""
+
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | Path) -> None:

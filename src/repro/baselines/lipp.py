@@ -348,3 +348,49 @@ class LIPPIndex(BaseIndex):
 
     def error_stats(self) -> tuple[float, float]:
         return 0.0, 0.0  # precise positions by construction
+
+    # -- integrity ----------------------------------------------------------------------
+
+    def _verify_structure(self, report) -> None:
+        """LIPP invariants: precise slot placement and live counts.
+
+        * leaf-placement: every stored entry sits in exactly the slot its
+          node's model predicts (``slot_of(key) == slot``) — the defining
+          "precise positions" property; a misplaced entry is unreachable;
+        * linkage: slot arrays match their node's declared capacity;
+        * live-count: entries reachable from the root match ``len(self)``.
+        """
+        for check in ("leaf-placement", "linkage"):
+            report.ran(check)
+        if self._root is None:
+            if self._n != 0:
+                report.add("live-count", "root", f"empty tree but len()={self._n}")
+            return
+        total = 0
+        stack: list[tuple[_LippNode, str]] = [(self._root, "root")]
+        while stack:
+            node, where = stack.pop()
+            if len(node.slots) != node.capacity:
+                report.add(
+                    "linkage", where,
+                    f"{len(node.slots)} slots but capacity={node.capacity}",
+                )
+            for slot, payload in enumerate(node.slots):
+                if payload is _EMPTY:
+                    continue
+                if isinstance(payload, _LippNode):
+                    stack.append((payload, f"{where}.{slot}"))
+                    continue
+                total += 1
+                predicted = node.slot_of(payload[0])
+                if predicted != slot:
+                    report.add(
+                        "leaf-placement", f"{where}.{slot}",
+                        f"key {payload[0]!r} stored at slot {slot} but the "
+                        f"model places it at {predicted}",
+                    )
+        if total != self._n:
+            report.add(
+                "live-count", "root",
+                f"tree holds {total} entries but len()={self._n}",
+            )

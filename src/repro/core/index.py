@@ -22,6 +22,7 @@ from ..baselines.interfaces import (
     Value,
     as_key_value_arrays,
 )
+from ..robustness import faults
 from .builder import ChameleonBuilder, make_leaf, refine_with_tsmdp
 from .config import ChameleonConfig
 from .node import InnerNode, LeafNode, Node, subtree_stats, walk_leaves
@@ -115,6 +116,11 @@ class ChameleonIndex(BaseIndex):
             self._insert_locked(key_f, stored)
 
     def _insert_locked(self, key: Key, value: Value) -> None:
+        # Fault point before any mutation: an injected raise aborts the
+        # insert cleanly (the key simply is not stored). SKIP is ignored
+        # here — silently dropping a write would corrupt callers' oracles.
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("ebh.insert", self.counters)
         leaf, path, _ = self._descend(key)
         ebh = leaf.ebh
         if (ebh.n_keys + 1) / ebh.capacity > self.config.max_leaf_load:
@@ -128,6 +134,10 @@ class ChameleonIndex(BaseIndex):
                     leaf, path, _ = self._descend(key)
                     ebh = leaf.ebh
             if (ebh.n_keys + 1) / ebh.capacity > self.config.max_leaf_load:
+                # Fault point before the rehash: raising here leaves the
+                # leaf full but consistent, and the insert aborts cleanly.
+                if faults.ACTIVE is not None:
+                    faults.ACTIVE.fire("ebh.expand", self.counters)
                 grown = max(ebh.n_keys + 1, int(ebh.n_keys * LEAF_GROWTH) + 1)
                 ebh.rehash(self.config.theorem1_capacity(grown), refit=True)
         ebh.insert(key, value)
@@ -265,6 +275,13 @@ class ChameleonIndex(BaseIndex):
         """
         from .costs import measured_structure_cost
 
+        # Fault point before the rebuild starts: RAISE models a retrain
+        # crashing mid-flight (the old subtree stays live and consistent),
+        # SKIP models a rebuild intentionally shed under pressure.
+        if faults.ACTIVE is not None and faults.ACTIVE.fire(
+            "index.rebuild_subtree", self.counters
+        ):
+            return 0
         child = parent.children[rank]
         if child is None:
             return 0
@@ -288,6 +305,105 @@ class ChameleonIndex(BaseIndex):
             return len(pairs)
         return 0
 
+    # -- integrity -------------------------------------------------------------------
+
+    def _verify_structure(self, report) -> None:
+        """Chameleon-specific invariants (see ``verify_integrity``).
+
+        * key-order / linkage: every child's routing interval matches its
+          parent's ``child_interval`` slot exactly;
+        * leaf placement: each stored key routes back (via Eq. 1) to the
+          leaf holding it, and sits within the leaf's conflict-degree
+          window (otherwise lookups would miss it);
+        * live-count: per-leaf slot occupancy matches ``n_keys`` and the
+          tree-wide total matches ``len(self)``;
+        * lock-state quiescence: no interval left with ``retraining=True``
+          or phantom readers once the system is idle.
+        """
+        import math
+
+        for check in ("linkage", "leaf-placement", "lock-state"):
+            report.ran(check)
+        if self._root is None:
+            if self._n != 0:
+                report.add("live-count", "root", f"empty tree but len()={self._n}")
+            return
+        tol = 1e-9
+        total_keys = 0
+        stack: list[tuple[Node, str]] = [(self._root, "root")]
+        while stack:
+            node, where = stack.pop()
+            if isinstance(node, LeafNode):
+                ebh = node.ebh
+                occupied = sum(1 for k in ebh._keys if k is not None)
+                total_keys += ebh.n_keys
+                if occupied != ebh.n_keys:
+                    report.add(
+                        "live-count", where,
+                        f"{occupied} occupied slots but n_keys={ebh.n_keys}",
+                    )
+                for slot, k in enumerate(ebh._keys):
+                    if k is None:
+                        continue
+                    if ebh.offset_of(slot) > ebh.conflict_degree:
+                        report.add(
+                            "leaf-placement", where,
+                            f"key {k!r} at offset {ebh.offset_of(slot)} "
+                            f"beyond conflict degree {ebh.conflict_degree}",
+                        )
+                    owner = self._locate_leaf(float(k))
+                    if owner is not node:
+                        report.add(
+                            "leaf-placement", where,
+                            f"key {k!r} routes to a different leaf "
+                            f"({owner!r}) than the one storing it",
+                        )
+                continue
+            if node.high_key <= node.low_key:
+                report.add(
+                    "linkage", where,
+                    f"degenerate interval [{node.low_key}, {node.high_key})",
+                )
+            if len(node.children) != node.fanout:
+                report.add(
+                    "linkage", where,
+                    f"{len(node.children)} children but fanout={node.fanout}",
+                )
+            for rank, child in enumerate(node.children):
+                if child is None:
+                    continue
+                child_where = f"{where}.{rank}"
+                c_low, c_high = node.child_interval(rank)
+                if not (
+                    math.isclose(child.low_key, c_low, rel_tol=1e-12, abs_tol=tol)
+                    and math.isclose(child.high_key, c_high, rel_tol=1e-12, abs_tol=tol)
+                ):
+                    report.add(
+                        "linkage", child_where,
+                        f"child interval [{child.low_key}, {child.high_key}) "
+                        f"does not match parent slot [{c_low}, {c_high})",
+                    )
+                stack.append((child, child_where))
+        if total_keys != self._n:
+            report.add(
+                "live-count", "root",
+                f"leaves hold {total_keys} keys but len()={self._n}",
+            )
+        if self.lock_manager is not None:
+            stuck = self.lock_manager.stuck_intervals()
+            for ids, state in stuck:
+                report.add(
+                    "lock-state", f"interval {ids}",
+                    f"not quiescent: readers={state[0]}, retraining={state[1]}",
+                )
+
+    def _locate_leaf(self, key: float) -> LeafNode | None:
+        """Pure Eq. 1 descent for validation — no lock, no materialisation."""
+        node: Node | None = self._root
+        while isinstance(node, InnerNode):
+            node = node.children[node.route(key)]
+        return node
+
     # -- persistence -----------------------------------------------------------------
 
     def __getstate__(self) -> dict:
@@ -307,6 +423,10 @@ class ChameleonIndex(BaseIndex):
 
         Returns the number of keys rebuilt.
         """
+        if faults.ACTIVE is not None and faults.ACTIVE.fire(
+            "index.rebuild_all", self.counters
+        ):
+            return 0
         if self._root is None:
             return 0
         pairs = sorted(self.items())

@@ -17,10 +17,12 @@ non-blocking overall (Fig. 7).
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator
 
 from ..baselines.counters import Counters
+from ..robustness import faults
 
 IntervalIds = tuple[int, ...]
 
@@ -91,15 +93,29 @@ class IntervalLockManager:
         Waits for the interval's in-flight queries to finish (bounded by
         ``timeout`` when given). Yields True when acquired; yields False on
         timeout, in which case the caller must skip the retrain.
+
+        ``timeout`` is a *deadline* on total blocking, not a per-wait
+        budget: every reader release notifies the condition, so a per-wait
+        timeout would restart the clock on each wakeup and a stream of
+        short queries could block the retrainer indefinitely. The wait loop
+        therefore recomputes the remaining time against a
+        ``time.monotonic()`` deadline.
         """
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("interval_lock.retrain", counters)
         ids = tuple(ids)
         acquired = False
         waited = False
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._mutex:
             state = self._state(ids)
             while state.retraining or state.readers > 0:
                 waited = True
-                if not state.condition.wait(timeout=timeout):
+                if deadline is None:
+                    state.condition.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0 or not state.condition.wait(timeout=remaining):
                     break
             else:
                 state.retraining = True
@@ -130,3 +146,17 @@ class IntervalLockManager:
                 for s in self._states.values()
                 if s.readers > 0 or s.retraining
             )
+
+    def stuck_intervals(self) -> list[tuple[IntervalIds, tuple[int, bool]]]:
+        """Intervals that are not quiescent, as ``(ids, (readers, retraining))``.
+
+        An idle system must return [] — a leftover ``retraining=True`` or a
+        phantom reader count means a lock leaked through an exception path.
+        Consumed by ``ChameleonIndex.verify_integrity``.
+        """
+        with self._mutex:
+            return [
+                (ids, (s.readers, s.retraining))
+                for ids, s in self._states.items()
+                if s.readers > 0 or s.retraining
+            ]

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 
+from ..robustness import faults
 from .index import ChameleonIndex
 from .interval_lock import IntervalLockManager
 from .node import walk_leaves
@@ -27,6 +29,9 @@ class RetrainerStats:
         retrained_intervals: subtrees rebuilt.
         retrained_keys: total keys touched by rebuilds.
         skipped_busy: intervals skipped because their lock was contended.
+        failed_retrains: rebuild attempts contained after an exception; the
+            subtree's update counters are left intact so the next sweep
+            retries.
         total_retrain_seconds: wall-clock time inside rebuilds.
     """
 
@@ -34,6 +39,7 @@ class RetrainerStats:
     retrained_intervals: int = 0
     retrained_keys: int = 0
     skipped_busy: int = 0
+    failed_retrains: int = 0
     full_rebuilds: int = 0
     total_retrain_seconds: float = 0.0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -93,11 +99,23 @@ class RetrainingThread(threading.Thread):
         while not self._stop_event.wait(self.period_s):
             self.sweep_once()
 
-    def stop(self, join: bool = True) -> None:
-        """Signal the thread to exit (and join it by default)."""
+    def stop(self, join: bool = True, join_timeout_s: float = 5.0) -> None:
+        """Signal the thread to exit (and join it by default).
+
+        A wedged thread — still alive after the join timeout, e.g. stuck
+        under a lock another thread never releases — is surfaced with a
+        RuntimeWarning instead of returning silently.
+        """
         self._stop_event.set()
         if join and self.is_alive():
-            self.join(timeout=5.0)
+            self.join(timeout=join_timeout_s)
+            if self.is_alive():
+                warnings.warn(
+                    f"{self.name} did not exit within {join_timeout_s:.1f}s "
+                    "of stop(); the thread appears wedged",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     # -- one sweep --------------------------------------------------------------
 
@@ -106,7 +124,20 @@ class RetrainingThread(threading.Thread):
 
         Returns the number of intervals rebuilt. Usable synchronously in
         tests and benches without starting the thread.
+
+        A rebuild that raises is *contained*: the failure is recorded in
+        ``stats.failed_retrains`` (and the shared counters) and the
+        subtree's update counters stay intact, so the next sweep simply
+        retries — one poisoned interval cannot kill the daemon or starve
+        the healthy ones. Failures outside the per-interval scope (e.g. an
+        injected ``retrainer.sweep`` fault) still propagate; the
+        :class:`~repro.robustness.supervisor.SupervisedRetrainer` is the
+        layer that handles those.
         """
+        if faults.ACTIVE is not None and faults.ACTIVE.fire(
+            "retrainer.sweep", self.index.counters
+        ):
+            return 0
         rebuilt = 0
         with self.stats._lock:
             self.stats.passes += 1
@@ -116,7 +147,11 @@ class RetrainingThread(threading.Thread):
             > self.full_rebuild_fraction * max(1, len(self.index))
         ):
             started = time.perf_counter()
-            keys = self.index.rebuild_all()
+            try:
+                keys = self.index.rebuild_all()
+            except Exception:
+                self._record_failure()
+                return 0
             with self.stats._lock:
                 self.stats.full_rebuilds += 1
                 self.stats.retrained_keys += keys
@@ -127,23 +162,32 @@ class RetrainingThread(threading.Thread):
                 break
             if self.index.subtree_update_count(parent, rank) < self.update_threshold:
                 continue
-            with self.lock_manager.retrain_lock(
-                ids, self.index.counters, timeout=self.lock_timeout_s
-            ) as acquired:
-                if not acquired:
-                    with self.stats._lock:
-                        self.stats.skipped_busy += 1
-                    continue
-                started = time.perf_counter()
-                keys = self.index.rebuild_subtree(parent, rank)
-                elapsed = time.perf_counter() - started
-                self._reset_update_counts(parent, rank)
+            try:
+                with self.lock_manager.retrain_lock(
+                    ids, self.index.counters, timeout=self.lock_timeout_s
+                ) as acquired:
+                    if not acquired:
+                        with self.stats._lock:
+                            self.stats.skipped_busy += 1
+                        continue
+                    started = time.perf_counter()
+                    keys = self.index.rebuild_subtree(parent, rank)
+                    elapsed = time.perf_counter() - started
+                    self._reset_update_counts(parent, rank)
+            except Exception:
+                self._record_failure()
+                continue
             with self.stats._lock:
                 self.stats.retrained_intervals += 1
                 self.stats.retrained_keys += keys
                 self.stats.total_retrain_seconds += elapsed
             rebuilt += 1
         return rebuilt
+
+    def _record_failure(self) -> None:
+        with self.stats._lock:
+            self.stats.failed_retrains += 1
+        self.index.counters.retrain_failures += 1
 
     def _reset_update_counts(self, parent, rank) -> None:
         child = parent.children[rank]

@@ -1,0 +1,67 @@
+"""Robustness subsystem: fault injection, self-healing retraining, chaos.
+
+Four pieces, layered so the hot paths stay dependency-free:
+
+* :mod:`repro.robustness.faults` — seeded :class:`FaultInjector` with named
+  fault points woven into the core hot paths (stdlib-only; core imports it).
+* :mod:`repro.robustness.integrity` — structured violation reports backing
+  ``verify_integrity()`` on every index.
+* :mod:`repro.robustness.supervisor` — :class:`SupervisedRetrainer`: sweep
+  containment, exponential backoff, HEALTHY/DEGRADED/HALTED health states,
+  and a watchdog that restarts a dead retrainer thread.
+* :mod:`repro.robustness.chaos` — the chaos harness driving a mixed
+  workload under injected faults with per-sweep integrity validation.
+
+``supervisor``/``chaos`` symbols are exported lazily (PEP 562): they import
+``repro.core``, which itself imports :mod:`faults` — eager imports here
+would create a cycle when core is imported first.
+"""
+
+from .faults import (
+    KNOWN_FAULT_POINTS,
+    FaultEvent,
+    FaultInjector,
+    FaultMode,
+    FaultSpec,
+    InjectedFault,
+    InjectedKill,
+)
+from .integrity import IntegrityReport, IntegrityViolation, verify_ordered_map
+
+_LAZY = {
+    "SupervisedRetrainer": ("repro.robustness.supervisor", "SupervisedRetrainer"),
+    "SupervisorStats": ("repro.robustness.supervisor", "SupervisorStats"),
+    "RetrainerHealth": ("repro.robustness.supervisor", "RetrainerHealth"),
+    "ChaosConfig": ("repro.robustness.chaos", "ChaosConfig"),
+    "ChaosReport": ("repro.robustness.chaos", "ChaosReport"),
+    "run_chaos": ("repro.robustness.chaos", "run_chaos"),
+}
+
+__all__ = [
+    "FaultInjector",
+    "FaultMode",
+    "FaultSpec",
+    "FaultEvent",
+    "InjectedFault",
+    "InjectedKill",
+    "KNOWN_FAULT_POINTS",
+    "IntegrityReport",
+    "IntegrityViolation",
+    "verify_ordered_map",
+    "SupervisedRetrainer",
+    "SupervisorStats",
+    "RetrainerHealth",
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos",
+]
+
+
+def __getattr__(name: str):
+    """Lazy import of core-dependent exports (avoids an import cycle)."""
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

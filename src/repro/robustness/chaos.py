@@ -1,0 +1,228 @@
+"""Chaos harness: mixed workload under injected faults, verified per sweep.
+
+``run_chaos`` drives the paper's mixed read/write workload against a
+:class:`~repro.core.index.ChameleonIndex` while a seeded
+:class:`~repro.robustness.faults.FaultInjector` fires raise/delay/skip
+faults inside the hot paths, and a
+:class:`~repro.robustness.supervisor.SupervisedRetrainer` performs guarded
+retraining sweeps at a fixed operation cadence. After **every sweep** the
+harness asserts the two properties that matter under failure:
+
+* the index still answers every live-key lookup correctly, judged against
+  an oracle dict maintained alongside the index (an insert aborted by an
+  injected fault is absent from both — the fault-atomicity contract); and
+* ``verify_integrity()`` reports zero structural violations, including
+  interval-lock quiescence.
+
+Everything is seeded, so a run replays bit-identically: same faults, same
+containments, same recoveries. ``benchmarks/bench_chaos.py`` and
+``tests/test_chaos.py`` are thin wrappers over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.interfaces import DuplicateKeyError
+from ..core.index import ChameleonIndex
+from ..core.interval_lock import IntervalLockManager
+from ..datasets import face_like
+from ..workloads.mixed import read_write_workload, split_load_and_pool
+from ..workloads.operations import OpKind
+from .faults import FaultInjector, FaultMode, InjectedFault
+from .integrity import IntegrityViolation
+from .supervisor import RetrainerHealth, SupervisedRetrainer
+
+#: Default per-point fault modes. Retraining-path points RAISE (exercising
+#: containment/backoff/recovery); the lock point DELAYs (stalled waits);
+#: the full rebuild SKIPs half the time it fires (shed under pressure).
+DEFAULT_FAULT_MODES: dict[str, FaultMode] = {
+    "index.rebuild_subtree": FaultMode.RAISE,
+    "index.rebuild_all": FaultMode.RAISE,
+    "retrainer.sweep": FaultMode.RAISE,
+    "interval_lock.retrain": FaultMode.DELAY,
+    "ebh.insert": FaultMode.RAISE,
+    "ebh.expand": FaultMode.RAISE,
+}
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs for one chaos run (all deterministic under ``seed``).
+
+    Attributes:
+        n_keys: dataset size (FACE-like, locally skewed).
+        load_fraction: fraction bulk-loaded; the rest feeds insertions.
+        n_ops: mixed-workload operations to execute.
+        write_ratio: #writes / (#reads + #writes) of the stream.
+        sweeps: retraining sweeps spread evenly across the run.
+        fault_probability: per-call fire probability at every fault point.
+        fault_modes: per-point mode override (defaults above).
+        fault_delay_s: sleep for DELAY-mode points.
+        update_threshold: drift threshold forwarded to the retrainer.
+        full_rebuild_fraction: forwarded to the retrainer so the
+            ``index.rebuild_all`` fault point is exercised too.
+        strategy: index construction strategy (ChaB keeps runs fast).
+        seed: master seed for dataset, workload, and injector.
+    """
+
+    n_keys: int = 3000
+    load_fraction: float = 0.6
+    n_ops: int = 2000
+    write_ratio: float = 0.4
+    sweeps: int = 20
+    fault_probability: float = 0.05
+    fault_modes: dict[str, FaultMode] = field(
+        default_factory=lambda: dict(DEFAULT_FAULT_MODES)
+    )
+    fault_delay_s: float = 0.0005
+    update_threshold: int = 8
+    full_rebuild_fraction: float | None = 0.35
+    strategy: str = "ChaB"
+    seed: int = 0
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run.
+
+    ``ok`` is the headline: zero wrong lookups, zero integrity violations,
+    and the retrainer back to HEALTHY once the faults stop.
+    """
+
+    ops_executed: int = 0
+    sweeps_run: int = 0
+    faults_injected: int = 0
+    insert_faults: int = 0
+    contained_sweep_failures: int = 0
+    failed_retrains: int = 0
+    recoveries: int = 0
+    wrong_lookups: int = 0
+    violations: list[IntegrityViolation] = field(default_factory=list)
+    final_health: RetrainerHealth = RetrainerHealth.HEALTHY
+    lock_quiescent: bool = True
+    live_keys: int = 0
+    events: list[str] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.wrong_lookups == 0
+            and not self.violations
+            and self.lock_quiescent
+            and self.final_health is RetrainerHealth.HEALTHY
+        )
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        return (
+            f"chaos {status}: {self.ops_executed} ops, {self.sweeps_run} sweeps, "
+            f"{self.faults_injected} faults ({self.insert_faults} on inserts, "
+            f"{self.contained_sweep_failures} contained sweeps, "
+            f"{self.failed_retrains} contained retrains), "
+            f"{self.recoveries} recoveries, {self.wrong_lookups} wrong lookups, "
+            f"{len(self.violations)} violations, health={self.final_health.value}"
+        )
+
+
+def _verify(index: ChameleonIndex, expected: dict[float, float],
+            report: ChaosReport, when: str) -> None:
+    """Oracle lookups plus structural validation after one sweep."""
+    for k, v in expected.items():
+        if index.lookup(k) != v:
+            report.wrong_lookups += 1
+            report.events.append(f"{when}: wrong lookup for {k!r}")
+    integrity = index.verify_integrity()
+    for violation in integrity.violations:
+        report.violations.append(violation)
+        report.events.append(f"{when}: {violation}")
+
+
+def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
+    """Execute one seeded chaos run; see the module docstring."""
+    config = config or ChaosConfig()
+    report = ChaosReport()
+
+    keys = face_like(config.n_keys, seed=config.seed)
+    loaded, pool = split_load_and_pool(
+        keys, config.load_fraction, seed=config.seed
+    )
+    manager = IntervalLockManager()
+    index = ChameleonIndex(strategy=config.strategy, lock_manager=manager)
+    index.bulk_load(loaded)
+    supervisor = SupervisedRetrainer(
+        index,
+        manager,
+        update_threshold=config.update_threshold,
+        full_rebuild_fraction=config.full_rebuild_fraction,
+        seed=config.seed,
+    )
+    ops = read_write_workload(
+        loaded, pool, config.n_ops, config.write_ratio, seed=config.seed
+    )
+    expected: dict[float, float] = {float(k): float(k) for k in loaded}
+
+    injector = FaultInjector(seed=config.seed)
+    for point, mode in config.fault_modes.items():
+        injector.arm(
+            point, mode, probability=config.fault_probability,
+            delay_s=config.fault_delay_s,
+        )
+
+    sweep_every = max(1, len(ops) // max(1, config.sweeps))
+    with injector.installed():
+        for i, op in enumerate(ops):
+            if i > 0 and i % sweep_every == 0 and report.sweeps_run < config.sweeps:
+                rebuilt = supervisor.sweep_once()
+                report.sweeps_run += 1
+                if rebuilt is None:
+                    report.events.append(
+                        f"sweep {report.sweeps_run}: contained failure "
+                        f"({supervisor.stats.last_error})"
+                    )
+                _verify(index, expected, report, f"sweep {report.sweeps_run}")
+            key = float(op.key)
+            if op.kind is OpKind.LOOKUP:
+                if index.lookup(key) != expected.get(key):
+                    report.wrong_lookups += 1
+                    report.events.append(f"op {i}: wrong lookup for {key!r}")
+            elif op.kind is OpKind.INSERT:
+                try:
+                    index.insert(key)
+                except InjectedFault:
+                    report.insert_faults += 1
+                    report.events.append(f"op {i}: insert of {key!r} faulted")
+                except DuplicateKeyError:
+                    report.events.append(f"op {i}: duplicate insert {key!r}")
+                else:
+                    expected[key] = key
+            elif op.kind is OpKind.DELETE:
+                removed = index.delete(key)
+                if removed != (key in expected):
+                    report.wrong_lookups += 1
+                    report.events.append(
+                        f"op {i}: delete of {key!r} returned {removed}, "
+                        f"oracle says {key in expected}"
+                    )
+                expected.pop(key, None)
+            report.ops_executed += 1
+
+    # Faults off: the supervisor must heal. A couple of probe sweeps model
+    # the daemon's cooldown retries after the failure storm passes.
+    for _ in range(3):
+        supervisor.sweep_once()
+        if supervisor.health is RetrainerHealth.HEALTHY:
+            break
+    report.sweeps_run += 1
+    _verify(index, expected, report, "final")
+
+    report.faults_injected = injector.total_fires()
+    report.contained_sweep_failures = supervisor.stats.sweeps_failed
+    report.failed_retrains = supervisor.retrainer_stats.failed_retrains
+    report.recoveries = supervisor.stats.recoveries
+    report.final_health = supervisor.health
+    report.lock_quiescent = manager.active_intervals() == 0
+    report.live_keys = len(expected)
+    report.counters = index.counters.snapshot()
+    return report

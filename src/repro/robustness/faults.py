@@ -1,0 +1,231 @@
+"""Deterministic fault injection for the chaos harness.
+
+A :class:`FaultInjector` owns a set of *fault points* — named places woven
+into the hot paths (subtree/full rebuilds, retrainer sweeps, interval-lock
+acquisition, EBH insert/expand) — each armed with a mode and a probability.
+Firing is driven by a seeded RNG, so a chaos run replays bit-identically
+under the same seed.
+
+The hooks are zero-overhead when disabled: every instrumented site guards
+on the module-level :data:`ACTIVE` being non-None before doing anything, so
+with no injector installed the hot paths pay one attribute load and a
+pointer comparison — no counter traffic, no RNG draws, no allocation.
+
+Fault atomicity contract: every woven-in fault point sits *before* the
+state mutation it guards, so an injected raise aborts the operation cleanly
+(the caller sees :class:`InjectedFault`; the index stays structurally
+valid). The chaos harness relies on this to keep its expected-state oracle
+in sync.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Fault points the core paths expose. Arbitrary names are allowed (the
+#: injector is a registry, not a schema), but these are the woven-in ones.
+KNOWN_FAULT_POINTS = (
+    "index.rebuild_subtree",
+    "index.rebuild_all",
+    "retrainer.sweep",
+    "interval_lock.retrain",
+    "ebh.insert",
+    "ebh.expand",
+)
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a fault point armed in RAISE mode."""
+
+
+class InjectedKill(BaseException):
+    """Raised by a fault point armed in KILL mode.
+
+    Deliberately a BaseException: it models a failure no ordinary
+    ``except Exception`` containment sees (segfault-grade death), which is
+    what exercises the supervisor's watchdog restart path.
+    """
+
+
+class FaultMode(enum.Enum):
+    """What an armed fault point does when it fires."""
+
+    RAISE = "raise"  # raise InjectedFault before the guarded mutation
+    DELAY = "delay"  # sleep delay_s, then proceed normally
+    SKIP = "skip"    # tell the call site to skip the guarded operation
+    KILL = "kill"    # raise InjectedKill (kills threads through containment)
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault point.
+
+    Attributes:
+        mode: action taken when the point fires.
+        probability: per-call fire probability in [0, 1].
+        delay_s: sleep duration for DELAY mode.
+        max_fires: stop firing after this many activations (None = forever).
+        fires: activations so far.
+    """
+
+    mode: FaultMode
+    probability: float
+    delay_s: float = 0.001
+    max_fires: int | None = None
+    fires: int = 0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One recorded activation, for post-run forensics."""
+
+    point: str
+    mode: FaultMode
+    sequence: int
+
+
+@dataclass
+class FaultInjector:
+    """Seeded registry of armed fault points.
+
+    Call :meth:`install` to make the woven-in hot-path hooks consult this
+    injector; :meth:`uninstall` (or the context-manager form) detaches it.
+
+    Example::
+
+        inj = FaultInjector(seed=7)
+        inj.arm("index.rebuild_subtree", FaultMode.RAISE, probability=0.1)
+        with inj.installed():
+            run_chaos_workload()
+    """
+
+    seed: int = 0
+    specs: dict[str, FaultSpec] = field(default_factory=dict)
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+        self._sequence = 0
+
+    # -- configuration -------------------------------------------------------
+
+    def arm(
+        self,
+        point: str,
+        mode: FaultMode | str = FaultMode.RAISE,
+        probability: float = 1.0,
+        delay_s: float = 0.001,
+        max_fires: int | None = None,
+    ) -> "FaultInjector":
+        """Arm (or re-arm) a fault point; returns self for chaining."""
+        if point not in KNOWN_FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {point!r}; known points: "
+                f"{', '.join(KNOWN_FAULT_POINTS)}"
+            )
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.specs[point] = FaultSpec(
+            mode=FaultMode(mode), probability=float(probability),
+            delay_s=float(delay_s), max_fires=max_fires,
+        )
+        return self
+
+    def disarm(self, point: str) -> None:
+        """Remove a fault point (no-op when absent)."""
+        self.specs.pop(point, None)
+
+    # -- firing --------------------------------------------------------------
+
+    def fire(self, point: str, counters=None) -> bool:
+        """Evaluate one arrival at ``point``.
+
+        Returns True when the call site must *skip* its guarded operation
+        (SKIP mode fired); False otherwise. RAISE/KILL modes raise instead
+        of returning. ``counters`` is the site's
+        :class:`~repro.baselines.counters.Counters` (may be None).
+        """
+        spec = self.specs.get(point)
+        if spec is None:
+            return False
+        with self._lock:
+            if spec.max_fires is not None and spec.fires >= spec.max_fires:
+                return False
+            if self._rng.random() >= spec.probability:
+                return False
+            spec.fires += 1
+            self._sequence += 1
+            self.events.append(FaultEvent(point, spec.mode, self._sequence))
+        if counters is not None:
+            counters.faults_injected += 1
+        if spec.mode is FaultMode.RAISE:
+            raise InjectedFault(f"injected fault at {point!r}")
+        if spec.mode is FaultMode.KILL:
+            raise InjectedKill(f"injected kill at {point!r}")
+        if spec.mode is FaultMode.DELAY:
+            if counters is not None:
+                counters.fault_delays += 1
+            time.sleep(spec.delay_s)
+            return False
+        if counters is not None:
+            counters.fault_skips += 1
+        return True  # SKIP
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def fires_at(self, point: str) -> int:
+        """Activations recorded at one point so far."""
+        spec = self.specs.get(point)
+        return 0 if spec is None else spec.fires
+
+    def total_fires(self) -> int:
+        return sum(s.fires for s in self.specs.values())
+
+    # -- installation --------------------------------------------------------
+
+    def install(self) -> "FaultInjector":
+        """Attach this injector to the global hook; returns self."""
+        global ACTIVE
+        ACTIVE = self
+        return self
+
+    def uninstall(self) -> None:
+        """Detach (only if currently installed)."""
+        global ACTIVE
+        if ACTIVE is self:
+            ACTIVE = None
+
+    def installed(self):
+        """Context manager: install on entry, uninstall on exit."""
+        from contextlib import contextmanager
+
+        @contextmanager
+        def _scope():
+            self.install()
+            try:
+                yield self
+            finally:
+                self.uninstall()
+
+        return _scope()
+
+
+#: The globally installed injector, or None. Hot paths check this before
+#: calling fire(); None means fault injection is completely disabled.
+ACTIVE: FaultInjector | None = None
+
+
+def fire(point: str, counters=None) -> bool:
+    """Module-level convenience wrapper around ``ACTIVE.fire``.
+
+    Instrumented sites should inline the ``ACTIVE is not None`` guard
+    themselves (cheaper); this helper exists for tests and one-off tools.
+    """
+    if ACTIVE is None:
+        return False
+    return ACTIVE.fire(point, counters)

@@ -1,0 +1,115 @@
+"""Structural integrity validation — violation reports and generic checks.
+
+``verify_integrity()`` on an index returns an :class:`IntegrityReport`: a
+structured list of :class:`IntegrityViolation` entries, one per broken
+invariant, each naming the check, the location inside the structure, and a
+human-readable detail. The chaos harness asserts an empty report after
+every retraining sweep; tests corrupt structures on purpose and assert the
+specific check that catches it.
+
+Index-specific invariants (key order, leaf/parent linkage, slot placement,
+lock quiescence) live as ``verify_integrity`` overrides on the index
+classes themselves; this module provides the report types and the
+interface-level checks shared by every ordered map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..baselines.interfaces import BaseIndex
+
+
+@dataclass(frozen=True)
+class IntegrityViolation:
+    """One broken invariant.
+
+    Attributes:
+        check: invariant identifier, e.g. ``"key-order"`` or ``"live-count"``.
+        location: where in the structure, e.g. ``"leaf[3]"`` or ``"root"``.
+        detail: human-readable description with the observed values.
+    """
+
+    check: str
+    location: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"[{self.check}] {self.location}: {self.detail}"
+
+
+@dataclass
+class IntegrityReport:
+    """Outcome of one integrity validation pass.
+
+    Attributes:
+        index_name: capability name of the validated index.
+        checks_run: invariant families evaluated.
+        keys_checked: live keys the pass visited.
+        violations: every broken invariant found (empty means healthy).
+    """
+
+    index_name: str = ""
+    checks_run: list[str] = field(default_factory=list)
+    keys_checked: int = 0
+    violations: list[IntegrityViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, check: str, location: str, detail: str) -> None:
+        self.violations.append(IntegrityViolation(check, location, detail))
+
+    def ran(self, check: str) -> None:
+        if check not in self.checks_run:
+            self.checks_run.append(check)
+
+    def merge(self, other: "IntegrityReport") -> None:
+        self.keys_checked += other.keys_checked
+        for check in other.checks_run:
+            self.ran(check)
+        self.violations.extend(other.violations)
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"{self.index_name or 'index'}: {status} "
+            f"({len(self.checks_run)} checks, {self.keys_checked} keys)"
+        )
+
+
+def verify_ordered_map(index: "BaseIndex", report: IntegrityReport) -> None:
+    """Interface-level invariants every index must satisfy.
+
+    * live-count: ``len(index)`` equals the number of items iterated;
+    * key-order: no duplicate keys among the live items;
+    * reachability: every stored pair is found by ``lookup``.
+
+    Appends findings to ``report`` in place. Counter neutrality is the
+    caller's job (``BaseIndex.verify_integrity`` snapshots and restores).
+    """
+    report.ran("live-count")
+    report.ran("key-order")
+    report.ran("reachability")
+    pairs = list(index.items())
+    report.keys_checked += len(pairs)
+    if len(pairs) != len(index):
+        report.add(
+            "live-count", "items",
+            f"items() yields {len(pairs)} pairs but len() reports {len(index)}",
+        )
+    seen: set[float] = set()
+    for k, _ in pairs:
+        if k in seen:
+            report.add("key-order", "items", f"duplicate live key {k!r}")
+        seen.add(k)
+    for k, v in pairs:
+        found = index.lookup(k)
+        if found != v:
+            report.add(
+                "reachability", f"key {k!r}",
+                f"stored value {v!r} but lookup returned {found!r}",
+            )

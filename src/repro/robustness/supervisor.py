@@ -1,0 +1,242 @@
+"""Self-healing supervision for the background retrainer.
+
+:class:`SupervisedRetrainer` wraps the sweep loop of
+:class:`~repro.core.retrainer.RetrainingThread` with three layers of
+containment the bare daemon lacks (an exception used to kill it silently):
+
+1. **Sweep containment** — any exception escaping ``sweep_once`` is caught,
+   recorded, and answered with exponential backoff plus jitter instead of
+   thread death.
+2. **A health state machine** — ``HEALTHY → DEGRADED → HALTED``. One failure
+   degrades; ``halt_after`` consecutive failures halt (sweeping drops to a
+   slow cooldown-probe cadence); the first successful sweep recovers to
+   ``HEALTHY`` from either state.
+3. **A watchdog** — a second thread that notices a dead worker (something
+   raised *through* the containment, e.g. a ``BaseException``) and restarts
+   it, so retraining resumes even after segfault-grade failures.
+
+The jitter RNG is seeded, so backoff schedules replay deterministically in
+chaos runs.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.index import ChameleonIndex
+from ..core.interval_lock import IntervalLockManager
+from ..core.retrainer import RetrainerStats, RetrainingThread
+
+
+class RetrainerHealth(enum.Enum):
+    """Health of the supervised retraining service."""
+
+    HEALTHY = "healthy"    # last sweep succeeded
+    DEGRADED = "degraded"  # recent failure(s); retrying under backoff
+    HALTED = "halted"      # consecutive-failure limit hit; cooldown probes only
+
+
+@dataclass
+class SupervisorStats:
+    """Supervision telemetry, separate from the sweep-level RetrainerStats.
+
+    Attributes:
+        sweeps_attempted: guarded sweep invocations.
+        sweeps_failed: sweeps contained after an exception.
+        consecutive_failures: current failure streak (0 when healthy).
+        recoveries: transitions back to HEALTHY from DEGRADED/HALTED.
+        halts: transitions into HALTED.
+        watchdog_restarts: dead worker threads replaced by the watchdog.
+        last_error: repr of the most recent contained exception.
+    """
+
+    sweeps_attempted: int = 0
+    sweeps_failed: int = 0
+    consecutive_failures: int = 0
+    recoveries: int = 0
+    halts: int = 0
+    watchdog_restarts: int = 0
+    last_error: str | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class SupervisedRetrainer:
+    """Fault-contained, self-restarting wrapper around the retraining sweep.
+
+    Usable two ways: ``start()``/``stop()`` run a supervised daemon (worker
+    plus watchdog), while :meth:`sweep_once` performs one guarded sweep
+    synchronously — the chaos harness drives it that way for determinism.
+
+    Args:
+        index: the live :class:`ChameleonIndex`.
+        lock_manager: the shared interval-lock manager.
+        period_s / update_threshold / lock_timeout_s / full_rebuild_fraction:
+            forwarded to the underlying :class:`RetrainingThread`.
+        backoff_base_s: delay after the first failure; doubles per
+            consecutive failure.
+        backoff_cap_s: upper bound on the backoff delay.
+        jitter: fraction of the delay added as seeded random jitter (avoids
+            lock-step retry storms when several supervisors share a host).
+        halt_after: consecutive failures before entering HALTED.
+        halt_cooldown_s: probe cadence while HALTED.
+        watchdog_period_s: how often the watchdog checks worker liveness.
+        seed: jitter RNG seed.
+    """
+
+    def __init__(
+        self,
+        index: ChameleonIndex,
+        lock_manager: IntervalLockManager,
+        period_s: float | None = None,
+        update_threshold: int | None = None,
+        lock_timeout_s: float = 0.05,
+        full_rebuild_fraction: float | None = None,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 5.0,
+        jitter: float = 0.25,
+        halt_after: int = 5,
+        halt_cooldown_s: float = 1.0,
+        watchdog_period_s: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        self.index = index
+        self.lock_manager = lock_manager
+        self._retrainer = RetrainingThread(
+            index,
+            lock_manager,
+            period_s=period_s,
+            update_threshold=update_threshold,
+            lock_timeout_s=lock_timeout_s,
+            full_rebuild_fraction=full_rebuild_fraction,
+        )
+        self.period_s = self._retrainer.period_s
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.jitter = float(jitter)
+        self.halt_after = int(halt_after)
+        self.halt_cooldown_s = float(halt_cooldown_s)
+        self.watchdog_period_s = float(watchdog_period_s)
+        self.stats = SupervisorStats()
+        self._health = RetrainerHealth.HEALTHY
+        self._rng = random.Random(seed)
+        self._stop_event = threading.Event()
+        self._worker: threading.Thread | None = None
+        self._watchdog: threading.Thread | None = None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def health(self) -> RetrainerHealth:
+        return self._health
+
+    @property
+    def retrainer_stats(self) -> RetrainerStats:
+        """Sweep-level stats of the wrapped retrainer."""
+        return self._retrainer.stats
+
+    def is_alive(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    def next_delay_s(self) -> float:
+        """Delay before the next sweep under the current health state."""
+        with self.stats._lock:
+            failures = self.stats.consecutive_failures
+        if self._health is RetrainerHealth.HALTED:
+            return self.halt_cooldown_s
+        if failures == 0:
+            return self.period_s
+        backoff = min(
+            self.backoff_cap_s, self.backoff_base_s * (2.0 ** (failures - 1))
+        )
+        return backoff * (1.0 + self.jitter * self._rng.random())
+
+    # -- guarded sweep -------------------------------------------------------
+
+    def sweep_once(self) -> int | None:
+        """One sweep with containment; None when a failure was contained.
+
+        Success from DEGRADED/HALTED transitions back to HEALTHY and counts
+        a recovery. Never sleeps — backoff only paces the daemon loop.
+        """
+        with self.stats._lock:
+            self.stats.sweeps_attempted += 1
+        try:
+            rebuilt = self._retrainer.sweep_once()
+        except Exception as exc:
+            self._on_failure(exc)
+            return None
+        self._on_success()
+        return rebuilt
+
+    def _on_failure(self, exc: Exception) -> None:
+        with self.stats._lock:
+            self.stats.sweeps_failed += 1
+            self.stats.consecutive_failures += 1
+            self.stats.last_error = repr(exc)
+            failures = self.stats.consecutive_failures
+        if failures >= self.halt_after:
+            if self._health is not RetrainerHealth.HALTED:
+                with self.stats._lock:
+                    self.stats.halts += 1
+            self._health = RetrainerHealth.HALTED
+        else:
+            self._health = RetrainerHealth.DEGRADED
+
+    def _on_success(self) -> None:
+        recovered = self._health is not RetrainerHealth.HEALTHY
+        with self.stats._lock:
+            self.stats.consecutive_failures = 0
+            if recovered:
+                self.stats.recoveries += 1
+        if recovered:
+            self.index.counters.retrain_recoveries += 1
+        self._health = RetrainerHealth.HEALTHY
+
+    # -- daemon lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        """Start the supervised worker and its watchdog."""
+        if self.is_alive():
+            raise RuntimeError("supervisor already running")
+        self._stop_event.clear()
+        self._spawn_worker()
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, daemon=True,
+            name="chameleon-retrainer-watchdog",
+        )
+        self._watchdog.start()
+
+    def stop(self, join: bool = True, join_timeout_s: float = 5.0) -> None:
+        """Stop worker and watchdog (idempotent)."""
+        self._stop_event.set()
+        self._retrainer._stop_event.set()
+        if not join:
+            return
+        for thread in (self._worker, self._watchdog):
+            if thread is not None and thread.is_alive():
+                thread.join(timeout=join_timeout_s)
+
+    def _spawn_worker(self) -> None:
+        self._worker = threading.Thread(
+            target=self._worker_loop, daemon=True,
+            name="chameleon-retrainer-supervised",
+        )
+        self._worker.start()
+
+    def _worker_loop(self) -> None:
+        while not self._stop_event.wait(self.next_delay_s()):
+            self.sweep_once()
+
+    def _watchdog_loop(self) -> None:
+        while not self._stop_event.wait(self.watchdog_period_s):
+            worker = self._worker
+            if worker is not None and not worker.is_alive():
+                with self.stats._lock:
+                    self.stats.watchdog_restarts += 1
+                self.index.counters.watchdog_restarts += 1
+                self._health = RetrainerHealth.DEGRADED
+                self._spawn_worker()

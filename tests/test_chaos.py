@@ -1,0 +1,106 @@
+"""Chaos-harness acceptance tests: correctness and healing under faults."""
+
+import pytest
+
+from repro.core import ChameleonIndex
+from repro.datasets import face_like
+from repro.robustness import RetrainerHealth
+from repro.robustness import faults as faults_mod
+from repro.robustness.chaos import (
+    DEFAULT_FAULT_MODES,
+    ChaosConfig,
+    ChaosReport,
+    run_chaos,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_report() -> ChaosReport:
+    """One seeded chaos run shared by the acceptance assertions.
+
+    Mixed workload, every fault point armed well above the 5% floor,
+    20 sweeps — the acceptance configuration from the issue.
+    """
+    return run_chaos(ChaosConfig(fault_probability=0.15, seed=0))
+
+
+class TestChaosAcceptance:
+    def test_run_completes_ok(self, chaos_report):
+        assert chaos_report.ok, chaos_report.summary() + "".join(
+            f"\n  {e}" for e in chaos_report.events[-20:]
+        )
+
+    def test_all_fault_points_armed_and_faults_fired(self, chaos_report):
+        assert set(DEFAULT_FAULT_MODES) == set(faults_mod.KNOWN_FAULT_POINTS)
+        assert chaos_report.faults_injected > 0
+        assert chaos_report.counters["faults_injected"] == (
+            chaos_report.faults_injected
+        )
+
+    def test_enough_sweeps(self, chaos_report):
+        assert chaos_report.sweeps_run >= 20
+
+    def test_zero_integrity_violations(self, chaos_report):
+        assert chaos_report.violations == []
+
+    def test_zero_wrong_lookups(self, chaos_report):
+        assert chaos_report.wrong_lookups == 0
+
+    def test_retrainer_recovered_to_healthy(self, chaos_report):
+        """Failures were injected, contained, and healed."""
+        assert chaos_report.contained_sweep_failures > 0
+        assert chaos_report.recoveries > 0
+        assert chaos_report.final_health is RetrainerHealth.HEALTHY
+
+    def test_lock_state_quiescent_after_run(self, chaos_report):
+        assert chaos_report.lock_quiescent
+
+    def test_injector_detached_after_run(self, chaos_report):
+        assert faults_mod.ACTIVE is None
+
+    def test_deterministic_replay(self, chaos_report):
+        replay = run_chaos(ChaosConfig(fault_probability=0.15, seed=0))
+        assert replay.events == chaos_report.events
+        assert replay.faults_injected == chaos_report.faults_injected
+        assert replay.wrong_lookups == chaos_report.wrong_lookups
+        assert replay.live_keys == chaos_report.live_keys
+
+
+class TestChaosVariants:
+    def test_clean_run_without_faults(self):
+        report = run_chaos(
+            ChaosConfig(fault_probability=0.0, n_ops=800, sweeps=8, seed=1)
+        )
+        assert report.ok, report.summary()
+        assert report.faults_injected == 0
+        assert report.contained_sweep_failures == 0
+
+    def test_heavy_faults_still_correct(self):
+        """Even a 40% fault rate must never corrupt answers or structure."""
+        report = run_chaos(
+            ChaosConfig(fault_probability=0.4, n_ops=1000, sweeps=10, seed=2)
+        )
+        assert report.wrong_lookups == 0
+        assert report.violations == []
+        assert report.lock_quiescent
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_readonly_counters_match_seed_baseline(self):
+        """Fault hooks add no counter traffic while no injector is installed.
+
+        The exact structural-counter values of this seeded read-only run
+        were captured on the pre-robustness tree; any drift means the
+        instrumentation leaks into the cost model.
+        """
+        index = ChameleonIndex(strategy="ChaB")
+        keys = face_like(5000, seed=3)
+        index.bulk_load(keys)
+        for k in keys[::7]:
+            index.lookup(float(k))
+        snap = index.counters.snapshot()
+        assert snap["node_hops"] == 1430
+        assert snap["model_evals"] == 7145
+        assert snap["slot_probes"] == 14370
+        assert snap["faults_injected"] == 0
+        assert snap["retrain_failures"] == 0

@@ -124,6 +124,102 @@ class TestRetrainLock:
                 assert other
 
 
+class TestRetrainLockDeadline:
+    def test_timeout_is_a_deadline_not_per_wait(self, manager):
+        """Repeated wakeups must not restart the timeout clock.
+
+        A query lock is held for the whole test while another thread pulses
+        the interval's condition every 50 ms (standing in for the notify
+        storm a stream of short queries produces). With a per-wait timeout
+        every pulse would rearm the 0.3 s clock and the retrainer would
+        block for as long as the pulses continue; with a monotonic deadline
+        it gives up at ~0.3 s total.
+        """
+        ids = (7,)
+        stop_pulsing = threading.Event()
+        query_inside = threading.Event()
+        query_release = threading.Event()
+
+        def query():
+            with manager.query_lock(ids):
+                query_inside.set()
+                query_release.wait(timeout=5)
+
+        def pulser():
+            # Reach into the manager: wake the retrainer's condition without
+            # changing the reader count, so its predicate stays blocked.
+            state = manager._states[ids]
+            while not stop_pulsing.wait(0.05):
+                with manager._mutex:
+                    state.condition.notify_all()
+
+        t_query = threading.Thread(target=query, daemon=True)
+        t_query.start()
+        assert query_inside.wait(timeout=2)
+        t_pulse = threading.Thread(target=pulser, daemon=True)
+        t_pulse.start()
+        start = time.perf_counter()
+        with manager.retrain_lock(ids, timeout=0.3) as acquired:
+            elapsed = time.perf_counter() - start
+            assert not acquired
+        stop_pulsing.set()
+        query_release.set()
+        t_query.join(timeout=2)
+        t_pulse.join(timeout=2)
+        assert 0.25 <= elapsed < 1.0, f"deadline not honoured: {elapsed:.3f}s"
+
+    def test_timeout_skip_is_prompt_under_held_query_lock(self, manager):
+        """A busy interval is skipped within ~timeout, not eventually."""
+        ids = (8,)
+        inside = threading.Event()
+        release = threading.Event()
+
+        def query():
+            with manager.query_lock(ids):
+                inside.set()
+                release.wait(timeout=5)
+
+        t = threading.Thread(target=query, daemon=True)
+        t.start()
+        assert inside.wait(timeout=2)
+        start = time.perf_counter()
+        with manager.retrain_lock(ids, timeout=0.1) as acquired:
+            elapsed = time.perf_counter() - start
+            assert not acquired
+        release.set()
+        t.join(timeout=2)
+        assert elapsed < 0.8
+
+    def test_blocked_queries_all_drain_after_retrain(self, manager):
+        """Every query parked behind a retrain proceeds once it releases."""
+        ids = (6,)
+        n_queries = 5
+        done = threading.Barrier(n_queries + 1)
+        retrain_started = threading.Event()
+
+        def query():
+            retrain_started.wait(timeout=2)
+            with manager.query_lock(ids):
+                pass
+            done.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=query, daemon=True)
+            for _ in range(n_queries)
+        ]
+        for t in threads:
+            t.start()
+        with manager.retrain_lock(ids) as acquired:
+            assert acquired
+            retrain_started.set()
+            time.sleep(0.1)  # let the queries pile up behind the retrain
+        done.wait(timeout=5)  # raises BrokenBarrierError if any query hangs
+        for t in threads:
+            t.join(timeout=2)
+            assert not t.is_alive()
+        assert manager.active_intervals() == 0
+
+
 class TestDiagnostics:
     def test_active_intervals(self, manager):
         assert manager.active_intervals() == 0

@@ -55,6 +55,64 @@ class TestSweep:
         assert retrainer.stats.total_retrain_seconds >= 0.0
 
 
+class TestFailureContainment:
+    def test_failed_retrain_recorded_and_retried(self, loaded_index,
+                                                 monkeypatch):
+        """A raising rebuild is contained; drift counters survive for retry."""
+        index, manager, keys = loaded_index
+        for k in keys[2000:2600]:
+            index.insert(float(k))
+        retrainer = RetrainingThread(index, manager, update_threshold=8)
+
+        def boom(parent, rank):
+            raise RuntimeError("simulated rebuild failure")
+
+        monkeypatch.setattr(index, "rebuild_subtree", boom)
+        assert retrainer.sweep_once() == 0
+        assert retrainer.stats.failed_retrains > 0
+        assert index.counters.retrain_failures == (
+            retrainer.stats.failed_retrains
+        )
+        monkeypatch.undo()
+        # Update counters were left intact, so the very next sweep retries
+        # the same intervals and succeeds.
+        assert retrainer.sweep_once() > 0
+        for k in keys[:2600:41]:
+            assert index.lookup(float(k)) == k
+
+    def test_failed_retrain_releases_interval_lock(self, loaded_index,
+                                                   monkeypatch):
+        index, manager, keys = loaded_index
+        for k in keys[2000:2600]:
+            index.insert(float(k))
+        retrainer = RetrainingThread(index, manager, update_threshold=8)
+        monkeypatch.setattr(
+            index, "rebuild_subtree",
+            lambda parent, rank: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        retrainer.sweep_once()
+        assert retrainer.stats.failed_retrains > 0
+        assert manager.active_intervals() == 0
+
+    def test_full_rebuild_failure_contained(self, loaded_index, monkeypatch):
+        index, manager, keys = loaded_index
+        for k in keys[2000:2900]:
+            index.insert(float(k))
+        retrainer = RetrainingThread(index, manager, update_threshold=8,
+                                     full_rebuild_fraction=0.1)
+
+        def boom():
+            raise RuntimeError("simulated DARE failure")
+
+        monkeypatch.setattr(index, "rebuild_all", boom)
+        assert retrainer.sweep_once() == 0
+        assert retrainer.stats.failed_retrains == 1
+        assert retrainer.stats.full_rebuilds == 0
+        # The index still answers correctly after the contained failure.
+        for k in keys[:2900:53]:
+            assert index.lookup(float(k)) == k
+
+
 class TestThreadLifecycle:
     def test_start_stop(self, loaded_index):
         index, manager, keys = loaded_index
@@ -77,6 +135,25 @@ class TestThreadLifecycle:
         retrainer.stop()
         retrainer.stop()
         assert not retrainer.is_alive()
+
+    def test_stop_warns_when_thread_is_wedged(self, loaded_index,
+                                              monkeypatch):
+        """A join timeout on stop() surfaces a RuntimeWarning, not silence."""
+        index, manager, _ = loaded_index
+        retrainer = RetrainingThread(index, manager, period_s=0.02)
+        monkeypatch.setattr(retrainer, "is_alive", lambda: True)
+        monkeypatch.setattr(retrainer, "join", lambda timeout=None: None)
+        with pytest.warns(RuntimeWarning, match="wedged"):
+            retrainer.stop(join_timeout_s=0.01)
+
+    def test_stop_clean_exit_does_not_warn(self, loaded_index, recwarn):
+        index, manager, _ = loaded_index
+        retrainer = RetrainingThread(index, manager, period_s=0.02)
+        retrainer.start()
+        retrainer.stop()
+        assert not any(
+            issubclass(w.category, RuntimeWarning) for w in recwarn.list
+        )
 
     def test_queries_remain_correct_during_retraining(self, loaded_index):
         """The headline property: concurrent retraining never breaks reads."""

@@ -1,0 +1,355 @@
+"""Tests for the robustness subsystem: injector, supervisor, integrity."""
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines import INDEX_REGISTRY, UPDATABLE_INDEXES
+from repro.baselines.alex import ALEXIndex
+from repro.baselines.btree import BPlusTreeIndex
+from repro.baselines.counters import Counters
+from repro.baselines.lipp import LIPPIndex
+from repro.core import ChameleonIndex, IntervalLockManager
+from repro.datasets import face_like
+from repro.robustness import (
+    FaultInjector,
+    FaultMode,
+    InjectedFault,
+    InjectedKill,
+    RetrainerHealth,
+    SupervisedRetrainer,
+)
+from repro.robustness import faults as faults_mod
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    """Every test must leave the global fault hook detached."""
+    yield
+    assert faults_mod.ACTIVE is None
+    faults_mod.ACTIVE = None
+
+
+class TestFaultInjector:
+    def test_disabled_by_default(self):
+        assert faults_mod.ACTIVE is None
+        assert not faults_mod.fire("index.rebuild_subtree")
+
+    def test_unarmed_point_never_fires(self):
+        inj = FaultInjector(seed=0)
+        with inj.installed():
+            assert not inj.fire("index.rebuild_subtree")
+        assert inj.total_fires() == 0
+
+    def test_raise_mode(self):
+        inj = FaultInjector(seed=0).arm("ebh.insert", FaultMode.RAISE, probability=1.0)
+        with pytest.raises(InjectedFault):
+            inj.fire("ebh.insert")
+        assert inj.fires_at("ebh.insert") == 1
+
+    def test_kill_mode_is_base_exception(self):
+        inj = FaultInjector(seed=0).arm("ebh.insert", FaultMode.KILL, probability=1.0)
+        with pytest.raises(BaseException) as excinfo:
+            inj.fire("ebh.insert")
+        assert isinstance(excinfo.value, InjectedKill)
+        assert not isinstance(excinfo.value, Exception)
+
+    def test_skip_mode_returns_true(self):
+        inj = FaultInjector(seed=0).arm("ebh.insert", FaultMode.SKIP, probability=1.0)
+        counters = Counters()
+        assert inj.fire("ebh.insert", counters)
+        assert counters.faults_injected == 1
+        assert counters.fault_skips == 1
+
+    def test_delay_mode_sleeps_then_proceeds(self):
+        inj = FaultInjector(seed=0).arm(
+            "ebh.insert", FaultMode.DELAY, probability=1.0, delay_s=0.02
+        )
+        counters = Counters()
+        start = time.perf_counter()
+        assert not inj.fire("ebh.insert", counters)
+        assert time.perf_counter() - start >= 0.015
+        assert counters.fault_delays == 1
+
+    def test_max_fires(self):
+        inj = FaultInjector(seed=0).arm(
+            "ebh.insert", FaultMode.SKIP, probability=1.0, max_fires=2
+        )
+        assert inj.fire("ebh.insert")
+        assert inj.fire("ebh.insert")
+        assert not inj.fire("ebh.insert")
+        assert inj.fires_at("ebh.insert") == 2
+
+    def test_seeded_determinism(self):
+        def run(seed):
+            inj = FaultInjector(seed=seed).arm(
+                "ebh.insert", FaultMode.SKIP, probability=0.3
+            )
+            return [inj.fire("ebh.insert") for _ in range(200)]
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("ebh.insert", probability=1.5)
+
+    def test_unknown_point_rejected(self):
+        """A typo'd point name must fail loudly, not silently never fire."""
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultInjector().arm("ebh.isnert")
+
+    def test_install_uninstall(self):
+        inj = FaultInjector(seed=0)
+        inj.install()
+        assert faults_mod.ACTIVE is inj
+        inj.uninstall()
+        assert faults_mod.ACTIVE is None
+        # Uninstalling when another injector is active must not detach it.
+        other = FaultInjector(seed=1).install()
+        inj.uninstall()
+        assert faults_mod.ACTIVE is other
+        other.uninstall()
+
+
+@pytest.fixture
+def supervised():
+    manager = IntervalLockManager()
+    index = ChameleonIndex(strategy="ChaB", lock_manager=manager)
+    keys = face_like(2500, seed=5)
+    index.bulk_load(keys[:1500])
+    supervisor = SupervisedRetrainer(
+        index, manager, update_threshold=8, halt_after=3, seed=5,
+        period_s=0.01, watchdog_period_s=0.02, backoff_base_s=0.005,
+        halt_cooldown_s=0.02,
+    )
+    return index, supervisor, keys
+
+
+class TestSupervisedRetrainer:
+    def test_contains_sweep_failure_and_degrades(self, supervised):
+        index, supervisor, _ = supervised
+        inj = FaultInjector(seed=0).arm(
+            "retrainer.sweep", FaultMode.RAISE, probability=1.0
+        )
+        with inj.installed():
+            assert supervisor.sweep_once() is None
+        assert supervisor.health is RetrainerHealth.DEGRADED
+        assert supervisor.stats.sweeps_failed == 1
+        assert "InjectedFault" in supervisor.stats.last_error
+
+    def test_halts_after_consecutive_failures(self, supervised):
+        index, supervisor, _ = supervised
+        inj = FaultInjector(seed=0).arm(
+            "retrainer.sweep", FaultMode.RAISE, probability=1.0
+        )
+        with inj.installed():
+            for _ in range(3):
+                supervisor.sweep_once()
+        assert supervisor.health is RetrainerHealth.HALTED
+        assert supervisor.stats.halts == 1
+        assert supervisor.next_delay_s() == supervisor.halt_cooldown_s
+
+    def test_recovers_to_healthy(self, supervised):
+        index, supervisor, _ = supervised
+        inj = FaultInjector(seed=0).arm(
+            "retrainer.sweep", FaultMode.RAISE, probability=1.0
+        )
+        with inj.installed():
+            for _ in range(4):
+                supervisor.sweep_once()
+        assert supervisor.health is RetrainerHealth.HALTED
+        assert supervisor.sweep_once() is not None  # faults gone
+        assert supervisor.health is RetrainerHealth.HEALTHY
+        assert supervisor.stats.recoveries == 1
+        assert supervisor.stats.consecutive_failures == 0
+        assert index.counters.retrain_recoveries == 1
+
+    def test_backoff_grows_and_is_capped(self, supervised):
+        _, supervisor, _ = supervised
+        inj = FaultInjector(seed=0).arm(
+            "retrainer.sweep", FaultMode.RAISE, probability=1.0
+        )
+        supervisor.halt_after = 100  # keep it in DEGRADED
+        delays = []
+        with inj.installed():
+            for _ in range(12):
+                supervisor.sweep_once()
+                delays.append(supervisor.next_delay_s())
+        assert delays[1] > delays[0] * 1.2  # roughly doubling
+        cap = supervisor.backoff_cap_s * (1.0 + supervisor.jitter)
+        assert all(d <= cap + 1e-9 for d in delays)
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_watchdog_restarts_dead_worker(self, supervised):
+        """The injected kill escapes the worker thread by design."""
+        index, supervisor, keys = supervised
+        for k in keys[1500:1900]:
+            index.insert(float(k))
+        inj = FaultInjector(seed=0).arm(
+            "retrainer.sweep", FaultMode.KILL, probability=1.0, max_fires=1
+        )
+        with inj.installed():
+            supervisor.start()
+            deadline = time.time() + 5.0
+            while (
+                supervisor.stats.watchdog_restarts == 0
+                and time.time() < deadline
+            ):
+                time.sleep(0.01)
+        try:
+            assert supervisor.stats.watchdog_restarts >= 1
+            assert index.counters.watchdog_restarts >= 1
+            deadline = time.time() + 5.0
+            while not supervisor.is_alive() and time.time() < deadline:
+                time.sleep(0.01)
+            assert supervisor.is_alive(), "watchdog failed to restart worker"
+        finally:
+            supervisor.stop()
+        assert not supervisor.is_alive()
+
+    def test_daemon_sweeps_and_stops(self, supervised):
+        index, supervisor, keys = supervised
+        for k in keys[1500:2100]:
+            index.insert(float(k))
+        supervisor.start()
+        deadline = time.time() + 5.0
+        while supervisor.stats.sweeps_attempted == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        supervisor.stop()
+        assert supervisor.stats.sweeps_attempted >= 1
+        assert supervisor.health is RetrainerHealth.HEALTHY
+        assert not supervisor.is_alive()
+
+    def test_start_twice_raises(self, supervised):
+        _, supervisor, _ = supervised
+        supervisor.start()
+        try:
+            with pytest.raises(RuntimeError):
+                supervisor.start()
+        finally:
+            supervisor.stop()
+
+
+def _loaded(index_cls, n=800, seed=9):
+    index = index_cls()
+    index.bulk_load(face_like(n, seed=seed))
+    return index
+
+
+class TestIntegrityClean:
+    @pytest.mark.parametrize("name", UPDATABLE_INDEXES)
+    def test_fresh_updatable_indexes_verify_clean(self, name):
+        index = INDEX_REGISTRY[name]()
+        keys = face_like(600, seed=3)
+        index.bulk_load(keys)
+        report = index.verify_integrity()
+        assert report.ok, report.summary() + "".join(
+            f"\n  {v}" for v in report.violations
+        )
+        assert report.keys_checked >= 600
+
+    def test_verification_is_counter_neutral(self):
+        index = _loaded(BPlusTreeIndex)
+        before = index.counters.snapshot()
+        index.verify_integrity()
+        assert index.counters.snapshot() == before
+
+    def test_chameleon_after_updates_verifies_clean(self):
+        manager = IntervalLockManager()
+        index = ChameleonIndex(strategy="ChaB", lock_manager=manager)
+        keys = face_like(2000, seed=4)
+        index.bulk_load(keys[:1200])
+        for k in keys[1200:1700]:
+            index.insert(float(k))
+        for k in keys[:200:2]:
+            index.delete(float(k))
+        report = index.verify_integrity()
+        assert report.ok, report.summary()
+
+
+class TestIntegrityCorruption:
+    def test_chameleon_detects_live_count_drift(self):
+        index = ChameleonIndex(strategy="ChaB")
+        index.bulk_load(face_like(800, seed=2))
+        index._n += 3  # corrupt the live counter
+        report = index.verify_integrity()
+        assert not report.ok
+        assert any(v.check == "live-count" for v in report.violations)
+
+    def test_chameleon_detects_misplaced_key(self):
+        from repro.core.node import walk_leaves
+
+        index = ChameleonIndex(strategy="ChaB")
+        index.bulk_load(face_like(800, seed=2))
+        leaf = max(walk_leaves(index._root), key=lambda l: l.n_keys)
+        ebh = leaf.ebh
+        src = next(i for i, k in enumerate(ebh._keys) if k is not None)
+        home = ebh.home_slot(ebh._keys[src])
+
+        def circular(a, b):
+            d = abs(a - b)
+            return min(d, ebh.capacity - d)
+
+        # Teleport the key to a free slot beyond its conflict-degree window.
+        dst = next(
+            i
+            for i in range(ebh.capacity)
+            if ebh._keys[i] is None
+            and circular(i, home) > ebh.conflict_degree
+        )
+        ebh._keys[dst], ebh._values[dst] = ebh._keys[src], ebh._values[src]
+        ebh._keys[src] = ebh._values[src] = None
+        report = index.verify_integrity()
+        assert not report.ok
+        assert any(v.check == "leaf-placement" for v in report.violations)
+
+    def test_alex_detects_key_disorder(self):
+        index = _loaded(ALEXIndex)
+        node = next(n for n in index._unique_nodes() if n.n_keys >= 2)
+        occupied = [i for i, k in enumerate(node.slot_keys) if k is not None]
+        a, b = occupied[0], occupied[-1]
+        node.slot_keys[a], node.slot_keys[b] = node.slot_keys[b], node.slot_keys[a]
+        report = index.verify_integrity()
+        assert not report.ok
+        assert any(v.check == "key-order" for v in report.violations)
+
+    def test_lipp_detects_misplaced_entry(self):
+        index = _loaded(LIPPIndex)
+        root = index._root
+        src = next(
+            i for i, p in enumerate(root.slots)
+            if p is not None and not hasattr(p, "slots")
+        )
+        dst = next(
+            i for i, p in enumerate(root.slots)
+            if p is None and root.slot_of(root.slots[src][0]) != i
+        )
+        root.slots[dst] = root.slots[src]
+        root.slots[src] = None
+        report = index.verify_integrity()
+        assert not report.ok
+        assert any(v.check == "leaf-placement" for v in report.violations)
+
+    def test_btree_detects_broken_leaf_chain(self):
+        index = _loaded(BPlusTreeIndex)
+        leaf = index._leftmost_leaf()
+        assert leaf.next_leaf is not None
+        leaf.next_leaf = leaf.next_leaf.next_leaf  # drop one leaf
+        report = index.verify_integrity()
+        assert not report.ok
+        assert any(v.check == "linkage" for v in report.violations)
+
+    def test_btree_detects_separator_violation(self):
+        index = _loaded(BPlusTreeIndex, n=2000)
+        assert not index._root.is_leaf
+        leaf = index._leftmost_leaf()
+        leaf.keys[-1] = leaf.keys[-1] + 1e15  # push past the separator
+        report = index.verify_integrity()
+        assert not report.ok
+        assert any(
+            v.check in ("key-order", "reachability") for v in report.violations
+        )
