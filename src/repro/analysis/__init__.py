@@ -1,0 +1,37 @@
+"""repro-lint: AST-based contract checking for this reproduction.
+
+The codebase carries three implicit contracts that unit tests cannot see
+holistically: every structural cost flows through
+:class:`~repro.baselines.counters.Counters` (the machine-independent
+currency of DESIGN.md section 1), every ``query_lock``/``retrain_lock``
+acquisition is scoped and free of blocking work, and every fault-point name
+woven into a hot path exists in
+:data:`~repro.robustness.faults.KNOWN_FAULT_POINTS`. A counter missed in
+one baseline quietly corrupts every "who wins and by what factor" claim the
+benchmarks make — exactly the silent drift the updatable-learned-index
+surveys warn about — so these contracts are enforced statically, at PR
+time, by the rules in :mod:`repro.analysis.rules`.
+
+Run it as ``python -m repro.analysis src/``; see ``docs/static_analysis.md``
+for the rule catalogue and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from .context import ModuleContext
+from .engine import LintReport, lint_paths, lint_source
+from .findings import Finding, Severity
+from .registry import Rule, all_rules, get_rule, register_rule
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,96 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit code 0 when no ERROR-severity findings survive suppression, 1
+otherwise. ``--format github`` emits workflow-command annotations for CI;
+``--json PATH`` additionally writes the machine-readable report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .engine import lint_paths
+from .registry import all_rules
+from .reporting import render_github, render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: AST contract checker for this reproduction",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github", "json"),
+        default="text",
+        help="stdout format (github = Actions annotations)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the JSON report to PATH",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        return 0
+
+    if args.select:
+        wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
+        unknown = wanted - {r.rule_id for r in rules}
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        rules = [r for r in rules if r.rule_id in wanted]
+    if args.ignore:
+        dropped = {r.strip().upper() for r in args.ignore.split(",") if r.strip()}
+        rules = [r for r in rules if r.rule_id not in dropped]
+
+    report = lint_paths(args.paths, rules=rules)
+
+    if args.format == "text":
+        print(render_text(report))
+    elif args.format == "github":
+        print(render_github(report))
+    else:
+        print(render_json(report))
+
+    if args.json:
+        Path(args.json).write_text(render_json(report) + "\n", encoding="utf-8")
+
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Per-module analysis context handed to every rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .suppress import is_suppressed, parse_suppressions
+
+
+def dotted_name(path: Path) -> str | None:
+    """Importable dotted module name for ``path``, or None.
+
+    Walks upward while each directory is a package (has ``__init__.py``);
+    the result is e.g. ``repro.core.index`` for
+    ``src/repro/core/index.py``. Files outside any package (test fixtures)
+    return None and rules fall back to pure-AST checks.
+    """
+    path = path.resolve()
+    if path.suffix != ".py":
+        return None
+    parts: list[str] = []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts:
+        return None  # not inside any package: loose file / fixture
+    if path.stem != "__init__":
+        parts.append(path.stem)
+    return ".".join(parts)
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module: source, AST, dotted name, and suppressions.
+
+    Attributes:
+        path: display path used in findings (kept as given, not resolved,
+            so CI annotations match the checkout layout).
+        source: the file's text.
+        tree: parsed :class:`ast.Module`.
+        dotted: importable dotted name, or None for loose files.
+        suppressions: line -> disabled rule ids (see :mod:`.suppress`).
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    dotted: str | None = None
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_path(cls, path: Path, display: str | None = None) -> "ModuleContext":
+        """Parse ``path``; raises SyntaxError for unparseable files."""
+        source = path.read_text(encoding="utf-8")
+        return cls(
+            path=display or str(path),
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            dotted=dotted_name(path),
+            suppressions=parse_suppressions(source),
+        )
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str = "<string>", dotted: str | None = None
+    ) -> "ModuleContext":
+        """Parse an in-memory module (used heavily by the rule tests)."""
+        return cls(
+            path=path,
+            source=source,
+            tree=ast.parse(source, filename=path),
+            dotted=dotted,
+            suppressions=parse_suppressions(source),
+        )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        return is_suppressed(self.suppressions, rule_id, line)
+
+    def path_parts(self) -> tuple[str, ...]:
+        """Normalised path components, for rule scoping decisions."""
+        return Path(self.path).parts

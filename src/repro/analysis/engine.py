@@ -1,0 +1,136 @@
+"""File walker and rule runner for repro-lint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .registry import Rule, all_rules
+
+#: Directories never descended into.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".mypy_cache"})
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def exit_code(self) -> int:
+        return 1 if self.errors() else 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "summary": self.by_rule(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part in SKIP_DIRS for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(candidate)
+    return out
+
+
+def _run_rules(
+    ctx: ModuleContext, rules: Iterable[Rule], report: LintReport
+) -> None:
+    for rule in rules:
+        try:
+            if not rule.applies_to(ctx):
+                continue
+            found = list(rule.check(ctx))
+        except Exception as exc:  # noqa: BLE001 — a crashing rule is a finding
+            report.findings.append(
+                Finding(
+                    path=ctx.path,
+                    line=1,
+                    col=0,
+                    rule_id=rule.rule_id,
+                    message=f"rule crashed: {type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        for finding in found:
+            if ctx.is_suppressed(finding.rule_id, finding.line):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+
+
+def lint_paths(
+    paths: Sequence[Path | str], rules: Sequence[Rule] | None = None
+) -> LintReport:
+    """Lint every .py file under ``paths`` with ``rules`` (default: all)."""
+    active = list(rules) if rules is not None else all_rules()
+    report = LintReport()
+    for path in iter_python_files(paths):
+        try:
+            ctx = ModuleContext.from_path(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            report.findings.append(
+                Finding(
+                    path=str(path),
+                    line=getattr(exc, "lineno", 1) or 1,
+                    col=0,
+                    rule_id="RL000",
+                    message=f"unparseable module: {exc}",
+                )
+            )
+            continue
+        report.files_scanned += 1
+        _run_rules(ctx, active, report)
+    report.findings.sort()
+    return report
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    dotted: str | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint one in-memory module (the rule tests' entry point)."""
+    active = list(rules) if rules is not None else all_rules()
+    report = LintReport()
+    ctx = ModuleContext.from_source(source, path=path, dotted=dotted)
+    report.files_scanned = 1
+    _run_rules(ctx, active, report)
+    report.findings.sort()
+    return report

@@ -1,0 +1,53 @@
+"""Finding and severity types shared by every repro-lint rule."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code.
+
+    ERROR findings fail the build; WARNING findings are reported but do not
+    change the exit code (used while a new rule is being burned in).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    Attributes:
+        path: file the violation lives in (as given to the walker).
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule_id: e.g. ``"RL001"``.
+        message: human-readable explanation with the expected fix.
+        severity: :class:`Severity` (inherited from the rule by default).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable anchor used by the reporters."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form for the machine-readable report."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }

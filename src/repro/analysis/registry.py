@@ -1,0 +1,141 @@
+"""Rule base class and registry.
+
+Rules self-register at import time via :func:`register_rule`; the engine
+imports :mod:`repro.analysis.rules` once and iterates
+:func:`all_rules`. Registration is keyed by ``rule_id`` so a rule can be
+selected/ignored from the CLI and named in suppression pragmas.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator, Type
+
+from .context import ModuleContext
+from .findings import Finding, Severity
+
+
+class Rule:
+    """One contract check.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` scopes a rule to part of the tree (e.g. RL005 only
+    runs on cost-model modules). Rules must be deterministic and must not
+    mutate the context.
+    """
+
+    #: Stable identifier, e.g. "RL001" — used in findings and pragmas.
+    rule_id: str = ""
+    #: Short name used in ``--list-rules``.
+    name: str = ""
+    #: One-line contract statement.
+    description: str = ""
+    #: Default severity of this rule's findings.
+    severity: Severity = Severity.ERROR
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        """Whether this rule runs on ``ctx`` (default: every module)."""
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- helpers shared by concrete rules -----------------------------------
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        severity: Severity | None = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            severity=severity or self.severity,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its ``rule_id``."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must set rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules sorted by id (imports the rule package on demand)."""
+    _ensure_loaded()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule; raises KeyError on unknown ids."""
+    _ensure_loaded()
+    return _REGISTRY[rule_id.upper()]
+
+
+def _ensure_loaded() -> None:
+    if not _REGISTRY:
+        from . import rules  # noqa: F401  (import populates the registry)
+
+
+# -- shared AST utilities ----------------------------------------------------
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The rightmost identifier of a call target.
+
+    ``foo`` -> "foo"; ``a.b.fire`` -> "fire"; anything else -> None.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def receiver_name(node: ast.AST) -> str | None:
+    """The identifier the attribute hangs off: ``a.b.fire`` -> "b"."""
+    if isinstance(node, ast.Attribute):
+        return terminal_name(node.value)
+    return None
+
+
+def import_aliases(tree: ast.Module, module: str) -> tuple[set[str], dict[str, str]]:
+    """Names under which ``module`` and its members are visible.
+
+    Returns ``(module_aliases, member_aliases)`` where ``module_aliases``
+    holds local names bound to the module itself (``import time as _t``)
+    and ``member_aliases`` maps local name -> member for
+    ``from module import member [as alias]``. Scans nested (function-level)
+    imports too — that is exactly where offenders hide.
+    """
+    module_aliases: set[str] = set()
+    member_aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    module_aliases.add(alias.asname or module)
+                elif alias.name.startswith(module + "."):
+                    module_aliases.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                member_aliases[alias.asname or alias.name] = alias.name
+    return module_aliases, member_aliases
+
+
+Checker = Callable[[ModuleContext], Iterator[Finding]]

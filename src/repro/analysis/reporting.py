@@ -1,0 +1,51 @@
+"""Renderers for lint reports: human text, GitHub annotations, JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Compiler-style ``path:line:col: RLxxx message`` lines + summary."""
+    lines = [
+        f"{f.location()}: {f.severity.value}: {f.rule_id} {f.message}"
+        for f in report.findings
+    ]
+    counts = report.by_rule()
+    summary = (
+        ", ".join(f"{rule}×{n}" for rule, n in counts.items())
+        if counts
+        else "clean"
+    )
+    lines.append(
+        f"repro-lint: {report.files_scanned} file(s) scanned, "
+        f"{len(report.findings)} finding(s) ({summary}), "
+        f"{report.suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub Actions workflow-command annotations, one per finding.
+
+    Emitted on stdout inside a workflow these render inline on the PR diff.
+    """
+    out = []
+    for f in report.findings:
+        message = f.message.replace("%", "%25").replace("\n", "%0A")
+        out.append(
+            f"::{f.severity.value} file={f.path},line={f.line},"
+            f"col={f.col + 1},title=repro-lint {f.rule_id}::{message}"
+        )
+    out.append(
+        f"::notice title=repro-lint::{report.files_scanned} file(s), "
+        f"{len(report.findings)} finding(s), {report.suppressed} suppressed"
+    )
+    return "\n".join(out)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (schema documented in docs/static_analysis.md)."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=False)

@@ -1,0 +1,114 @@
+"""RL001 — lock discipline for the interval-lock protocol.
+
+Two contracts from Section V-A of the paper, as implemented by
+:mod:`repro.core.interval_lock`:
+
+1. ``query_lock``/``retrain_lock`` are context managers; calling one
+   anywhere except a ``with`` statement leaks the acquisition on exception
+   paths. The only sanctioned exception is a *forwarding wrapper*: a method
+   of the same name that immediately returns the parent manager's context
+   (the ablation bench's degenerate global-lock manager does this).
+
+2. A query-lock body must never contain blocking work: no ``time.sleep``
+   and no retrain/rebuild calls. The query lock is shared — many readers
+   hold it concurrently — but the retrainer must drain *all* of them before
+   swapping a subtree, so one sleeping reader stalls retraining for the
+   whole interval and silently re-creates the blocking behaviour the paper's
+   Fig. 7 exists to rule out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register_rule, terminal_name
+
+LOCK_METHODS = ("query_lock", "retrain_lock")
+
+#: Call-name fragments that count as blocking work under a query lock.
+BLOCKING_FRAGMENTS = ("retrain", "rebuild")
+#: "join" is deliberately absent: str.join is ubiquitous and harmless.
+BLOCKING_EXACT = ("sleep", "sweep_once", "wait")
+
+
+def _is_lock_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in LOCK_METHODS
+    )
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    name = terminal_name(call.func)
+    if name is None:
+        return None
+    if name in BLOCKING_EXACT:
+        return f"blocking call {name!r}"
+    for fragment in BLOCKING_FRAGMENTS:
+        if fragment in name:
+            return f"{fragment} call {name!r}"
+    return None
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    rule_id = "RL001"
+    name = "lock-discipline"
+    description = (
+        "query_lock/retrain_lock must be with-statements; no blocking work "
+        "(sleep/retrain/rebuild) lexically inside a query_lock body"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        sanctioned: set[int] = set()
+        query_bodies: list[tuple[ast.With, list[ast.stmt]]] = []
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if _is_lock_call(expr):
+                        sanctioned.add(id(expr))
+                        assert isinstance(expr, ast.Call)
+                        assert isinstance(expr.func, ast.Attribute)
+                        if expr.func.attr == "query_lock" and isinstance(node, ast.With):
+                            query_bodies.append((node, node.body))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in LOCK_METHODS:
+                    # Forwarding wrapper: `def query_lock(...): return
+                    # super().query_lock(...)` re-exposes, not acquires.
+                    for stmt in node.body:
+                        if isinstance(stmt, ast.Return) and _is_lock_call(stmt.value):
+                            sanctioned.add(id(stmt.value))
+
+        for node in ast.walk(ctx.tree):
+            if _is_lock_call(node) and id(node) not in sanctioned:
+                assert isinstance(node, ast.Call)
+                assert isinstance(node.func, ast.Attribute)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.func.attr}() must be used as a with-statement "
+                    "(or returned unentered from a same-named forwarding "
+                    "wrapper); a bare call leaks the lock on exception paths",
+                )
+
+        for with_node, body in query_bodies:
+            for stmt in body:
+                for sub in ast.walk(stmt):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    reason = _blocking_reason(sub)
+                    if reason is not None:
+                        yield self.finding(
+                            ctx,
+                            sub,
+                            f"{reason} inside a query_lock body (line "
+                            f"{with_node.lineno}): shared query locks must "
+                            "not hold blocking work — it stalls the "
+                            "retrainer's drain for the whole interval",
+                        )

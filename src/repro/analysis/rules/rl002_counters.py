@@ -1,0 +1,78 @@
+"""RL002 — structural cost must flow through the Counters API.
+
+:class:`~repro.baselines.counters.Counters` is the machine-independent cost
+currency (DESIGN.md section 1): benchmarks rank indexes by these fields, so
+a module that increments a *look-alike* attribute — ``self.comparisons``
+instead of ``self.counters.comparisons`` — silently drops that cost from
+every comparison plot. The field list is imported live from
+``counters.py``: adding a Counters field automatically widens this rule.
+
+Flagged: augmented assignment (``+=``/``-=``) to an attribute named after a
+Counters field whose receiver is not a counters object (an identifier named
+``counters``, e.g. ``self.counters.x``, ``index.counters.x``, ``counters.x``).
+``counters.py`` itself is exempt (it defines the API).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator
+
+from ...baselines.counters import Counters
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register_rule, terminal_name
+
+#: Live field list — drift in counters.py automatically updates the rule.
+COUNTER_FIELDS = frozenset(f.name for f in dataclasses.fields(Counters))
+
+#: Receiver identifiers that designate a Counters instance by convention.
+COUNTER_RECEIVERS = frozenset({"counters", "_counters", "ctrs"})
+
+
+def _routes_through_counters(target: ast.Attribute) -> bool:
+    value = target.value
+    name = terminal_name(value)
+    if name in COUNTER_RECEIVERS:
+        return True
+    # Bare `comparisons += 1` on a local accumulator named exactly like the
+    # field is the pattern this rule exists for; only attribute receivers
+    # can legitimately be a Counters object.
+    return False
+
+
+@register_rule
+class CounterDisciplineRule(Rule):
+    rule_id = "RL002"
+    name = "counter-discipline"
+    description = (
+        "augmented assignment to a Counters-field name must go through a "
+        "counters object, not a shadow attribute"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.path_parts()[-1] != "counters.py"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            target = node.target
+            if not isinstance(target, ast.Attribute):
+                continue
+            if target.attr not in COUNTER_FIELDS:
+                continue
+            if _routes_through_counters(target):
+                continue
+            receiver = terminal_name(target.value) or "<expression>"
+            yield self.finding(
+                ctx,
+                node,
+                f"increment of {target.attr!r} on {receiver!r} shadows the "
+                f"Counters field of the same name; route structural cost "
+                f"through a counters object (e.g. self.counters.{target.attr}) "
+                "or rename the attribute",
+            )

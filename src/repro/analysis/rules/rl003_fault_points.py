@@ -1,0 +1,85 @@
+"""RL003 — fault-point names must exist in the live registry.
+
+The chaos harness woven into the hot paths fires named fault points
+(:data:`~repro.robustness.faults.KNOWN_FAULT_POINTS`). ``arm()`` validates
+names at runtime, but ``fire()`` deliberately does not (a hot-path lookup
+against a misspelled name is simply never armed — the fault silently stops
+firing and chaos coverage decays). This rule cross-checks every string
+literal passed to an injector call site against the registry *imported
+live*, so renaming a point in ``faults.py`` without updating a call site
+breaks lint, not chaos coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ...robustness.faults import KNOWN_FAULT_POINTS
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, receiver_name, register_rule
+
+#: Injector methods whose first argument is a fault-point name.
+POINT_METHODS = frozenset({"fire", "arm", "disarm", "fires_at"})
+
+#: Receiver identifiers that designate an injector. `faults.fire(...)` and
+#: `faults.ACTIVE.fire(...)` are the woven-in forms; `inj`/`injector` the
+#: test/bench forms.
+_RECEIVER_HINTS = ("fault", "inj", "active")
+
+
+def _looks_like_injector(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        # Module-level helper: `from ..robustness import faults; faults.fire`
+        # is an Attribute; a bare `fire(...)` only counts when imported from
+        # the faults module — approximated by the name itself.
+        return func.id == "fire"
+    receiver = receiver_name(func)
+    if receiver is None:
+        return False
+    lowered = receiver.lower()
+    return any(hint in lowered for hint in _RECEIVER_HINTS)
+
+
+@register_rule
+class FaultPointRegistryRule(Rule):
+    rule_id = "RL003"
+    name = "fault-point-registry"
+    description = (
+        "string literals at FaultInjector call sites must be members of "
+        "KNOWN_FAULT_POINTS"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # faults.py documents non-registry examples in docstrings; its own
+        # code never passes literals.
+        return ctx.path_parts()[-1] != "faults.py"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name not in POINT_METHODS:
+                continue
+            if not _looks_like_injector(node):
+                continue
+            if not node.args:
+                continue
+            arg = node.args[0]
+            if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                continue  # dynamic names are validated at runtime by arm()
+            if arg.value in KNOWN_FAULT_POINTS:
+                continue
+            yield self.finding(
+                ctx,
+                arg,
+                f"unknown fault point {arg.value!r}; KNOWN_FAULT_POINTS "
+                f"defines: {', '.join(KNOWN_FAULT_POINTS)} — a misspelled "
+                "point is never armed, so the fault silently stops firing",
+            )

@@ -1,0 +1,274 @@
+"""RL004 — baselines must structurally conform to the BaseIndex interface.
+
+Workloads, benchmarks, and differential tests drive every index through the
+ordered-map API of :class:`~repro.baselines.interfaces.BaseIndex`. A
+baseline that is accidentally abstract (missing ``lookup``), narrows an
+override's arity, or loses ``verify_integrity``/``capabilities`` fails at
+*benchmark* time — long after the PR that broke it merged. This rule
+imports the live interface (so the required-method set and reference
+signatures track ``interfaces.py``) and checks each index class in the
+linted module against it.
+
+Modules importable under the ``repro`` package are checked live (real MRO,
+inherited implementations respected). Loose files — rule-test fixtures —
+fall back to a pure-AST check of classes whose base is literally named
+``BaseIndex``.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+from typing import Iterator
+
+from ...baselines.interfaces import BaseIndex, Capabilities
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+#: Interface methods whose overrides must stay call-compatible.
+API_METHODS = (
+    "bulk_load",
+    "lookup",
+    "insert",
+    "delete",
+    "range_query",
+    "items",
+    "size_bytes",
+    "height_stats",
+    "node_count",
+    "error_stats",
+    "verify_integrity",
+    "__len__",
+)
+
+REQUIRED_METHODS = tuple(sorted(BaseIndex.__abstractmethods__))
+
+
+def _positional_shape(sig: inspect.Signature) -> tuple[int, int, bool]:
+    """(required_positional, max_positional, accepts_varargs) excl. self."""
+    required = 0
+    maximum = 0
+    varargs = False
+    for param in sig.parameters.values():
+        if param.name == "self":
+            continue
+        if param.kind in (param.POSITIONAL_ONLY, param.POSITIONAL_OR_KEYWORD):
+            maximum += 1
+            if param.default is param.empty:
+                required += 1
+        elif param.kind is param.VAR_POSITIONAL:
+            varargs = True
+    return required, maximum, varargs
+
+
+def _signature_mismatch(base_sig: inspect.Signature, sub_sig: inspect.Signature) -> str | None:
+    """Why ``sub_sig`` cannot take every call ``base_sig`` accepts, or None."""
+    base_req, base_max, _ = _positional_shape(base_sig)
+    sub_req, sub_max, sub_var = _positional_shape(sub_sig)
+    if sub_req > base_req:
+        return (
+            f"requires {sub_req} positional argument(s) where the interface "
+            f"requires {base_req}"
+        )
+    if not sub_var and sub_max < base_max:
+        return (
+            f"accepts at most {sub_max} positional argument(s) where the "
+            f"interface accepts {base_max}"
+        )
+    return None
+
+
+@register_rule
+class InterfaceConformanceRule(Rule):
+    rule_id = "RL004"
+    name = "interface-conformance"
+    description = (
+        "every concrete BaseIndex subclass implements the interface: no "
+        "missing abstract methods, call-compatible overrides, a callable "
+        "verify_integrity, and a Capabilities descriptor"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if ctx.dotted:
+            return ctx.dotted.startswith("repro.baselines") or ctx.dotted in (
+                "repro.core.index",
+            )
+        return any(
+            isinstance(node, ast.ClassDef) and _names_base_index(node)
+            for node in ctx.tree.body
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.dotted:
+            yield from self._check_live(ctx)
+        else:
+            yield from self._check_ast(ctx)
+
+    # -- live (importable modules) ------------------------------------------
+
+    def _check_live(self, ctx: ModuleContext) -> Iterator[Finding]:
+        module = importlib.import_module(ctx.dotted or "")
+        class_nodes = {
+            node.name: node
+            for node in ctx.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        for name, cls in vars(module).items():
+            if not inspect.isclass(cls) or cls.__module__ != module.__name__:
+                continue
+            if not issubclass(cls, BaseIndex) or cls is BaseIndex:
+                continue
+            if name.startswith("_"):
+                continue  # internal helpers may stay partial
+            anchor = class_nodes.get(name, ctx.tree)
+            missing = sorted(getattr(cls, "__abstractmethods__", ()))
+            if missing:
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"{name} is silently abstract: missing "
+                    f"{', '.join(missing)} — it will raise only when the "
+                    "bench instantiates it",
+                )
+            for meth in API_METHODS:
+                base_fn = getattr(BaseIndex, meth, None)
+                sub_fn = getattr(cls, meth, None)
+                if base_fn is None or sub_fn is None:
+                    if sub_fn is None and meth not in missing:
+                        yield self.finding(
+                            ctx, anchor, f"{name}.{meth} is not defined"
+                        )
+                    continue
+                if not callable(sub_fn):
+                    yield self.finding(
+                        ctx,
+                        anchor,
+                        f"{name}.{meth} is not callable — assigning "
+                        f"{type(sub_fn).__name__} silently disables the "
+                        "interface method",
+                    )
+                    continue
+                if sub_fn is base_fn or meth not in _defined_below_base(cls):
+                    continue
+                why = _signature_mismatch(
+                    inspect.signature(base_fn), inspect.signature(sub_fn)
+                )
+                if why is not None:
+                    yield self.finding(
+                        ctx,
+                        _method_node(class_nodes.get(name), meth) or anchor,
+                        f"{name}.{meth} {why}; differential tests call every "
+                        "index through the BaseIndex shape",
+                    )
+            caps = getattr(cls, "capabilities", None)
+            if not isinstance(caps, Capabilities):
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"{name}.capabilities is missing or not a Capabilities "
+                    "descriptor; the Table I bench skips it silently",
+                )
+
+    # -- AST fallback (loose files / fixtures) ------------------------------
+
+    def _check_ast(self, ctx: ModuleContext) -> Iterator[Finding]:
+        base_sigs = {
+            meth: inspect.signature(getattr(BaseIndex, meth))
+            for meth in API_METHODS
+        }
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef) or not _names_base_index(node):
+                continue
+            defined = {
+                stmt.name: stmt
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            missing = [m for m in REQUIRED_METHODS if m not in defined]
+            if missing:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.name} is silently abstract: missing "
+                    f"{', '.join(missing)}",
+                )
+            for meth, fn in defined.items():
+                if meth not in base_sigs:
+                    continue
+                why = _signature_mismatch(base_sigs[meth], _ast_signature(fn))
+                if why is not None:
+                    yield self.finding(
+                        ctx, fn, f"{node.name}.{meth} {why}"
+                    )
+
+
+def _names_base_index(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        if isinstance(base, ast.Name) and base.id == "BaseIndex":
+            return True
+        if isinstance(base, ast.Attribute) and base.attr == "BaseIndex":
+            return True
+    return False
+
+
+def _defined_below_base(cls: type) -> set[str]:
+    """Method names (re)defined anywhere between ``cls`` and BaseIndex."""
+    names: set[str] = set()
+    for klass in cls.__mro__:
+        if klass is BaseIndex:
+            break
+        names.update(vars(klass))
+    return names
+
+
+def _method_node(
+    class_node: ast.ClassDef | None, meth: str
+) -> ast.AST | None:
+    if class_node is None:
+        return None
+    for stmt in class_node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name == meth:
+                return stmt
+    return None
+
+
+def _ast_signature(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> inspect.Signature:
+    """Approximate an inspect.Signature from an AST function definition."""
+    params = []
+    args = fn.args
+    n_defaults = len(args.defaults)
+    positional = args.posonlyargs + args.args
+    for i, arg in enumerate(positional):
+        default = inspect.Parameter.empty
+        if i >= len(positional) - n_defaults:
+            default = None
+        params.append(
+            inspect.Parameter(
+                arg.arg,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                default=default,
+            )
+        )
+    if args.vararg is not None:
+        params.append(
+            inspect.Parameter(args.vararg.arg, inspect.Parameter.VAR_POSITIONAL)
+        )
+    for i, arg in enumerate(args.kwonlyargs):
+        default = (
+            inspect.Parameter.empty
+            if args.kw_defaults[i] is None
+            else None
+        )
+        params.append(
+            inspect.Parameter(
+                arg.arg, inspect.Parameter.KEYWORD_ONLY, default=default
+            )
+        )
+    if args.kwarg is not None:
+        params.append(
+            inspect.Parameter(args.kwarg.arg, inspect.Parameter.VAR_KEYWORD)
+        )
+    return inspect.Signature(params)

@@ -1,0 +1,92 @@
+"""RL005 — no wall-clock reads inside the structural cost model.
+
+The reproduction's headline claim is machine-independent: indexes are
+ranked by abstract Counters work, not nanoseconds (DESIGN.md section 1 —
+the paper's C++ latencies are not reachable from Python). A ``time.*`` read
+inside ``core/costs.py`` or a baseline's non-bench path re-introduces
+machine dependence exactly where the cost model promises there is none:
+the same run on a different box yields different "structural" results.
+Wall-clock measurement belongs behind the bench harness boundary
+(``workloads/operations.py`` / ``bench/``), which this rule does not scope.
+
+The rule resolves ``import time as _t`` aliases and ``from time import
+perf_counter``-style member imports, including function-local imports —
+that is exactly where offenders hide.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, import_aliases, register_rule
+
+#: time-module members that read the wall clock (or block on it).
+CLOCK_MEMBERS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+        "sleep",
+    }
+)
+
+
+def _in_cost_scope(parts: tuple[str, ...]) -> bool:
+    if not parts:
+        return False
+    if parts[-1] == "costs.py" and "core" in parts:
+        return True
+    return "baselines" in parts[:-1]
+
+
+@register_rule
+class WallClockRule(Rule):
+    rule_id = "RL005"
+    name = "no-wall-clock-in-cost-model"
+    description = (
+        "time.* reads are forbidden in cost-model modules (core/costs.py, "
+        "baselines/*); measure wall-clock behind the bench harness boundary"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return _in_cost_scope(ctx.path_parts())
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        module_aliases, member_aliases = import_aliases(ctx.tree, "time")
+        clock_names = {
+            local
+            for local, member in member_aliases.items()
+            if member in CLOCK_MEMBERS
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in CLOCK_MEMBERS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+            ):
+                label = f"{func.value.id}.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in clock_names:
+                label = f"{func.id} (from time import {member_aliases[func.id]})"
+            else:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"wall-clock call {label}() in a cost-model module makes "
+                "the structural cost machine-dependent; count abstract work "
+                "via Counters and measure time in the bench harness instead",
+            )

@@ -1,0 +1,86 @@
+"""RL006 — every RNG must be seeded from a traceable parameter.
+
+Chaos runs replay bit-identically under a seed, DARE/TSMDP training is
+compared across ablations at fixed seeds, and the differential tests rely
+on reproducible workloads. An RNG constructed with no seed is
+irreproducible; one constructed with a *hard-coded literal* cannot be
+threaded from config, so sweeps that vary the seed silently reuse one
+stream (the bug this PR fixed in ``baselines/dic.py``). The seed argument
+must therefore be an expression over names — ``seed``, ``self.seed``,
+``config.seed``, ``seed + 2`` — not a bare literal and not absent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+#: Constructors that create an RNG stream from an optional seed.
+RNG_CONSTRUCTORS = frozenset({"default_rng", "Random", "RandomState", "Generator"})
+
+
+def _rng_constructor(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Attribute) and func.attr in RNG_CONSTRUCTORS:
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in RNG_CONSTRUCTORS:
+        return func.id
+    return None
+
+
+def _contains_name(node: ast.expr) -> bool:
+    return any(
+        isinstance(sub, (ast.Name, ast.Attribute)) for sub in ast.walk(node)
+    )
+
+
+@register_rule
+class SeededRandomnessRule(Rule):
+    rule_id = "RL006"
+    name = "seeded-randomness"
+    description = (
+        "np.random.default_rng / random.Random call sites must take a seed "
+        "traceable to a parameter or config, not a literal or nothing"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _rng_constructor(node.func)
+            if name is None:
+                continue
+            seed_expr: ast.expr | None = None
+            if node.args:
+                seed_expr = node.args[0]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "seed":
+                        seed_expr = kw.value
+                        break
+            if seed_expr is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() without a seed is irreproducible; thread a "
+                    "seed parameter (config.seed / function argument) "
+                    "through to this call",
+                )
+            elif isinstance(seed_expr, ast.Constant) and seed_expr.value is not None:
+                yield self.finding(
+                    ctx,
+                    seed_expr,
+                    f"{name}({seed_expr.value!r}) hard-codes the seed; "
+                    "sweeps that vary the seed will silently reuse one "
+                    "stream — thread it from config or a parameter",
+                )
+            elif not _contains_name(seed_expr):
+                yield self.finding(
+                    ctx,
+                    seed_expr,
+                    f"{name}(...) seed expression contains no parameter or "
+                    "attribute; it is a disguised literal",
+                )

@@ -1,0 +1,60 @@
+"""Inline suppression comments: ``# repro-lint: disable=RL001[,RL002]``.
+
+A suppression applies to findings *on the same physical line* as the
+comment. ``disable=all`` silences every rule on that line. Suppressions are
+parsed from the token stream (not the AST) so they survive inside
+multi-statement lines and after trailing expressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+#: Sentinel meaning "every rule suppressed on this line".
+ALL_RULES = "all"
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*disable\s*=\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> rule ids disabled on that line.
+
+    The special id ``"all"`` (case-insensitive in the pragma) disables every
+    rule. Unreadable/partial token streams fall back to a line-by-line regex
+    scan so a syntax error elsewhere in the file cannot hide suppressions.
+    """
+    out: dict[int, frozenset[str]] = {}
+
+    def record(line: int, text: str) -> None:
+        match = _PRAGMA.search(text)
+        if match is None:
+            return
+        rules = frozenset(
+            r.strip().upper() if r.strip().lower() != ALL_RULES else ALL_RULES
+            for r in match.group("rules").split(",")
+        )
+        out[line] = out.get(line, frozenset()) | rules
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                record(tok.start[0], tok.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for i, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                record(i, text)
+    return out
+
+
+def is_suppressed(
+    suppressions: dict[int, frozenset[str]], rule_id: str, line: int
+) -> bool:
+    """True when ``rule_id`` is disabled on ``line``."""
+    disabled = suppressions.get(line)
+    if not disabled:
+        return False
+    return ALL_RULES in disabled or rule_id.upper() in disabled

@@ -19,7 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.node import LeafNode, walk_leaves
+from ..core.node import walk_leaves
 from ..core.skewness import local_skewness_windows
 from .reporting import series_sparkline
 

@@ -49,7 +49,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     """Lazy import of builder-dependent exports (avoids an import cycle)."""
     if name in _LAZY:
         import importlib

@@ -512,12 +512,12 @@ class ChameleonBuilder:
 
         genes = self._choose_genes(keys, n)
         if self.strategy == "ChaDA":
-            def terminal(k, v, lo, hi):
+            def terminal(k: np.ndarray, v: list, lo: float, hi: float) -> Node:
                 return make_leaf(k, v, lo, hi, self.config, counters)
         else:
             agent = self._ensure_tsmdp()
 
-            def terminal(k, v, lo, hi):
+            def terminal(k: np.ndarray, v: list, lo: float, hi: float) -> Node:
                 return refine_with_tsmdp(
                     k, v, lo, hi, agent, self.config, counters
                 )

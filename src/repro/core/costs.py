@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import functools
 import math
+from typing import Iterator
 
 from .config import ChameleonConfig
 from .node import LeafNode, Node
@@ -149,7 +150,7 @@ def measured_lookup_cost(root: Node) -> float:
     return weight / total_keys if total_keys else 0.0
 
 
-def _leaves_with_depth(root: Node):
+def _leaves_with_depth(root: Node) -> Iterator[tuple[int, LeafNode]]:
     stack: list[tuple[Node, int]] = [(root, 1)]
     while stack:
         node, depth = stack.pop()

@@ -10,7 +10,7 @@ TSMDP under interval locks without blocking queries.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from ..robustness import faults
 from .builder import ChameleonBuilder, make_leaf, refine_with_tsmdp
 from .config import ChameleonConfig
 from .node import InnerNode, LeafNode, Node, subtree_stats, walk_leaves
+
+if TYPE_CHECKING:
+    from ..robustness.integrity import IntegrityReport
 
 #: Leaf-growth factor applied when a leaf rehashes to a larger capacity.
 LEAF_GROWTH = 1.5
@@ -307,7 +310,7 @@ class ChameleonIndex(BaseIndex):
 
     # -- integrity -------------------------------------------------------------------
 
-    def _verify_structure(self, report) -> None:
+    def _verify_structure(self, report: IntegrityReport) -> None:
         """Chameleon-specific invariants (see ``verify_integrity``).
 
         * key-order / linkage: every child's routing interval matches its

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from ..robustness import faults
 from .index import ChameleonIndex
 from .interval_lock import IntervalLockManager
-from .node import walk_leaves
+from .node import InnerNode, walk_leaves
 
 
 @dataclass
@@ -189,7 +189,7 @@ class RetrainingThread(threading.Thread):
             self.stats.failed_retrains += 1
         self.index.counters.retrain_failures += 1
 
-    def _reset_update_counts(self, parent, rank) -> None:
+    def _reset_update_counts(self, parent: InnerNode, rank: int) -> None:
         child = parent.children[rank]
         if child is None:
             return

@@ -24,7 +24,12 @@ import enum
 import random
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from ..baselines.counters import Counters
 
 #: Fault points the core paths expose. Arbitrary names are allowed (the
 #: injector is a registry, not a schema), but these are the woven-in ones.
@@ -142,7 +147,7 @@ class FaultInjector:
 
     # -- firing --------------------------------------------------------------
 
-    def fire(self, point: str, counters=None) -> bool:
+    def fire(self, point: str, counters: "Counters | None" = None) -> bool:
         """Evaluate one arrival at ``point``.
 
         Returns True when the call site must *skip* its guarded operation
@@ -200,19 +205,14 @@ class FaultInjector:
         if ACTIVE is self:
             ACTIVE = None
 
-    def installed(self):
+    @contextmanager
+    def installed(self) -> Iterator["FaultInjector"]:
         """Context manager: install on entry, uninstall on exit."""
-        from contextlib import contextmanager
-
-        @contextmanager
-        def _scope():
-            self.install()
-            try:
-                yield self
-            finally:
-                self.uninstall()
-
-        return _scope()
+        self.install()
+        try:
+            yield self
+        finally:
+            self.uninstall()
 
 
 #: The globally installed injector, or None. Hot paths check this before
@@ -220,7 +220,7 @@ class FaultInjector:
 ACTIVE: FaultInjector | None = None
 
 
-def fire(point: str, counters=None) -> bool:
+def fire(point: str, counters: "Counters | None" = None) -> bool:
     """Module-level convenience wrapper around ``ACTIVE.fire``.
 
     Instrumented sites should inline the ``ACTIVE is not None`` guard

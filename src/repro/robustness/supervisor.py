@@ -24,7 +24,6 @@ from __future__ import annotations
 import enum
 import random
 import threading
-import time
 from dataclasses import dataclass, field
 
 from ..core.index import ChameleonIndex
@@ -236,7 +235,9 @@ class SupervisedRetrainer:
             worker = self._worker
             if worker is not None and not worker.is_alive():
                 with self.stats._lock:
-                    self.stats.watchdog_restarts += 1
+                    # SupervisorStats deliberately mirrors the counter of the
+                    # same name (per-supervisor view vs. per-index currency).
+                    self.stats.watchdog_restarts += 1  # repro-lint: disable=RL002
                 self.index.counters.watchdog_restarts += 1
                 self._health = RetrainerHealth.DEGRADED
                 self._spawn_worker()

@@ -1,0 +1,21 @@
+"""Known-bad fixture for RL005 (wall clock in cost model). Never imported.
+
+Lives under a ``baselines/`` directory so the rule's cost-model scope
+applies, and hides the import behind an alias inside the function — the
+exact shape the original ``dic.py`` violation had.
+"""
+
+
+def structural_cost(keys):
+    import time as clock
+
+    start = clock.perf_counter_ns()  # expect[RL005]
+    total = sum(keys)
+    clock.sleep(0.0)  # expect[RL005]
+    return total, clock.perf_counter_ns() - start  # expect[RL005]
+
+
+def member_import_cost(keys):
+    from time import monotonic as now
+
+    return sum(keys) / max(now(), 1.0)  # expect[RL005]

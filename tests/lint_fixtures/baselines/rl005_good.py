@@ -1,0 +1,13 @@
+"""Known-good fixture for RL005: abstract work only, no wall clock."""
+
+
+def structural_cost(keys, counters):
+    for _ in keys:
+        counters.comparisons += 1
+    return counters.total_search_work()
+
+
+def timestamp_free(records):
+    # `time` as a plain variable name is not the time module.
+    time = len(records)
+    return time * 2

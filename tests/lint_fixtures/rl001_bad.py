@@ -1,0 +1,28 @@
+"""Known-bad fixture for RL001 (lock discipline). Never imported."""
+
+import time
+
+
+class Store:
+    def __init__(self, manager, counters, index):
+        self.manager = manager
+        self.counters = counters
+        self.index = index
+
+    def unsafe_lookup(self, ids, key):
+        lock = self.manager.query_lock(ids, self.counters)  # expect[RL001]
+        lock.__enter__()
+        return key
+
+    def unsafe_retrain(self, ids):
+        handle = self.manager.retrain_lock(ids, self.counters)  # expect[RL001]
+        return handle
+
+    def sleepy_lookup(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            time.sleep(0.1)  # expect[RL001]
+            return key
+
+    def rebuild_under_read(self, ids, parent, rank):
+        with self.manager.query_lock(ids, self.counters):
+            return self.index.rebuild_subtree(parent, rank)  # expect[RL001]

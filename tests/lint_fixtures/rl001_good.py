@@ -1,0 +1,31 @@
+"""Known-good fixture for RL001: scoped locks, no blocking work inside."""
+
+
+class Store:
+    def __init__(self, manager, counters, index):
+        self.manager = manager
+        self.counters = counters
+        self.index = index
+
+    def lookup(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            return self.index.probe(key)
+
+    def retrain(self, ids, parent, rank):
+        with self.manager.retrain_lock(ids, self.counters, timeout=0.5) as ok:
+            if ok:
+                return self.index.rebuild_subtree(parent, rank)
+        return 0
+
+
+class ForwardingManager:
+    """Degenerate manager: forwarding wrappers are sanctioned (unentered)."""
+
+    def __init__(self, parent):
+        self.parent = parent
+
+    def query_lock(self, ids, counters=None):
+        return self.parent.query_lock((0,), counters)
+
+    def retrain_lock(self, ids, counters=None, timeout=None):
+        return self.parent.retrain_lock((0,), counters, timeout=timeout)

@@ -1,0 +1,18 @@
+"""Known-bad fixture for RL002 (counter discipline). Never imported."""
+
+
+class ShadowIndex:
+    """Increments look-alike attributes instead of the Counters API."""
+
+    def __init__(self):
+        self.comparisons = 0
+        self.node_hops = 0
+        self.retrain_keys = 0
+
+    def lookup(self, key):
+        self.comparisons += 1  # expect[RL002]
+        self.node_hops += 1  # expect[RL002]
+        return key
+
+    def retrain(self, keys):
+        self.retrain_keys += len(keys)  # expect[RL002]

@@ -1,0 +1,15 @@
+"""Known-good fixture for RL002: cost routed through counters objects."""
+
+
+class GoodIndex:
+    def __init__(self, counters):
+        self.counters = counters
+        self.update_count = 0  # not a Counters field: free to self-count
+
+    def lookup(self, key, counters=None):
+        self.counters.comparisons += 1
+        self.counters.node_hops += 1
+        if counters is not None:
+            counters.slot_probes += 1
+        self.update_count += 1
+        return key

@@ -1,0 +1,11 @@
+"""Known-bad fixture for RL003 (fault-point registry). Never imported."""
+
+
+def hot_path(faults, counters):
+    if faults.ACTIVE is not None:
+        faults.ACTIVE.fire("index.rebuild_everything", counters)  # expect[RL003]
+
+
+def arm_chaos(injector):
+    injector.arm("retrainer.sweeps", "raise", probability=0.5)  # expect[RL003]
+    injector.disarm("ebh.inserts")  # expect[RL003]

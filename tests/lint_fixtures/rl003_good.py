@@ -1,0 +1,16 @@
+"""Known-good fixture for RL003: registry members and dynamic names."""
+
+
+def hot_path(faults, counters):
+    if faults.ACTIVE is not None:
+        faults.ACTIVE.fire("index.rebuild_subtree", counters)
+
+
+def arm_chaos(injector, point):
+    injector.arm("ebh.insert", "raise", probability=0.5)
+    injector.arm(point, "delay")  # dynamic: validated at runtime by arm()
+    injector.fires_at("retrainer.sweep")
+
+
+def unrelated(cannon):
+    cannon.fire("not a fault point at all")  # receiver gives no injector hint

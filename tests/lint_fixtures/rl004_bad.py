@@ -1,0 +1,21 @@
+"""Known-bad fixture for RL004 (interface conformance). Never imported.
+
+The local ``BaseIndex`` stand-in keeps the fixture self-contained; the rule
+matches the base *name* in its AST fallback while taking the required
+method set and reference signatures from the live interface.
+"""
+
+
+class BaseIndex:
+    pass
+
+
+class BrokenIndex(BaseIndex):  # expect[RL004]  (missing __len__, size_bytes)
+    def bulk_load(self, keys, values=None):
+        self.data = dict(zip(keys, values or keys))
+
+    def lookup(self):  # expect[RL004]  (interface passes a key)
+        return None
+
+    def insert(self, key, value, priority):  # expect[RL004]  (extra required arg)
+        self.data[key] = value

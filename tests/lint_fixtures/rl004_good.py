@@ -1,0 +1,22 @@
+"""Known-good fixture for RL004: full, call-compatible interface."""
+
+
+class BaseIndex:
+    pass
+
+
+class GoodIndex(BaseIndex):
+    def bulk_load(self, keys, values=None):
+        self.data = dict(zip(keys, values or keys))
+
+    def lookup(self, key):
+        return self.data.get(key)
+
+    def insert(self, key, value=None):
+        self.data[key] = value if value is not None else key
+
+    def __len__(self):
+        return len(self.data)
+
+    def size_bytes(self):
+        return 16 * len(self.data)

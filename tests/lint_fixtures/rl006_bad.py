@@ -1,0 +1,13 @@
+"""Known-bad fixture for RL006 (seeded randomness). Never imported."""
+
+import random
+
+import numpy as np
+
+
+def make_streams():
+    a = np.random.default_rng(17)  # expect[RL006]
+    b = np.random.default_rng()  # expect[RL006]
+    c = random.Random(42)  # expect[RL006]
+    d = np.random.default_rng(seed=1234)  # expect[RL006]
+    return a, b, c, d

@@ -1,0 +1,19 @@
+"""Known-good fixture for RL006: seeds threaded from parameters/config."""
+
+import random
+
+import numpy as np
+
+
+def make_streams(seed, config):
+    a = np.random.default_rng(seed)
+    b = np.random.default_rng(config.seed)
+    c = random.Random(seed + 2)
+    d = np.random.default_rng(seed=config.seed)
+    return a, b, c, d
+
+
+class Seeded:
+    def __init__(self, seed):
+        self.seed = seed
+        self.rng = np.random.default_rng(self.seed)

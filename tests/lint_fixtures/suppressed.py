@@ -1,0 +1,16 @@
+"""Fixture proving inline suppression pragmas silence findings."""
+
+import numpy as np
+
+
+def golden_stream():
+    """A deliberately pinned stream, annotated as such."""
+    return np.random.default_rng(17)  # repro-lint: disable=RL006
+
+
+class MirrorStats:
+    def __init__(self):
+        self.comparisons = 0
+
+    def tick(self):
+        self.comparisons += 1  # repro-lint: disable=all

@@ -14,7 +14,7 @@ from repro.core.retrainer import RetrainingThread
 from repro.datasets import osmc_like
 from repro.rl import MARLTrainer, default_dataset_factory
 from repro.workloads.mixed import read_write_workload, split_load_and_pool
-from repro.workloads.operations import OpKind, run_workload
+from repro.workloads.operations import run_workload
 from repro.workloads.readonly import readonly_workload
 
 

@@ -2,7 +2,6 @@
 full DARE reconstruction and workload-aware construction."""
 
 import numpy as np
-import pytest
 
 from repro.core import ChameleonIndex, IntervalLockManager
 from repro.core.builder import ChameleonBuilder, estimate_genes_cost

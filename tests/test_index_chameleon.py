@@ -6,7 +6,6 @@ import pytest
 from repro.baselines.interfaces import DuplicateKeyError, EmptyIndexError
 from repro.baselines.sorted_array import SortedArrayIndex
 from repro.core import ChameleonConfig, ChameleonIndex, IntervalLockManager
-from repro.datasets import face_like, osmc_like, uden
 
 
 def build(keys, strategy="ChaB", **kwargs):

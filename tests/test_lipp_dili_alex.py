@@ -2,7 +2,6 @@
 paper's comparisons rely on."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.alex import ALEXIndex
 from repro.baselines.dili import DILIIndex

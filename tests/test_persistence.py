@@ -1,6 +1,5 @@
 """Tests for index save/load persistence."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import INDEX_REGISTRY, UPDATABLE_INDEXES

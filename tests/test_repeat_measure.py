@@ -1,6 +1,5 @@
 """Tests for the seeded repeat-measurement harness."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.sorted_array import SortedArrayIndex

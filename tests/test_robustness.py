@@ -1,6 +1,5 @@
 """Tests for the robustness subsystem: injector, supervisor, integrity."""
 
-import threading
 import time
 
 import pytest

@@ -1,7 +1,6 @@
 """Tests for the text-mode visualisations."""
 
 import numpy as np
-import pytest
 
 from repro.bench.visualize import (
     cdf_plot,
