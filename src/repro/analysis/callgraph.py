@@ -1,0 +1,423 @@
+"""Project-wide call graph for interprocedural rules.
+
+The graph is built once per lint run over every module handed to the
+engine and cached on the :class:`~repro.analysis.context.ProjectContext`.
+Resolution is purely static — nothing is imported — and deliberately
+conservative: an edge is recorded only when the callee can be pinned down
+with reasonable confidence, because a spurious edge turns into a spurious
+"reaches blocking work" finding three hops away.
+
+Resolved call forms, in decreasing order of precision:
+
+1. ``helper()`` — a module-level function of the same module.
+2. ``from pkg.mod import helper`` / ``import pkg.mod as m; m.helper()`` —
+   cross-module calls through import aliases, including relative imports
+   (``from .builder import make_leaf``), resolved against the project's
+   dotted-name table.
+3. ``self.method()`` / ``cls.method()`` / ``super().method()`` — methods
+   of the enclosing class, walking base classes that resolve statically
+   (same module or imported by name).
+4. ``ClassName()`` — constructor calls bind to ``ClassName.__init__``.
+5. ``anything.method()`` — a bare attribute call matched *by name* against
+   every project function called ``method``, but only when at most
+   :data:`MAX_NAME_CANDIDATES` functions share that name. Beyond the cap
+   the name is too generic (``get``, ``items``, ``lookup`` across nine
+   index classes) to attribute, and over-approximating there is exactly
+   how interprocedural linters drown their users in false positives.
+
+Unresolved callee names are kept per caller for diagnostics.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import ModuleContext
+
+#: A bare attribute call is matched by method name only while the name has
+#: at most this many project-wide candidates (see the module docstring).
+MAX_NAME_CANDIDATES = 4
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project.
+
+    Attributes:
+        qname: qualified name ``<module key>.<Class>.<name>`` (class part
+            absent for module-level functions). The module key is the
+            importable dotted name when the file sits in a package, else
+            the file's display path — unique either way within one run.
+        name: bare function name.
+        module: module key (prefix of ``qname``).
+        cls: enclosing class name, or None.
+        node: the defining AST node.
+        ctx: the module the definition lives in.
+    """
+
+    qname: str
+    name: str
+    module: str
+    cls: str | None
+    node: FunctionNode
+    ctx: "ModuleContext"
+
+    def location(self) -> str:
+        return f"{self.ctx.path}:{self.node.lineno}"
+
+
+@dataclass
+class _ModuleTable:
+    """Per-module symbol information used during resolution."""
+
+    key: str
+    functions: dict[str, str] = field(default_factory=dict)  # name -> qname
+    classes: dict[str, dict[str, str]] = field(default_factory=dict)
+    bases: dict[str, list[str]] = field(default_factory=dict)  # class -> base names
+    module_aliases: dict[str, str] = field(default_factory=dict)  # local -> dotted
+    member_aliases: dict[str, str] = field(default_factory=dict)  # local -> dotted.member
+
+
+class CallGraph:
+    """Static call graph over one project (one lint run's file set)."""
+
+    def __init__(self) -> None:
+        #: qname -> definition.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: bare name -> qnames sharing it.
+        self.by_name: dict[str, list[str]] = {}
+        #: caller qname -> callee qnames (resolved edges).
+        self.edges: dict[str, set[str]] = {}
+        #: caller qname -> terminal names that did not resolve.
+        self.unresolved: dict[str, set[str]] = {}
+        self._tables: dict[str, _ModuleTable] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: list["ModuleContext"]) -> "CallGraph":
+        graph = cls()
+        for ctx in modules:
+            graph._collect_definitions(ctx)
+        for ctx in modules:
+            graph._collect_edges(ctx)
+        return graph
+
+    def _module_key(self, ctx: "ModuleContext") -> str:
+        return ctx.dotted if ctx.dotted is not None else ctx.path
+
+    def _collect_definitions(self, ctx: "ModuleContext") -> None:
+        key = self._module_key(ctx)
+        table = _ModuleTable(key=key)
+        self._tables[key] = table
+
+        def add(node: FunctionNode, cls_name: str | None) -> None:
+            qname = (
+                f"{key}.{cls_name}.{node.name}" if cls_name else f"{key}.{node.name}"
+            )
+            info = FunctionInfo(
+                qname=qname,
+                name=node.name,
+                module=key,
+                cls=cls_name,
+                node=node,
+                ctx=ctx,
+            )
+            self.functions[qname] = info
+            self.by_name.setdefault(node.name, []).append(qname)
+            if cls_name:
+                table.classes.setdefault(cls_name, {})[node.name] = qname
+            else:
+                table.functions[node.name] = qname
+
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add(stmt, None)
+            elif isinstance(stmt, ast.ClassDef):
+                table.classes.setdefault(stmt.name, {})
+                table.bases[stmt.name] = [
+                    base
+                    for b in stmt.bases
+                    if (base := _base_name(b)) is not None
+                ]
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        add(sub, stmt.name)
+        # Nested defs (functions inside functions, local classes) are scanned
+        # too so their *calls* attribute to the enclosing scope; they are
+        # registered under the enclosing function's class context.
+        self._collect_imports(ctx, table)
+
+    def _collect_imports(self, ctx: "ModuleContext", table: _ModuleTable) -> None:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    table.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname is None:
+                        # `import pkg.mod` binds `pkg`; remember the full
+                        # path too so `pkg.mod.f()` resolves.
+                        table.module_aliases[alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                target = self._resolve_import_from(ctx, node)
+                if target is None:
+                    continue
+                for alias in node.names:
+                    table.member_aliases[alias.asname or alias.name] = (
+                        f"{target}.{alias.name}"
+                    )
+
+    def _resolve_import_from(
+        self, ctx: "ModuleContext", node: ast.ImportFrom
+    ) -> str | None:
+        """Absolute dotted target of a (possibly relative) ``from`` import."""
+        if node.level == 0:
+            return node.module
+        if ctx.dotted is None:
+            return None  # relative import in a loose file: unresolvable
+        parts = ctx.dotted.split(".")
+        # Level 1 = current package. __init__ modules are already package
+        # names; plain modules must drop their own stem first.
+        if not ctx.path.endswith("__init__.py"):
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop:
+            if drop >= len(parts):
+                return None
+            parts = parts[:-drop]
+        base = ".".join(parts)
+        if node.module:
+            return f"{base}.{node.module}" if base else node.module
+        return base or None
+
+    # -- edge resolution -----------------------------------------------------
+
+    def _collect_edges(self, ctx: "ModuleContext") -> None:
+        key = self._module_key(ctx)
+        table = self._tables[key]
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self, graph: "CallGraph") -> None:
+                self.graph = graph
+                self.stack: list[tuple[str | None, FunctionNode | None]] = []
+
+            def _current_qname(self) -> str | None:
+                for cls_name, fn in reversed(self.stack):
+                    if fn is not None:
+                        qname = (
+                            f"{key}.{cls_name}.{fn.name}"
+                            if cls_name
+                            else f"{key}.{fn.name}"
+                        )
+                        if qname in self.graph.functions:
+                            return qname
+                return None
+
+            def _current_class(self) -> str | None:
+                for cls_name, fn in reversed(self.stack):
+                    if cls_name is not None:
+                        return cls_name
+                return None
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                self.stack.append((node.name, None))
+                self.generic_visit(node)
+                self.stack.pop()
+
+            def _visit_function(self, node: FunctionNode) -> None:
+                self.stack.append((self._current_class(), node))
+                self.generic_visit(node)
+                self.stack.pop()
+
+            visit_FunctionDef = _visit_function
+            visit_AsyncFunctionDef = _visit_function
+
+            def visit_Call(self, node: ast.Call) -> None:
+                caller = self._current_qname()
+                if caller is not None:
+                    self.graph._record_call(
+                        caller, node, table, self._current_class()
+                    )
+                self.generic_visit(node)
+
+        Visitor(self).visit(ctx.tree)
+
+    def _record_call(
+        self,
+        caller: str,
+        call: ast.Call,
+        table: _ModuleTable,
+        enclosing_class: str | None,
+    ) -> None:
+        callees = self._resolve_call(call.func, table, enclosing_class)
+        if callees:
+            self.edges.setdefault(caller, set()).update(callees)
+        else:
+            name = _terminal(call.func)
+            if name is not None:
+                self.unresolved.setdefault(caller, set()).add(name)
+
+    def _resolve_call(
+        self,
+        func: ast.expr,
+        table: _ModuleTable,
+        enclosing_class: str | None,
+    ) -> set[str]:
+        # helper() / ClassName() / imported_member()
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in table.functions:
+                return {table.functions[name]}
+            if name in table.classes:
+                init = self._method_in_hierarchy(table, name, "__init__")
+                return {init} if init else set()
+            if name in table.member_aliases:
+                return self._resolve_dotted(table.member_aliases[name])
+            return set()
+        if not isinstance(func, ast.Attribute):
+            return set()
+        attr = func.attr
+        value = func.value
+        # self.method() / cls.method()
+        if (
+            isinstance(value, ast.Name)
+            and value.id in ("self", "cls")
+            and enclosing_class is not None
+        ):
+            found = self._method_in_hierarchy(table, enclosing_class, attr)
+            if found:
+                return {found}
+            return self._match_by_name(attr)
+        # super().method()
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "super"
+            and enclosing_class is not None
+        ):
+            for base in table.bases.get(enclosing_class, []):
+                found = self._method_in_hierarchy(table, base, attr)
+                if found:
+                    return {found}
+            return self._match_by_name(attr)
+        # module_alias.func() or dotted.module.path.func()
+        dotted = _flatten_dotted(value)
+        if dotted is not None:
+            resolved = self._resolve_module_attr(table, dotted, attr)
+            if resolved:
+                return resolved
+        # anything_else.method(): name match under the candidate cap
+        return self._match_by_name(attr)
+
+    def _resolve_module_attr(
+        self, table: _ModuleTable, dotted: str, attr: str
+    ) -> set[str]:
+        head = dotted.split(".")[0]
+        if head in table.module_aliases:
+            expanded = table.module_aliases[head]
+        elif head in table.member_aliases:
+            # `from repro.core import builder` binds a module as a member.
+            expanded = table.member_aliases[head]
+        else:
+            return set()
+        rest = dotted[len(head):].lstrip(".")
+        target = f"{expanded}.{rest}" if rest else expanded
+        return self._resolve_dotted(f"{target}.{attr}")
+
+    def _resolve_dotted(self, dotted: str) -> set[str]:
+        """Resolve ``pkg.mod.func`` or ``pkg.mod.Class`` to function qnames."""
+        if dotted in self.functions:
+            return {dotted}
+        # A class reference: its constructor.
+        init = f"{dotted}.__init__"
+        if init in self.functions:
+            return {init}
+        # `from pkg import mod` then `mod.func` produces pkg.mod.func which
+        # is already covered; a member alias naming a re-export is not
+        # chased further.
+        return set()
+
+    def _method_in_hierarchy(
+        self, table: _ModuleTable, cls_name: str, method: str, _depth: int = 0
+    ) -> str | None:
+        """Find ``method`` on ``cls_name`` or a statically-resolvable base."""
+        if _depth > 8:  # defensive: cyclic/absurd hierarchies
+            return None
+        methods = table.classes.get(cls_name)
+        if methods and method in methods:
+            return methods[method]
+        for base in table.bases.get(cls_name, []):
+            if base in table.classes:
+                found = self._method_in_hierarchy(table, base, method, _depth + 1)
+                if found:
+                    return found
+            elif base in table.member_aliases:
+                target = table.member_aliases[base]
+                owner = self._tables.get(target.rsplit(".", 1)[0])
+                if owner is not None:
+                    found = self._method_in_hierarchy(
+                        owner, target.rsplit(".", 1)[1], method, _depth + 1
+                    )
+                    if found:
+                        return found
+        return None
+
+    def _match_by_name(self, name: str) -> set[str]:
+        candidates = self.by_name.get(name, [])
+        if 0 < len(candidates) <= MAX_NAME_CANDIDATES:
+            return set(candidates)
+        return set()
+
+    # -- queries -------------------------------------------------------------
+
+    def callees_of(self, qname: str) -> set[str]:
+        return self.edges.get(qname, set())
+
+    def callers_of(self, qname: str) -> set[str]:
+        return {
+            caller for caller, callees in self.edges.items() if qname in callees
+        }
+
+    def resolve_call_in(
+        self, call: ast.Call, ctx: "ModuleContext", enclosing_class: str | None
+    ) -> set[str]:
+        """Resolve one call expression from inside ``ctx`` (for rules)."""
+        table = self._tables.get(self._module_key(ctx))
+        if table is None:
+            return set()
+        return self._resolve_call(call.func, table, enclosing_class)
+
+
+def _terminal(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """Base-class expression to a resolvable name (``A`` or ``m.A`` -> A)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _flatten_dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` attribute chain to ``"a.b.c"``; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,12 +1,17 @@
-"""Per-module analysis context handed to every rule."""
+"""Per-module and whole-project analysis contexts handed to rules."""
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from .suppress import is_suppressed, parse_suppressions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .callgraph import CallGraph
+    from .interproc import SummaryTable
 
 
 def dotted_name(path: Path) -> str | None:
@@ -82,3 +87,45 @@ class ModuleContext:
     def path_parts(self) -> tuple[str, ...]:
         """Normalised path components, for rule scoping decisions."""
         return Path(self.path).parts
+
+
+@dataclass
+class ProjectContext:
+    """Every module of one lint run, plus cached whole-program analyses.
+
+    The engine builds one per run (``lint_source`` builds a single-module
+    project, so interprocedural rules degrade gracefully to intra-module
+    resolution there). The call graph and the interprocedural summary
+    table are built lazily on first use and cached for the run — rules
+    share one fixpoint instead of recomputing it per module.
+    """
+
+    modules: list[ModuleContext] = field(default_factory=list)
+    _by_path: dict[str, ModuleContext] = field(default_factory=dict, repr=False)
+    _callgraph: "CallGraph | None" = field(default=None, repr=False)
+    _summaries: "SummaryTable | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_path = {m.path: m for m in self.modules}
+
+    def module_for(self, path: str) -> ModuleContext | None:
+        return self._by_path.get(path)
+
+    def callgraph(self) -> "CallGraph":
+        if self._callgraph is None:
+            from .callgraph import CallGraph
+
+            self._callgraph = CallGraph.build(self.modules)
+        return self._callgraph
+
+    def summaries(self) -> "SummaryTable":
+        if self._summaries is None:
+            from .interproc import compute_summaries
+
+            self._summaries = compute_summaries(self.callgraph())
+        return self._summaries
+
+    def is_suppressed(self, rule_id: str, path: str, line: int) -> bool:
+        """Suppression lookup routed to the owning module's pragmas."""
+        ctx = self._by_path.get(path)
+        return ctx.is_suppressed(rule_id, line) if ctx is not None else False

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from .context import ModuleContext
+from .context import ModuleContext, ProjectContext
 from .findings import Finding, Severity
 from .registry import Rule, all_rules
 
@@ -68,7 +68,7 @@ def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
     return out
 
 
-def _run_rules(
+def _run_module_rules(
     ctx: ModuleContext, rules: Iterable[Rule], report: LintReport
 ) -> None:
     for rule in rules:
@@ -94,15 +94,57 @@ def _run_rules(
                 report.findings.append(finding)
 
 
+def _run_project_rules(
+    project: ProjectContext, rules: Iterable[Rule], report: LintReport
+) -> None:
+    """One whole-program pass per project rule, suppression per module."""
+    for rule in rules:
+        try:
+            found = list(rule.check_project(project))
+        except Exception as exc:  # noqa: BLE001 — a crashing rule is a finding
+            report.findings.append(
+                Finding(
+                    path="<project>",
+                    line=1,
+                    col=0,
+                    rule_id=rule.rule_id,
+                    message=f"rule crashed: {type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        for finding in found:
+            if project.is_suppressed(finding.rule_id, finding.path, finding.line):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+
+
+def _lint_project(
+    modules: list[ModuleContext], rules: Sequence[Rule], report: LintReport
+) -> None:
+    project = ProjectContext(modules=modules)
+    module_rules = [r for r in rules if not r.project]
+    project_rules = [r for r in rules if r.project]
+    for ctx in modules:
+        _run_module_rules(ctx, module_rules, report)
+    _run_project_rules(project, project_rules, report)
+    report.findings.sort()
+
+
 def lint_paths(
     paths: Sequence[Path | str], rules: Sequence[Rule] | None = None
 ) -> LintReport:
-    """Lint every .py file under ``paths`` with ``rules`` (default: all)."""
+    """Lint every .py file under ``paths`` with ``rules`` (default: all).
+
+    All modules are parsed up front so project rules (``rule.project``)
+    see the whole program — cross-module helper chains included.
+    """
     active = list(rules) if rules is not None else all_rules()
     report = LintReport()
+    modules: list[ModuleContext] = []
     for path in iter_python_files(paths):
         try:
-            ctx = ModuleContext.from_path(path)
+            modules.append(ModuleContext.from_path(path))
         except (SyntaxError, UnicodeDecodeError) as exc:
             report.findings.append(
                 Finding(
@@ -114,9 +156,8 @@ def lint_paths(
                 )
             )
             continue
-        report.files_scanned += 1
-        _run_rules(ctx, active, report)
-    report.findings.sort()
+    report.files_scanned = len(modules)
+    _lint_project(modules, active, report)
     return report
 
 
@@ -126,11 +167,14 @@ def lint_source(
     dotted: str | None = None,
     rules: Sequence[Rule] | None = None,
 ) -> LintReport:
-    """Lint one in-memory module (the rule tests' entry point)."""
+    """Lint one in-memory module (the rule tests' entry point).
+
+    Project rules run over a single-module project, so interprocedural
+    resolution still works within the module.
+    """
     active = list(rules) if rules is not None else all_rules()
     report = LintReport()
     ctx = ModuleContext.from_source(source, path=path, dotted=dotted)
     report.files_scanned = 1
-    _run_rules(ctx, active, report)
-    report.findings.sort()
+    _lint_project([ctx], active, report)
     return report

@@ -11,7 +11,7 @@ from __future__ import annotations
 import ast
 from typing import Callable, Iterator, Type
 
-from .context import ModuleContext
+from .context import ModuleContext, ProjectContext
 from .findings import Finding, Severity
 
 
@@ -22,6 +22,12 @@ class Rule:
     :meth:`applies_to` scopes a rule to part of the tree (e.g. RL005 only
     runs on cost-model modules). Rules must be deterministic and must not
     mutate the context.
+
+    A rule that needs whole-program context (the call graph, the
+    interprocedural summaries) sets ``project = True`` and implements
+    :meth:`check_project` instead of :meth:`check`; the engine then runs
+    it once per lint run with every module in scope, rather than once per
+    file.
     """
 
     #: Stable identifier, e.g. "RL001" — used in findings and pragmas.
@@ -32,6 +38,8 @@ class Rule:
     description: str = ""
     #: Default severity of this rule's findings.
     severity: Severity = Severity.ERROR
+    #: True for whole-program rules (run via :meth:`check_project`).
+    project: bool = False
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         """Whether this rule runs on ``ctx`` (default: every module)."""
@@ -39,6 +47,11 @@ class Rule:
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         """Yield findings for ``ctx``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Yield findings across the whole project (project rules only)."""
         raise NotImplementedError
         yield  # pragma: no cover
 

@@ -14,4 +14,5 @@ from . import (  # noqa: F401  (imports register the rules)
     rl004_conformance,
     rl005_wall_clock,
     rl006_randomness,
+    rl007_diagnostics,
 )

@@ -9,8 +9,13 @@ every comparison plot. The field list is imported live from
 
 Flagged: augmented assignment (``+=``/``-=``) to an attribute named after a
 Counters field whose receiver is not a counters object (an identifier named
-``counters``, e.g. ``self.counters.x``, ``index.counters.x``, ``counters.x``).
-``counters.py`` itself is exempt (it defines the API).
+``counters``, e.g. ``self.counters.x``, ``index.counters.x``, ``counters.x``),
+and the spelled-out form of the same increment —
+``x.comparisons = x.comparisons + 1`` — where the assigned value reads the
+very attribute being written (any ``+``/``-`` chain). Plain initialisation
+(``self.comparisons = 0``) is deliberately not flagged: a shadow that is
+never incremented never absorbs cost. ``counters.py`` itself is exempt (it
+defines the API).
 """
 
 from __future__ import annotations
@@ -42,6 +47,25 @@ def _routes_through_counters(target: ast.Attribute) -> bool:
     return False
 
 
+def _reads_same_attribute(value: ast.expr, target: ast.Attribute) -> bool:
+    """True when ``value`` reads the attribute ``target`` writes.
+
+    Catches the de-sugared increment ``x.f = x.f + 1`` (and ``1 + x.f``,
+    ``x.f - 1``, ``x.f + a + b``): the assigned expression contains a read
+    of the same field through the same receiver identifier.
+    """
+    receiver = terminal_name(target.value)
+    for node in ast.walk(value):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and node.attr == target.attr
+            and terminal_name(node.value) == receiver
+        ):
+            return True
+    return False
+
+
 @register_rule
 class CounterDisciplineRule(Rule):
     rule_id = "RL002"
@@ -56,23 +80,39 @@ class CounterDisciplineRule(Rule):
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.AugAssign):
-                continue
+            for target in self._shadow_write_targets(node):
+                receiver = terminal_name(target.value) or "<expression>"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"increment of {target.attr!r} on {receiver!r} shadows the "
+                    f"Counters field of the same name; route structural cost "
+                    f"through a counters object (e.g. self.counters.{target.attr}) "
+                    "or rename the attribute",
+                )
+
+    def _shadow_write_targets(self, node: ast.AST) -> Iterator[ast.Attribute]:
+        """Targets of shadow-counter increments in ``node`` (if any).
+
+        Augmented form: ``x.f += 1``. Non-augmented form: ``x.f = x.f + 1``
+        — an Assign whose value reads the written attribute back.
+        """
+        if isinstance(node, ast.AugAssign):
             if not isinstance(node.op, (ast.Add, ast.Sub)):
-                continue
+                return
             target = node.target
-            if not isinstance(target, ast.Attribute):
-                continue
-            if target.attr not in COUNTER_FIELDS:
-                continue
-            if _routes_through_counters(target):
-                continue
-            receiver = terminal_name(target.value) or "<expression>"
-            yield self.finding(
-                ctx,
-                node,
-                f"increment of {target.attr!r} on {receiver!r} shadows the "
-                f"Counters field of the same name; route structural cost "
-                f"through a counters object (e.g. self.counters.{target.attr}) "
-                "or rename the attribute",
-            )
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in COUNTER_FIELDS
+                and not _routes_through_counters(target)
+            ):
+                yield target
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in COUNTER_FIELDS
+                    and not _routes_through_counters(target)
+                    and _reads_same_attribute(node.value, target)
+                ):
+                    yield target

@@ -1,0 +1,108 @@
+"""RL007 — diagnostic functions must be counter-neutral.
+
+:class:`~repro.baselines.counters.Counters` is the benchmark currency, and
+diagnostics are run *between* measurements — after chaos sweeps, inside
+integrity gates, from tests. A ``verify_*`` function that drives the index
+(lookups, probes, descents) inevitably increments counters; if it does not
+roll them back, every diagnostic run silently inflates the very numbers
+the benchmarks rank indexes by. The sanctioned pattern is the
+snapshot/restore bracket ``BaseIndex.verify_integrity`` uses::
+
+    before = self.counters.snapshot()
+    try:
+        ...probe work...
+    finally:
+        self.counters.restore(before)
+
+Scope: functions and methods whose name starts with ``verify_``.
+``_verify_structure`` overrides (leading underscore) are deliberately out
+of scope — they are contract-bound to run under ``verify_integrity``'s
+bracket and never called directly.
+
+Flagged when such a function mutates counters — directly, or transitively
+through calls the project call graph can resolve — and its body contains
+no snapshot/restore bracket (a ``.snapshot()`` call plus a ``.restore()``
+inside a ``finally``). The finding carries the witness chain to the
+mutation site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..callgraph import CallGraph, FunctionInfo
+from ..context import ProjectContext
+from ..findings import Finding
+from ..interproc import SummaryTable
+from ..registry import Rule, register_rule
+
+
+def _has_snapshot_restore_bracket(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when the body snapshots counters and restores them in a finally."""
+    has_snapshot = False
+    has_restore_in_finally = False
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "snapshot"
+        ):
+            has_snapshot = True
+        elif isinstance(node, ast.Try):
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "restore"
+                    ):
+                        has_restore_in_finally = True
+    return has_snapshot and has_restore_in_finally
+
+
+@register_rule
+class CounterNeutralDiagnosticsRule(Rule):
+    rule_id = "RL007"
+    name = "counter-neutral-diagnostics"
+    description = (
+        "verify_* diagnostics must snapshot/restore Counters (try/finally "
+        "bracket) rather than let probe work leak into benchmark counters"
+    )
+    project = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.callgraph()
+        summaries = project.summaries()
+        for qname, info in sorted(graph.functions.items()):
+            if not info.name.startswith("verify_"):
+                continue
+            yield from self._check_diagnostic(info, qname, graph, summaries)
+
+    def _check_diagnostic(
+        self,
+        info: FunctionInfo,
+        qname: str,
+        graph: CallGraph,
+        summaries: SummaryTable,
+    ) -> Iterator[Finding]:
+        summary = summaries.get(qname)
+        if summary is None or not summary.mutates_counters:
+            return
+        if _has_snapshot_restore_bracket(info.node):
+            return
+        chain = " -> ".join(
+            q.rsplit(".", 1)[-1] for q in summary.counter_chain
+        )
+        sink = summary.counter_chain[-1] if summary.counter_chain else qname
+        sink_info = graph.functions.get(sink)
+        where = f" (mutation in {sink_info.location()})" if sink_info else ""
+        yield self.finding(
+            info.ctx,
+            info.node,
+            f"diagnostic {info.name}() mutates Counters without a "
+            f"snapshot/restore bracket: {chain}{where} — wrap the probe "
+            "work in `before = counters.snapshot()` / `finally: "
+            "counters.restore(before)` so diagnostics never perturb "
+            "benchmark cost accounting",
+        )

@@ -15,8 +15,9 @@ Reproduces the mechanisms the paper attributes to ALEX:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
+from .counters import Counters
 from .interfaces import (
     BaseIndex,
     Capabilities,
@@ -25,6 +26,9 @@ from .interfaces import (
     Value,
     as_key_value_arrays,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..robustness.integrity import IntegrityReport
 
 #: Data-node density bounds (ALEX defaults: 0.6 lower / 0.8 upper).
 DENSITY_LOW = 0.6
@@ -116,7 +120,7 @@ class _DataNode:
 
     # -- search helpers ---------------------------------------------------------
 
-    def _cmp_key(self, i: int, counters) -> float:
+    def _cmp_key(self, i: int, counters: Counters) -> float:
         """Key at the nearest occupied slot <= i (-inf when none)."""
         keys = self.slot_keys
         while i >= 0:
@@ -127,7 +131,7 @@ class _DataNode:
             i -= 1
         return float("-inf")
 
-    def _exponential_search(self, key: float, counters) -> int:
+    def _exponential_search(self, key: float, counters: Counters) -> int:
         """Slot whose cmp_key run contains ``key`` (ALEX's search)."""
         capacity = self.capacity
         pos = int(self.model.predict(key))
@@ -162,7 +166,7 @@ class _DataNode:
                 hi = mid - 1
         return lo
 
-    def lookup(self, key: float, counters) -> Any | None:
+    def lookup(self, key: float, counters: Counters) -> Any | None:
         pos = self._exponential_search(key, counters)
         k = self._cmp_key(pos, counters)
         if k == key:
@@ -172,7 +176,7 @@ class _DataNode:
             return self.slot_values[pos]
         return None
 
-    def insert(self, key: float, value: Any, counters) -> bool:
+    def insert(self, key: float, value: Any, counters: Counters) -> bool:
         """Insert in place; False when the node needs expansion/split."""
         if (self.n_keys + 1) / self.capacity > DENSITY_HIGH:
             return False
@@ -221,7 +225,7 @@ class _DataNode:
         self.max_key = max(self.max_key, key) if self.n_keys > 1 else key
         return True
 
-    def delete(self, key: float, counters) -> bool:
+    def delete(self, key: float, counters: Counters) -> bool:
         pos = self._exponential_search(key, counters)
         if self._cmp_key(pos, counters) != key:
             return False
@@ -239,7 +243,7 @@ class _DataNode:
             if k is not None
         ]
 
-    def error_stats(self, counters) -> tuple[float, float]:
+    def error_stats(self, counters: Counters) -> tuple[float, float]:
         """(max, mean) |predicted - actual| over occupied slots."""
         errors = []
         for i, k in enumerate(self.slot_keys):
@@ -502,7 +506,7 @@ class ALEXIndex(BaseIndex):
 
     # -- integrity --------------------------------------------------------------------
 
-    def _verify_structure(self, report) -> None:
+    def _verify_structure(self, report: IntegrityReport) -> None:
         """ALEX invariants: slot-range partition, key order, routing.
 
         * linkage: data nodes own contiguous, non-overlapping slot ranges

@@ -9,7 +9,7 @@ yardstick every learned index in the paper is compared against.
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from .interfaces import (
     BaseIndex,
@@ -19,6 +19,9 @@ from .interfaces import (
     Value,
     as_key_value_arrays,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..robustness.integrity import IntegrityReport
 
 #: Default node capacity (number of keys); STX uses cache-line-sized nodes.
 DEFAULT_ORDER = 64
@@ -312,7 +315,7 @@ class BPlusTreeIndex(BaseIndex):
 
     # -- integrity -----------------------------------------------------------------
 
-    def _verify_structure(self, report) -> None:
+    def _verify_structure(self, report: IntegrityReport) -> None:
         """B+Tree invariants: separator bounds, leaf chain, fan-out, counts.
 
         * key-order: keys inside every node are strictly ascending, and

@@ -53,7 +53,7 @@ class _Partition:
         self.hash_map: dict[float, Any] | None = None
         self.btree: BPlusTreeIndex | None = None
 
-    def materialise(self, kind: str, counters) -> None:
+    def materialise(self, kind: str, counters: Counters) -> None:
         self.kind = kind
         self.hash_map = None
         self.btree = None
@@ -64,7 +64,7 @@ class _Partition:
             self.btree.counters = counters  # share the parent's counters
             self.btree.bulk_load(self.keys, self.values)
 
-    def lookup(self, key: float, counters) -> Any | None:
+    def lookup(self, key: float, counters: Counters) -> Any | None:
         if self.kind == "hash":
             counters.slot_probes += 1
             return self.hash_map.get(key) if self.hash_map else None

@@ -15,7 +15,7 @@ enlarged capacity, standing in for LIPP's conflict-statistics rebuilds.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from .interfaces import (
     BaseIndex,
@@ -25,6 +25,9 @@ from .interfaces import (
     Value,
     as_key_value_arrays,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..robustness.integrity import IntegrityReport
 
 #: Slots per key at build time (LIPP over-provisions to reduce conflicts).
 SLOTS_PER_KEY = 2
@@ -351,7 +354,7 @@ class LIPPIndex(BaseIndex):
 
     # -- integrity ----------------------------------------------------------------------
 
-    def _verify_structure(self, report) -> None:
+    def _verify_structure(self, report: IntegrityReport) -> None:
         """LIPP invariants: precise slot placement and live counts.
 
         * leaf-placement: every stored entry sits in exactly the slot its

@@ -9,14 +9,16 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import AbstractContextManager
 from typing import Any
 
 import numpy as np
 
+from ..baselines.counters import Counters
 from ..core.builder import ChameleonBuilder
 from ..core.config import ChameleonConfig
 from ..core.index import ChameleonIndex
-from ..core.interval_lock import IntervalLockManager
+from ..core.interval_lock import IntervalIds, IntervalLockManager
 from ..datasets import load as load_dataset
 from ..workloads.operations import OpKind, Operation, run_workload
 from ..workloads.readonly import readonly_workload
@@ -176,10 +178,17 @@ def run_ablation_locks(
     class _GlobalLockManager(IntervalLockManager):
         """Degenerate protocol: every interval maps to one lock entry."""
 
-        def query_lock(self, ids, counters=None):
+        def query_lock(
+            self, ids: IntervalIds, counters: Counters | None = None
+        ) -> AbstractContextManager[None]:
             return super().query_lock((0,), counters)
 
-        def retrain_lock(self, ids, counters=None, timeout=None):
+        def retrain_lock(
+            self,
+            ids: IntervalIds,
+            counters: Counters | None = None,
+            timeout: float | None = None,
+        ) -> AbstractContextManager[bool]:
             return super().retrain_lock((0,), counters, timeout=timeout)
 
     rows = []

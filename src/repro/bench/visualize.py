@@ -15,7 +15,7 @@ All functions return strings, so they compose with logging and tests.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -64,7 +64,7 @@ def skew_profile(keys: np.ndarray, windows: int = 40) -> str:
     )
 
 
-def segmentation_view(index, width: int = 64) -> str:
+def segmentation_view(index: Any, width: int = 64) -> str:
     """Leaf-boundary density over the key space (Fig. 2's view).
 
     Shows, per key-space column, how many leaf boundaries fall there

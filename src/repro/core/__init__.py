@@ -7,7 +7,11 @@ eager imports here would create a cycle when ``repro.rl`` is imported first.
 
 from .config import DEFAULT_CONFIG, ChameleonConfig
 from .ebh import ErrorBoundedHash
-from .interval_lock import IntervalLockManager
+from .interval_lock import (
+    IntervalLockManager,
+    LockContractViolation,
+    lock_asserts_enabled,
+)
 from .node import InnerNode, LeafNode, subtree_stats, walk_leaves
 from .skewness import (
     LSN_MAX,
@@ -38,6 +42,8 @@ __all__ = [
     "walk_leaves",
     "subtree_stats",
     "IntervalLockManager",
+    "LockContractViolation",
+    "lock_asserts_enabled",
     "RetrainingThread",
     "RetrainerStats",
     "LSN_UNIFORM",

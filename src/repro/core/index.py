@@ -103,6 +103,7 @@ class ChameleonIndex(BaseIndex):
         # boundary — the retrainer may only swap subtrees under it.
         ids, path = self._descend_upper(key_f)
         with self.lock_manager.query_lock(ids, self.counters):
+            self.lock_manager.assert_interval_locked(ids, where="lookup")
             leaf, _ = self._descend_lower(key_f, path)
             return leaf.ebh.lookup(key_f)
 
@@ -116,6 +117,7 @@ class ChameleonIndex(BaseIndex):
             return
         ids, _ = self._descend_upper(key_f)
         with self.lock_manager.query_lock(ids, self.counters):
+            self.lock_manager.assert_interval_locked(ids, where="insert")
             self._insert_locked(key_f, stored)
 
     def _insert_locked(self, key: Key, value: Value) -> None:
@@ -156,6 +158,7 @@ class ChameleonIndex(BaseIndex):
             return self._delete_locked(key_f)
         ids, _ = self._descend_upper(key_f)
         with self.lock_manager.query_lock(ids, self.counters):
+            self.lock_manager.assert_interval_locked(ids, where="delete")
             return self._delete_locked(key_f)
 
     def _delete_locked(self, key: Key) -> bool:
@@ -267,17 +270,28 @@ class ChameleonIndex(BaseIndex):
             return 0
         return sum(leaf.update_count for leaf in walk_leaves(child))
 
-    def rebuild_subtree(self, parent: InnerNode, rank: int) -> int:
+    def rebuild_subtree(
+        self,
+        parent: InnerNode,
+        rank: int,
+        ids: tuple[int, ...] | None = None,
+    ) -> int:
         """Rebuild one h-th-level subtree from its live keys via TSMDP.
 
         The rebuilt candidate replaces the old subtree only when its
         modelled cost is no worse — refinement must never regress the
         structure it tends. Returns the number of keys retrained (0 when
         the candidate was discarded). The caller must hold the interval's
-        retraining lock.
+        retraining lock; passing the interval's ``ids`` lets the debug
+        contract layer (``REPRO_LOCK_ASSERTS=1``) verify that before the
+        swap instead of trusting it.
         """
         from .costs import measured_structure_cost
 
+        if ids is not None and self.lock_manager is not None:
+            self.lock_manager.assert_interval_locked(
+                ids, mode="retrain", where="rebuild_subtree"
+            )
         # Fault point before the rebuild starts: RAISE models a retrain
         # crashing mid-flight (the old subtree stays live and consistent),
         # SKIP models a rebuild intentionally shed under pressure.

@@ -16,6 +16,7 @@ non-blocking overall (Fig. 7).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -25,6 +26,122 @@ from ..baselines.counters import Counters
 from ..robustness import faults
 
 IntervalIds = tuple[int, ...]
+
+#: Environment flag that arms the debug contract layer (ledger, asserts,
+#: race detection). Read at manager construction; ``debug_asserts=True``
+#: overrides per instance so tests and the chaos harness can arm it
+#: without touching the environment.
+LOCK_ASSERT_ENV = "REPRO_LOCK_ASSERTS"
+
+
+def lock_asserts_enabled() -> bool:
+    """True when ``REPRO_LOCK_ASSERTS=1`` is set in the environment."""
+    return os.environ.get(LOCK_ASSERT_ENV, "") == "1"
+
+
+class LockContractViolation(AssertionError):
+    """A hot-path access ran without the interval lock the protocol requires.
+
+    Subclasses AssertionError deliberately: this *is* an assertion about
+    the Section V-A protocol, and test harnesses that catch assertion
+    failures keep working unchanged.
+    """
+
+
+class _HeldLedger(threading.local):
+    """Thread-local map of interval IDs -> stack of held lock modes."""
+
+    def __init__(self) -> None:
+        self.held: dict[IntervalIds, list[str]] = {}
+
+    def push(self, ids: IntervalIds, mode: str) -> None:
+        self.held.setdefault(ids, []).append(mode)
+
+    def pop(self, ids: IntervalIds, mode: str) -> None:
+        modes = self.held.get(ids)
+        if modes and mode in modes:
+            modes.remove(mode)
+            if not modes:
+                del self.held[ids]
+
+    def modes(self, ids: IntervalIds) -> tuple[str, ...]:
+        return tuple(self.held.get(ids, ()))
+
+
+class RaceDetector:
+    """Lockset-style recorder of (thread, interval, mode) lock events.
+
+    The interval-lock protocol makes query/retrain overlap on one IDs path
+    impossible *when every access goes through the locks*. This detector
+    exists for the accesses that do not: every acquire/release/access event
+    is checked against the live holder table, and any overlap the protocol
+    forbids — two concurrent retrains on one interval, a query access while
+    another thread retrains the same interval — is recorded as a violation.
+    The chaos harness fails a run that ends with a non-empty report.
+    """
+
+    #: Mode pairs (held, incoming) that may overlap on one interval.
+    _COMPATIBLE = frozenset({("query", "query")})
+
+    def __init__(self, keep_events: int = 4096) -> None:
+        self._mutex = threading.Lock()
+        #: ids -> {thread ident: set of modes held}.
+        self._holders: dict[IntervalIds, dict[int, list[str]]] = {}
+        self._keep_events = keep_events
+        self.events: list[tuple[int, IntervalIds, str, str]] = []
+        self.violations: list[str] = []
+
+    def _record(self, action: str, ids: IntervalIds, mode: str) -> None:
+        if len(self.events) < self._keep_events:
+            self.events.append(
+                (threading.get_ident(), ids, mode, action)
+            )
+
+    def _conflicts(self, ids: IntervalIds, mode: str, action: str) -> None:
+        me = threading.get_ident()
+        for thread, modes in self._holders.get(ids, {}).items():
+            if thread == me:
+                continue
+            for held in modes:
+                if (held, mode) not in self._COMPATIBLE:
+                    self.violations.append(
+                        f"{action} in mode {mode!r} on interval {ids} by "
+                        f"thread {me} overlaps {held!r} lock held by "
+                        f"thread {thread} — query/retrain overlap the "
+                        "interval-lock protocol forbids"
+                    )
+
+    def on_acquire(self, ids: IntervalIds, mode: str) -> None:
+        with self._mutex:
+            self._record("acquire", ids, mode)
+            self._conflicts(ids, mode, "acquire")
+            self._holders.setdefault(ids, {}).setdefault(
+                threading.get_ident(), []
+            ).append(mode)
+
+    def on_release(self, ids: IntervalIds, mode: str) -> None:
+        me = threading.get_ident()
+        with self._mutex:
+            self._record("release", ids, mode)
+            per_thread = self._holders.get(ids)
+            if per_thread is not None:
+                modes = per_thread.get(me)
+                if modes and mode in modes:
+                    modes.remove(mode)
+                    if not modes:
+                        del per_thread[me]
+                if not per_thread:
+                    del self._holders[ids]
+
+    def on_access(self, ids: IntervalIds, mode: str, where: str) -> None:
+        """An instrumented hot-path access (not a lock transition)."""
+        with self._mutex:
+            self._record(f"access:{where}", ids, mode)
+            self._conflicts(ids, mode, f"access {where!r}")
+
+    def report(self) -> list[str]:
+        with self._mutex:
+            return list(self.violations)
 
 
 class _IntervalState:
@@ -39,11 +156,30 @@ class _IntervalState:
 
 
 class IntervalLockManager:
-    """Registry of per-interval reader/writer locks keyed by IDs paths."""
+    """Registry of per-interval reader/writer locks keyed by IDs paths.
 
-    def __init__(self) -> None:
+    Args:
+        debug_asserts: arm the debug contract layer — a thread-local
+            held-lock ledger, :meth:`assert_interval_locked` guards, and a
+            :class:`RaceDetector`. Defaults to the ``REPRO_LOCK_ASSERTS=1``
+            environment flag; the layer costs a few dict operations per
+            lock transition when armed and a single attribute read when
+            not, so production paths stay at full speed.
+    """
+
+    def __init__(self, debug_asserts: bool | None = None) -> None:
         self._mutex = threading.Lock()
         self._states: dict[IntervalIds, _IntervalState] = {}
+        self._debug = (
+            lock_asserts_enabled() if debug_asserts is None else debug_asserts
+        )
+        self._ledger = _HeldLedger() if self._debug else None
+        self.race_detector = RaceDetector() if self._debug else None
+
+    @property
+    def debug_asserts(self) -> bool:
+        """Whether the debug contract layer is armed on this manager."""
+        return self._debug
 
     def _state(self, ids: IntervalIds) -> _IntervalState:
         state = self._states.get(ids)
@@ -73,9 +209,13 @@ class IntervalLockManager:
             counters.lock_acquisitions += 1
             if waited:
                 counters.lock_waits += 1
+        if self._debug:
+            self._on_acquired(ids, "query")
         try:
             yield
         finally:
+            if self._debug:
+                self._on_released(ids, "query")
             with self._mutex:
                 state.readers -= 1
                 if state.readers == 0:
@@ -124,13 +264,73 @@ class IntervalLockManager:
             counters.lock_acquisitions += 1
             if waited:
                 counters.lock_waits += 1
+        if self._debug and acquired:
+            self._on_acquired(ids, "retrain")
         try:
             yield acquired
         finally:
             if acquired:
+                if self._debug:
+                    self._on_released(ids, "retrain")
                 with self._mutex:
                     state.retraining = False
                     state.condition.notify_all()
+
+    # -- debug contract layer -------------------------------------------------
+
+    def _on_acquired(self, ids: IntervalIds, mode: str) -> None:
+        assert self._ledger is not None
+        self._ledger.push(ids, mode)
+        if self.race_detector is not None:
+            self.race_detector.on_acquire(ids, mode)
+
+    def _on_released(self, ids: IntervalIds, mode: str) -> None:
+        assert self._ledger is not None
+        self._ledger.pop(ids, mode)
+        if self.race_detector is not None:
+            self.race_detector.on_release(ids, mode)
+
+    def assert_interval_locked(
+        self, ids: IntervalIds, mode: str = "query", where: str = ""
+    ) -> None:
+        """Guard: the calling thread must hold ``ids`` in ``mode`` (or better).
+
+        A no-op unless the debug contract layer is armed (see
+        ``REPRO_LOCK_ASSERTS``). When armed, the access is recorded with
+        the race detector and checked against the thread-local ledger; a
+        missing hold raises :class:`LockContractViolation`. ``mode``
+        ``"query"`` is satisfied by a retrain hold too — the exclusive
+        lock fences the interval at least as strongly as the shared one.
+        """
+        if not self._debug:
+            return
+        ids = tuple(ids)
+        if self.race_detector is not None:
+            self.race_detector.on_access(ids, mode, where or "access")
+        assert self._ledger is not None
+        held = self._ledger.modes(ids)
+        satisfied = mode in held or (mode == "query" and "retrain" in held)
+        if not satisfied:
+            raise LockContractViolation(
+                f"{where or 'hot-path access'}: interval {ids} accessed in "
+                f"mode {mode!r} without holding its "
+                f"{'query' if mode == 'query' else 'retraining'} lock "
+                f"(thread holds: {held or 'nothing'}) — Section V-A "
+                "requires every swap-boundary access to hold the "
+                "interval's lock"
+            )
+
+    def held_modes(self, ids: IntervalIds) -> tuple[str, ...]:
+        """Lock modes the calling thread holds on ``ids`` (debug only)."""
+        if self._ledger is None:
+            return ()
+        return self._ledger.modes(tuple(ids))
+
+    def race_report(self) -> list[str]:
+        """Protocol-overlap violations recorded so far ([] when disarmed)."""
+        if self.race_detector is None:
+            return []
+        return self.race_detector.report()
 
     def is_retraining(self, ids: IntervalIds) -> bool:
         """True while the interval holds a retraining lock (for tests)."""

@@ -171,7 +171,7 @@ class RetrainingThread(threading.Thread):
                             self.stats.skipped_busy += 1
                         continue
                     started = time.perf_counter()
-                    keys = self.index.rebuild_subtree(parent, rank)
+                    keys = self.index.rebuild_subtree(parent, rank, ids=ids)
                     elapsed = time.perf_counter() - started
                     self._reset_update_counts(parent, rank)
             except Exception:

@@ -15,6 +15,8 @@ priorities needs no retraining (the paper's answer to Limitation 3).
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..core.config import ChameleonConfig
@@ -119,7 +121,7 @@ class DAREAgent:
         self,
         state: np.ndarray,
         weights: RewardWeights | None = None,
-        fitness_fn=None,
+        fitness_fn: Callable[[np.ndarray], np.ndarray] | None = None,
         ga_iterations: int = 20,
         seed_individual: np.ndarray | None = None,
     ) -> np.ndarray:

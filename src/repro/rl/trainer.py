@@ -169,7 +169,9 @@ class MARLTrainer:
 
     # -- internals --------------------------------------------------------------
 
-    def _analytic_fitness(self, keys: np.ndarray, weights: RewardWeights):
+    def _analytic_fitness(
+        self, keys: np.ndarray, weights: RewardWeights
+    ) -> Callable[[np.ndarray], np.ndarray]:
         """GA fitness: negative DRF-weighted instantiated cost."""
         from ..core.builder import estimate_genes_cost
 

@@ -14,6 +14,14 @@ harness asserts the two properties that matter under failure:
 * ``verify_integrity()`` reports zero structural violations, including
   interval-lock quiescence.
 
+The run executes with the interval-lock debug contract layer armed
+(``lock_asserts``, default True): every hot-path access is checked against
+the thread-local held-lock ledger — a missing hold raises
+:class:`~repro.core.interval_lock.LockContractViolation` and kills the run
+— and the lockset race detector records every (thread, interval, mode)
+event; any query/retrain overlap it reports fails the run via
+``ChaosReport.lock_protocol_violations``.
+
 Everything is seeded, so a run replays bit-identically: same faults, same
 containments, same recoveries. ``benchmarks/bench_chaos.py`` and
 ``tests/test_chaos.py`` are thin wrappers over this module.
@@ -64,6 +72,9 @@ class ChaosConfig:
             ``index.rebuild_all`` fault point is exercised too.
         strategy: index construction strategy (ChaB keeps runs fast).
         seed: master seed for dataset, workload, and injector.
+        lock_asserts: arm the interval-lock debug contract layer (ledger
+            asserts + race detector) for the run, regardless of the
+            ``REPRO_LOCK_ASSERTS`` environment flag.
     """
 
     n_keys: int = 3000
@@ -80,6 +91,7 @@ class ChaosConfig:
     full_rebuild_fraction: float | None = 0.35
     strategy: str = "ChaB"
     seed: int = 0
+    lock_asserts: bool = True
 
 
 @dataclass
@@ -99,6 +111,7 @@ class ChaosReport:
     recoveries: int = 0
     wrong_lookups: int = 0
     violations: list[IntegrityViolation] = field(default_factory=list)
+    lock_protocol_violations: list[str] = field(default_factory=list)
     final_health: RetrainerHealth = RetrainerHealth.HEALTHY
     lock_quiescent: bool = True
     live_keys: int = 0
@@ -110,6 +123,7 @@ class ChaosReport:
         return (
             self.wrong_lookups == 0
             and not self.violations
+            and not self.lock_protocol_violations
             and self.lock_quiescent
             and self.final_health is RetrainerHealth.HEALTHY
         )
@@ -122,7 +136,9 @@ class ChaosReport:
             f"{self.contained_sweep_failures} contained sweeps, "
             f"{self.failed_retrains} contained retrains), "
             f"{self.recoveries} recoveries, {self.wrong_lookups} wrong lookups, "
-            f"{len(self.violations)} violations, health={self.final_health.value}"
+            f"{len(self.violations)} violations, "
+            f"{len(self.lock_protocol_violations)} lock-protocol violations, "
+            f"health={self.final_health.value}"
         )
 
 
@@ -148,7 +164,7 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
     loaded, pool = split_load_and_pool(
         keys, config.load_fraction, seed=config.seed
     )
-    manager = IntervalLockManager()
+    manager = IntervalLockManager(debug_asserts=config.lock_asserts)
     index = ChameleonIndex(strategy=config.strategy, lock_manager=manager)
     index.bulk_load(loaded)
     supervisor = SupervisedRetrainer(
@@ -223,6 +239,9 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
     report.recoveries = supervisor.stats.recoveries
     report.final_health = supervisor.health
     report.lock_quiescent = manager.active_intervals() == 0
+    report.lock_protocol_violations = manager.race_report()
+    for violation_text in report.lock_protocol_violations:
+        report.events.append(f"race detector: {violation_text}")
     report.live_keys = len(expected)
     report.counters = index.counters.snapshot()
     return report

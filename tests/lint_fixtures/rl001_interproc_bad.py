@@ -1,0 +1,60 @@
+"""Known-bad fixture for interprocedural RL001. Never imported.
+
+Every blocking call here is hidden behind at least one helper, so the old
+lexical rule saw nothing; the call-graph summaries attribute each one.
+"""
+
+import time
+
+
+def nap():
+    time.sleep(0.01)
+
+
+def relay():
+    nap()
+
+
+def spin(n):
+    # Self-recursion must not hang the fixpoint; the sleep still propagates.
+    if n > 0:
+        spin(n - 1)
+    time.sleep(0.001)
+
+
+class Store:
+    def __init__(self, manager, counters):
+        self.manager = manager
+        self.counters = counters
+
+    def _drowsy_helper(self):
+        nap()
+
+    def _exclusive_swap(self, ids):
+        with self.manager.retrain_lock(ids, self.counters) as acquired:
+            return acquired
+
+    def lookup_one_hop(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            nap()  # expect[RL001]
+            return key
+
+    def lookup_two_hop(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            relay()  # expect[RL001]
+            return key
+
+    def lookup_method_hop(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            self._drowsy_helper()  # expect[RL001]
+            return key
+
+    def lookup_recursive(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            spin(3)  # expect[RL001]
+            return key
+
+    def lookup_hidden_exclusive(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            self._exclusive_swap(ids)  # expect[RL001]
+            return key

@@ -1,0 +1,28 @@
+"""Known-good fixture for interprocedural RL001: helpers that never block."""
+
+
+def shape_of(key):
+    return (key, key)
+
+
+class Store:
+    def __init__(self, manager, counters):
+        self.manager = manager
+        self.counters = counters
+
+    def _probe(self, key):
+        self.counters.comparisons += 1
+        return shape_of(key)
+
+    def lookup(self, ids, key):
+        # Helper calls are fine while they stay non-blocking on every path.
+        with self.manager.query_lock(ids, self.counters):
+            return self._probe(key)
+
+    def exclusive_swap(self, ids):
+        # Blocking work under the *retraining* lock is the sanctioned place
+        # for it; only query_lock bodies are constrained.
+        with self.manager.retrain_lock(ids, self.counters) as acquired:
+            if acquired:
+                self._probe(0.0)
+            return acquired

@@ -13,3 +13,11 @@ class GoodIndex:
             counters.slot_probes += 1
         self.update_count += 1
         return key
+
+    def reset(self, other):
+        # Plain (re)initialisation and copies from another object are not
+        # shadow increments: the value does not read the target back.
+        self.comparisons = 0
+        self.node_hops = other.node_hops
+        self.update_count = self.update_count + 1  # not a Counters field
+        return other

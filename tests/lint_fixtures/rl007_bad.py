@@ -1,0 +1,23 @@
+"""Known-bad fixture for RL007 (counter-neutral diagnostics). Never imported."""
+
+
+class LeakyIndex:
+    """Diagnostics that leak probe cost into the benchmark counters."""
+
+    def __init__(self, counters):
+        self.counters = counters
+
+    def probe(self, key):
+        self.counters.comparisons += 1
+        return key
+
+    def verify_order(self):  # expect[RL007]
+        # Direct mutation, no snapshot/restore bracket.
+        self.counters.node_hops += 1
+        return True
+
+    def verify_reachable(self, keys):  # expect[RL007]
+        # Transitive mutation through probe(), no bracket.
+        for k in keys:
+            self.probe(k)
+        return True

@@ -1,0 +1,6 @@
+"""Cross-module fixture package for interprocedural RL001. Never imported.
+
+``store.py`` holds the ``query_lock`` body; the blocking work lives one
+relative import away in ``helpers.py``. Linting the package directory must
+attribute the sleep across the module boundary.
+"""

@@ -1,0 +1,12 @@
+"""Helpers for the cross-module RL001 fixture."""
+
+import time
+
+
+def touch(key):
+    return (key, key)
+
+
+def slow_touch(key):
+    time.sleep(0.01)
+    return touch(key)

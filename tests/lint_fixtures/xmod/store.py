@@ -1,0 +1,17 @@
+"""Query paths whose blocking work hides behind a module boundary."""
+
+from .helpers import slow_touch, touch
+
+
+class Store:
+    def __init__(self, manager, counters):
+        self.manager = manager
+        self.counters = counters
+
+    def lookup_fast(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            return touch(key)
+
+    def lookup_slow(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            return slow_touch(key)  # expect[RL001]

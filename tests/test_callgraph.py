@@ -1,0 +1,238 @@
+"""Unit tests for the project call graph and the interprocedural summaries.
+
+Everything here builds graphs from in-memory modules via
+``ModuleContext.from_source`` — no files, no imports executed — mirroring
+how the lint engine hands parsed modules to ``CallGraph.build``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.callgraph import MAX_NAME_CANDIDATES, CallGraph
+from repro.analysis.context import ModuleContext, ProjectContext
+from repro.analysis.interproc import compute_summaries
+
+
+def project(*sources: tuple[str, str, str | None]) -> ProjectContext:
+    """Build a ProjectContext from (path, source, dotted) triples."""
+    return ProjectContext(
+        modules=[
+            ModuleContext.from_source(src, path=path, dotted=dotted)
+            for path, src, dotted in sources
+        ]
+    )
+
+
+class TestGraphConstruction:
+    def test_module_functions_and_methods_registered(self):
+        ctx = project(
+            (
+                "m.py",
+                "def free():\n"
+                "    pass\n"
+                "class C:\n"
+                "    def method(self):\n"
+                "        pass\n",
+                "m",
+            )
+        )
+        graph = ctx.callgraph()
+        assert set(graph.functions) == {"m.free", "m.C.method"}
+        assert graph.functions["m.C.method"].cls == "C"
+        assert graph.by_name["method"] == ["m.C.method"]
+
+    def test_local_call_edge(self):
+        ctx = project(
+            ("m.py", "def g():\n    pass\ndef f():\n    g()\n", "m")
+        )
+        assert ctx.callgraph().edges["m.f"] == {"m.g"}
+
+    def test_self_method_edge_through_base_class(self):
+        ctx = project(
+            (
+                "m.py",
+                "class Base:\n"
+                "    def helper(self):\n"
+                "        pass\n"
+                "class Child(Base):\n"
+                "    def run(self):\n"
+                "        self.helper()\n",
+                "m",
+            )
+        )
+        assert ctx.callgraph().edges["m.Child.run"] == {"m.Base.helper"}
+
+    def test_constructor_binds_to_init(self):
+        ctx = project(
+            (
+                "m.py",
+                "class C:\n"
+                "    def __init__(self):\n"
+                "        pass\n"
+                "def make():\n"
+                "    return C()\n",
+                "m",
+            )
+        )
+        assert ctx.callgraph().edges["m.make"] == {"m.C.__init__"}
+
+    def test_cross_module_from_import(self):
+        ctx = project(
+            ("pkg/helpers.py", "def slow():\n    pass\n", "pkg.helpers"),
+            (
+                "pkg/store.py",
+                "from .helpers import slow\ndef run():\n    slow()\n",
+                "pkg.store",
+            ),
+        )
+        assert ctx.callgraph().edges["pkg.store.run"] == {"pkg.helpers.slow"}
+
+    def test_generic_names_stay_unresolved_past_the_cap(self):
+        # One class per candidate, all defining `lookup`: one past the cap
+        # the bare-attribute call must not be attributed to any of them.
+        classes = "\n".join(
+            f"class C{i}:\n    def lookup(self):\n        pass"
+            for i in range(MAX_NAME_CANDIDATES + 1)
+        )
+        ctx = project(
+            ("m.py", f"{classes}\ndef f(x):\n    x.lookup()\n", "m")
+        )
+        graph = ctx.callgraph()
+        assert "m.f" not in graph.edges
+        assert "lookup" in graph.unresolved["m.f"]
+
+
+class TestSummaries:
+    def test_direct_and_transitive_blocking(self):
+        ctx = project(
+            (
+                "m.py",
+                "import time\n"
+                "def nap():\n"
+                "    time.sleep(1)\n"
+                "def relay():\n"
+                "    nap()\n"
+                "def outer():\n"
+                "    relay()\n"
+                "def clean():\n"
+                "    pass\n",
+                "m",
+            )
+        )
+        table = compute_summaries(ctx.callgraph())
+        assert table.get("m.nap").blocks_directly
+        assert table.may_block("m.relay")
+        assert table.may_block("m.outer")
+        assert table.get("m.outer").blocking_chain == (
+            "m.outer",
+            "m.relay",
+            "m.nap",
+        )
+        assert not table.may_block("m.clean")
+
+    def test_recursion_reaches_fixpoint(self):
+        ctx = project(
+            (
+                "m.py",
+                "import time\n"
+                "def a(n):\n"
+                "    b(n)\n"
+                "def b(n):\n"
+                "    a(n)\n"
+                "    time.sleep(1)\n",
+                "m",
+            )
+        )
+        table = compute_summaries(ctx.callgraph())
+        assert table.may_block("m.a")
+        assert table.may_block("m.b")
+
+    def test_retrain_lock_acquisition_is_blocking(self):
+        ctx = project(
+            (
+                "m.py",
+                "def swap(mgr, ids):\n"
+                "    with mgr.retrain_lock(ids):\n"
+                "        pass\n",
+                "m",
+            )
+        )
+        summary = compute_summaries(ctx.callgraph()).get("m.swap")
+        assert summary.acquires_retrain_lock
+        assert summary.may_block
+        assert summary.blocking_reason == "retrain_lock acquisition"
+
+    def test_counter_mutation_direct_and_transitive(self):
+        ctx = project(
+            (
+                "m.py",
+                "def bump(counters):\n"
+                "    counters.comparisons += 1\n"
+                "def probe(counters):\n"
+                "    bump(counters)\n",
+                "m",
+            )
+        )
+        table = compute_summaries(ctx.callgraph())
+        assert table.mutates_counters("m.bump")
+        assert table.mutates_counters("m.probe")
+        assert table.get("m.probe").counter_chain == ("m.probe", "m.bump")
+
+    def test_faults_module_is_exempt_from_blocking(self):
+        ctx = project(
+            (
+                "src/repro/robustness/faults.py",
+                "import time\ndef fire():\n    time.sleep(1)\n",
+                "repro.robustness.faults",
+            )
+        )
+        assert not compute_summaries(ctx.callgraph()).may_block(
+            "repro.robustness.faults.fire"
+        )
+
+    def test_lock_manager_methods_are_exempt(self):
+        # The protocol's own condition waits are sanctioned blocking.
+        ctx = project(
+            (
+                "m.py",
+                "class Mgr:\n"
+                "    def query_lock(self, ids):\n"
+                "        self.cond.wait()\n",
+                "m",
+            )
+        )
+        assert not compute_summaries(ctx.callgraph()).may_block(
+            "m.Mgr.query_lock"
+        )
+
+
+class TestRealProject:
+    @pytest.fixture(scope="class")
+    def src_project(self):
+        from pathlib import Path
+
+        src = Path(__file__).parent.parent / "src"
+        modules = [
+            ModuleContext.from_path(p) for p in sorted(src.rglob("*.py"))
+        ]
+        return ProjectContext(modules=modules)
+
+    def test_retrainer_sweep_may_block(self, src_project):
+        table = src_project.summaries()
+        assert table.may_block("repro.core.retrainer.RetrainingThread.sweep_once")
+
+    def test_index_lookup_does_not_block(self, src_project):
+        table = src_project.summaries()
+        assert not table.may_block("repro.core.index.ChameleonIndex.lookup")
+
+    def test_lock_manager_counter_mutation_recorded(self, src_project):
+        # query_lock bumps counters.lock_acquisitions — a direct mutation
+        # the summary must record even though the function itself is
+        # exempt from *blocking* facts.
+        table = src_project.summaries()
+        summary = table.get(
+            "repro.core.interval_lock.IntervalLockManager.query_lock"
+        )
+        assert summary is not None and summary.mutates_counters
+        assert not summary.may_block  # protocol exemption

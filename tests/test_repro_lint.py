@@ -52,11 +52,13 @@ def findings_for(path: Path, rule_id: str) -> set[tuple[str, int]]:
     "rule_id, bad, good",
     [
         ("RL001", "rl001_bad.py", "rl001_good.py"),
+        ("RL001", "rl001_interproc_bad.py", "rl001_interproc_good.py"),
         ("RL002", "rl002_bad.py", "rl002_good.py"),
         ("RL003", "rl003_bad.py", "rl003_good.py"),
         ("RL004", "rl004_bad.py", "rl004_good.py"),
         ("RL005", "baselines/rl005_bad.py", "baselines/rl005_good.py"),
         ("RL006", "rl006_bad.py", "rl006_good.py"),
+        ("RL007", "rl007_bad.py", "rl007_good.py"),
     ],
 )
 def test_rule_detects_exactly_the_marked_lines(rule_id, bad, good):
@@ -67,12 +69,30 @@ def test_rule_detects_exactly_the_marked_lines(rule_id, bad, good):
     assert findings_for(FIXTURES / good, rule_id) == set()
 
 
-def test_six_rules_registered():
+def test_seven_rules_registered():
     ids = [r.rule_id for r in all_rules()]
-    assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+    assert ids == [
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL005",
+        "RL006",
+        "RL007",
+    ]
     for rule in all_rules():
         assert rule.name and rule.description
         assert rule.severity is Severity.ERROR
+
+
+def test_cross_module_blocking_attributed():
+    """RL001 follows a call into another module of the same lint run."""
+    report = lint_paths([FIXTURES / "xmod"], rules=[get_rule("RL001")])
+    found = {(f.rule_id, f.line) for f in report.findings}
+    assert found == expected_markers(FIXTURES / "xmod" / "store.py")
+    (finding,) = report.findings
+    assert "slow_touch" in finding.message
+    assert "helpers.py" in finding.message  # witness names the other module
 
 
 def test_exact_location_of_a_finding():
@@ -191,7 +211,7 @@ def test_cli_exit_codes_and_flags(tmp_path, capsys):
 
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    assert out.count("RL0") == 6
+    assert out.count("RL0") == 7
 
 
 def test_module_context_from_source_suppressions():

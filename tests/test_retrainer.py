@@ -64,7 +64,7 @@ class TestFailureContainment:
             index.insert(float(k))
         retrainer = RetrainingThread(index, manager, update_threshold=8)
 
-        def boom(parent, rank):
+        def boom(parent, rank, ids=None):
             raise RuntimeError("simulated rebuild failure")
 
         monkeypatch.setattr(index, "rebuild_subtree", boom)
@@ -88,7 +88,9 @@ class TestFailureContainment:
         retrainer = RetrainingThread(index, manager, update_threshold=8)
         monkeypatch.setattr(
             index, "rebuild_subtree",
-            lambda parent, rank: (_ for _ in ()).throw(RuntimeError("boom")),
+            lambda parent, rank, ids=None: (
+                _ for _ in ()
+            ).throw(RuntimeError("boom")),
         )
         retrainer.sweep_once()
         assert retrainer.stats.failed_retrains > 0
