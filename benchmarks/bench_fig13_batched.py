@@ -23,6 +23,27 @@ def test_fig13_batched_stability(benchmark, scale):
     assert sum(cham) / len(cham) < sum(alex) / len(alex)
 
 
+def test_fig13_batch_api_same_structural_costs(scale):
+    """Driving the phases through the batch API changes only wall-clock.
+
+    The structural-cost columns are counter-derived, so running the same
+    protocol through ``run_workload_batched`` must reproduce them exactly
+    (lock-free configuration: no amortisation degrees of freedom).
+    """
+    scalar_rows = run_fig13(scale, datasets=("FACE",), indexes=("Chameleon",))
+    batch_rows = run_fig13(
+        scale,
+        datasets=("FACE",),
+        indexes=("Chameleon",),
+        use_batch_api=True,
+        batch_size=512,
+    )
+    strip = ("read_cost", "phase", "live_keys")
+    assert [{k: r[k] for k in strip} for r in scalar_rows] == [
+        {k: r[k] for k in strip} for r in batch_rows
+    ]
+
+
 def main() -> None:
     run_fig13()
 

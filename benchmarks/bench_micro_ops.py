@@ -52,6 +52,23 @@ def test_insert_delete_cycle(benchmark, name, face_keys):
 
 
 @pytest.mark.parametrize("name", sorted(INDEX_REGISTRY))
+def test_lookup_batch_throughput(benchmark, name, face_keys):
+    """Batch-API lookup over 1024-key vectors (PR-4 batch layer).
+
+    Indexes without a vectorised override run the scalar-loop default, so
+    this row doubles as a conformance check; the BENCH_PR4.json baseline
+    records the batch-vs-scalar speedups these rounds correspond to.
+    """
+    index = INDEX_REGISTRY[name]()
+    index.bulk_load(face_keys)
+    rng = np.random.default_rng(0)
+    queries = rng.choice(face_keys, 1024)
+    index.lookup_batch(queries)  # warm any plan/cache builds
+
+    benchmark(lambda: index.lookup_batch(queries))
+
+
+@pytest.mark.parametrize("name", sorted(INDEX_REGISTRY))
 def test_bulk_load_time(benchmark, name, face_keys):
     small = face_keys[: N_KEYS // 4]
 

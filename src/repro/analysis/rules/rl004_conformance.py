@@ -33,6 +33,9 @@ API_METHODS = (
     "lookup",
     "insert",
     "delete",
+    "lookup_batch",
+    "insert_batch",
+    "delete_batch",
     "range_query",
     "items",
     "size_bytes",

@@ -12,7 +12,9 @@ import abc
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
 
 from .counters import Counters
 
@@ -115,6 +117,44 @@ class BaseIndex(abc.ABC):
         """
         raise NotImplementedError(f"{type(self).__name__} is read-only")
 
+    # -- batch API ----------------------------------------------------------
+
+    def lookup_batch(self, keys: "Sequence[Key] | np.ndarray") -> list[Value | None]:
+        """Look up a key vector; result aligned positionally with ``keys``.
+
+        The default is a scalar loop, so every index conforms; structures
+        with vectorisable search override it. Overrides must increment the
+        same :class:`Counters` fields by the same totals as the scalar
+        loop — batching changes wall-clock cost, never modelled cost (see
+        docs/cost_model.md).
+        """
+        return [self.lookup(float(k)) for k in keys]
+
+    def insert_batch(
+        self,
+        keys: "Sequence[Key] | np.ndarray",
+        values: "Sequence[Value] | None" = None,
+    ) -> None:
+        """Insert a key vector (values default to the keys themselves).
+
+        Keys are inserted in order; a failure (duplicate, read-only) raises
+        after the preceding keys have landed, mirroring the scalar loop.
+        """
+        if values is None:
+            for k in keys:
+                self.insert(float(k))
+        else:
+            if len(values) != len(keys):
+                raise ValueError(
+                    f"keys and values length mismatch: {len(keys)} != {len(values)}"
+                )
+            for k, v in zip(keys, values):
+                self.insert(float(k), v)
+
+    def delete_batch(self, keys: "Sequence[Key] | np.ndarray") -> list[bool]:
+        """Delete a key vector; returns per-key presence flags in order."""
+        return [self.delete(float(k)) for k in keys]
+
     def range_query(self, low: Key, high: Key) -> list[tuple[Key, Value]]:
         """Return ``(key, value)`` pairs with ``low <= key <= high``, sorted.
 
@@ -212,6 +252,16 @@ class BaseIndex(abc.ABC):
                 f"{path} holds a {type(index).__name__}, not a {cls.__name__}"
             )
         return index
+
+
+def vector_bit_length(widths: np.ndarray) -> np.ndarray:
+    """Element-wise ``int.bit_length`` over an integer array.
+
+    Matches Python semantics for the magnitudes the cost model feeds it
+    (``(-v).bit_length() == v.bit_length()``, ``0 -> 0``); exact for
+    ``|v| < 2**53`` via the float exponent.
+    """
+    return np.frexp(np.abs(widths).astype(np.float64))[1]
 
 
 def as_key_value_arrays(

@@ -11,7 +11,9 @@ unable to handle updates, and excludes it from the mixed-workload figures.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
 
 from .interfaces import (
     BaseIndex,
@@ -19,6 +21,7 @@ from .interfaces import (
     Key,
     Value,
     as_key_value_arrays,
+    vector_bit_length,
 )
 
 #: Spline error bound (RadixSpline default is 32).
@@ -67,6 +70,13 @@ class RadixSplineIndex(BaseIndex):
         self._radix: list[int] = []
         self._min_key = 0.0
         self._prefix_scale = 0.0
+        #: numpy mirrors for batch search — RS is static, so these are
+        #: built once at bulk load and never invalidated.
+        self._key_arr: np.ndarray = np.empty(0, dtype=np.float64)
+        self._spline_key_arr: np.ndarray = np.empty(0, dtype=np.float64)
+        self._radix_arr: np.ndarray = np.empty(0, dtype=np.int64)
+        self._seg_slopes: np.ndarray = np.empty(0, dtype=np.float64)
+        self._seg_intercepts: np.ndarray = np.empty(0, dtype=np.float64)
 
     # -- construction ---------------------------------------------------------------
 
@@ -79,6 +89,15 @@ class RadixSplineIndex(BaseIndex):
             return
         self._build_spline()
         self._build_radix()
+        self._key_arr = np.asarray(self._keys, dtype=np.float64)
+        self._spline_key_arr = np.asarray(self._spline_keys, dtype=np.float64)
+        self._radix_arr = np.asarray(self._radix, dtype=np.int64)
+        self._seg_slopes = np.asarray(
+            [seg.slope for seg in self._segments], dtype=np.float64
+        )
+        self._seg_intercepts = np.asarray(
+            [seg.intercept for seg in self._segments], dtype=np.float64
+        )
 
     def _build_spline(self) -> None:
         """Error-bounded spline: shrinking-cone corridor segments.
@@ -142,6 +161,60 @@ class RadixSplineIndex(BaseIndex):
         if i < len(self._keys) and self._keys[i] == key:
             return self._values[i]
         return None
+
+    def lookup_batch(self, keys: "Sequence[Key] | np.ndarray") -> list[Value | None]:
+        """Vectorised lookup: one radix gather + two clamped searchsorteds.
+
+        Out-of-range keys are filtered first (counter-free, as in the
+        scalar path); the in-range subset then runs radix narrowing,
+        segment search, prediction, and the bounded binary search as whole-
+        vector operations with identical counter totals.
+        """
+        karr = np.ascontiguousarray(keys, dtype=np.float64)
+        m = karr.size
+        if m == 0:
+            return []
+        out: list[Value | None] = [None] * m
+        if not self._keys:
+            return out
+        arr = self._key_arr
+        n = int(arr.size)
+        in_range = (karr >= self._keys[0]) & (karr <= self._keys[-1])
+        sel = np.flatnonzero(in_range)
+        if sel.size == 0:
+            return out
+        q = karr[sel]
+        r = int(q.size)
+        spline = self._spline_key_arr
+        ns = int(spline.size)
+        # Radix table -> knot range.
+        self.counters.model_evals += r
+        prefix = np.trunc((q - self._min_key) * self._prefix_scale).astype(np.int64)
+        prefix = np.clip(prefix, 0, (1 << self.radix_bits) - 1)
+        lo = np.maximum(0, self._radix_arr[prefix] - 1)
+        hi = np.minimum(ns - 1, self._radix_arr[prefix + 1])
+        self.counters.comparisons += int(
+            np.maximum(1, vector_bit_length(hi - lo + 1)).sum()
+        )
+        spline_pos = np.searchsorted(spline, q, side="right")
+        seg = np.maximum(np.minimum(spline_pos, hi + 1), lo) - 1
+        seg = np.clip(seg, 0, len(self._segments) - 1)
+        # Corridor-slope prediction within the segment.
+        self.counters.model_evals += r
+        center = np.trunc(
+            self._seg_slopes[seg] * q + self._seg_intercepts[seg]
+        ).astype(np.int64)
+        lo_r = np.maximum(0, center - self.spline_error - 1)
+        hi_r = np.minimum(n, center + self.spline_error + 2)
+        self.counters.comparisons += int(
+            np.maximum(1, vector_bit_length(hi_r - lo_r)).sum()
+        )
+        pos = np.maximum(np.minimum(np.searchsorted(arr, q, side="left"), hi_r), lo_r)
+        hit = (pos < n) & (arr[np.minimum(pos, n - 1)] == q)
+        values = self._values
+        for j, p in zip(sel[hit].tolist(), pos[hit].tolist()):
+            out[j] = values[p]
+        return out
 
     def range_query(self, low: Key, high: Key) -> list[tuple[Key, Value]]:
         lo = bisect.bisect_left(self._keys, low)

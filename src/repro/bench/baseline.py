@@ -1,0 +1,190 @@
+"""Machine-readable performance baseline for the batch-execution layer.
+
+Produces ``BENCH_PR4.json`` (schema ``repro-perf-baseline/v1``): for each
+index, the scalar-loop and batch-API lookup throughput on the same query
+stream, the speedup, and a structural-counter equivalence verdict. The
+file is committed so later PRs can diff their numbers against a pinned
+reference instead of a prose claim; docs/benchmarking.md documents the
+format and the refresh procedure.
+
+Wall-clock numbers are machine-dependent — the committed file records the
+*shape* (batch >= scalar, counters equal), which is what CI's bench-smoke
+job asserts at small scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..baselines import INDEX_REGISTRY
+from ..baselines.interfaces import BaseIndex
+from ..baselines.sorted_array import SortedArrayIndex
+from ..datasets import load as load_dataset
+from .harness import BenchScale
+
+SCHEMA = "repro-perf-baseline/v1"
+
+#: Default lineup: every index with a genuinely vectorised batch override
+#: plus one scalar-default control (B+Tree) proving API conformance.
+DEFAULT_INDEXES = ("Chameleon", "RS", "PGM", "SortedArray", "B+Tree")
+
+
+def _constructors() -> dict[str, Callable[[], BaseIndex]]:
+    ctors: dict[str, Callable[[], BaseIndex]] = dict(INDEX_REGISTRY)
+    ctors["SortedArray"] = SortedArrayIndex
+    return ctors
+
+
+def _make_queries(
+    keys: np.ndarray, n_queries: int, seed: int
+) -> np.ndarray:
+    """60/40 present/absent mix over the loaded key range."""
+    rng = np.random.default_rng(seed)
+    n_hit = int(n_queries * 0.6)
+    present = rng.choice(keys, n_hit, replace=True)
+    absent = rng.uniform(keys.min(), keys.max(), n_queries - n_hit)
+    queries = np.concatenate([present, absent])
+    rng.shuffle(queries)
+    return queries
+
+
+def _measure_one(
+    ctor: Callable[[], BaseIndex],
+    keys: np.ndarray,
+    queries: np.ndarray,
+    batch_size: int,
+) -> dict[str, Any]:
+    """Scalar vs batch lookup throughput + counter equivalence for one index.
+
+    Fresh index per path so counter deltas are directly comparable; one
+    untimed warm-up batch lets plan/cache builds amortise the way a real
+    batch workload would (the warm-up's counters are excluded via a
+    post-warm-up snapshot).
+    """
+    scalar_ix = ctor()
+    scalar_ix.bulk_load(keys)
+    before = scalar_ix.counters.snapshot()
+    q_list = queries.tolist()
+    t0 = time.perf_counter()
+    scalar_out = [scalar_ix.lookup(k) for k in q_list]
+    scalar_secs = time.perf_counter() - t0
+    scalar_delta = scalar_ix.counters.diff(before)
+
+    batch_ix = ctor()
+    batch_ix.bulk_load(keys)
+    batch_ix.lookup_batch(queries[:batch_size])  # warm-up (untimed)
+    before = batch_ix.counters.snapshot()
+    batch_out: list[Any] = []
+    t0 = time.perf_counter()
+    for i in range(0, queries.size, batch_size):
+        batch_out.extend(batch_ix.lookup_batch(queries[i : i + batch_size]))
+    batch_secs = time.perf_counter() - t0
+    batch_delta = batch_ix.counters.diff(before)
+
+    n = int(queries.size)
+    scalar_tput = n / scalar_secs if scalar_secs > 0 else 0.0
+    batch_tput = n / batch_secs if batch_secs > 0 else 0.0
+    return {
+        "scalar_ops_per_sec": round(scalar_tput, 1),
+        "batch_ops_per_sec": round(batch_tput, 1),
+        "speedup": round(batch_tput / scalar_tput, 3) if scalar_tput else 0.0,
+        "results_equal": scalar_out == batch_out,
+        "counters_equal": scalar_delta == batch_delta,
+        "scalar_counters": {k: v for k, v in scalar_delta.items() if v},
+        "batch_counters": {k: v for k, v in batch_delta.items() if v},
+    }
+
+
+def run_perf_baseline(
+    scale: BenchScale | None = None,
+    dataset: str = "UDEN",
+    batch_size: int = 1024,
+    indexes: Sequence[str] = DEFAULT_INDEXES,
+    out_path: str | Path | None = "BENCH_PR4.json",
+) -> dict[str, Any]:
+    """Measure scalar vs batch lookups and emit the baseline document.
+
+    Args:
+        scale: size knobs; ``base_keys`` keys are loaded and ``n_queries``
+            lookups issued. Defaults to a 100k-key / 100k-query run — the
+            configuration the PR-4 acceptance gate is stated against.
+        dataset: dataset name understood by :func:`repro.datasets.load`.
+        batch_size: keys per ``lookup_batch`` call.
+        indexes: lineup of index names (registry plus "SortedArray").
+        out_path: where to write the JSON document (None = don't write).
+
+    Returns:
+        The baseline document (also written to ``out_path``).
+    """
+    if scale is None:
+        scale = BenchScale(base_keys=100_000, n_queries=100_000)
+    ctors = _constructors()
+    keys = load_dataset(dataset, scale.base_keys, seed=scale.seed + 1)
+    queries = _make_queries(keys, scale.n_queries, scale.seed + 7)
+    results: dict[str, Any] = {}
+    for name in indexes:
+        row = _measure_one(ctors[name], keys, queries, batch_size)
+        results[name] = row
+        print(
+            f"{name:>12}: scalar {row['scalar_ops_per_sec']:>12,.0f} ops/s   "
+            f"batch {row['batch_ops_per_sec']:>12,.0f} ops/s   "
+            f"speedup {row['speedup']:.2f}x   "
+            f"counters_equal={row['counters_equal']}"
+        )
+    doc: dict[str, Any] = {
+        "schema": SCHEMA,
+        "dataset": dataset,
+        "n_keys": int(scale.base_keys),
+        "n_queries": int(queries.size),
+        "batch_size": int(batch_size),
+        "seed": int(scale.seed),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out_path}")
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.baseline",
+        description="Emit the batch-vs-scalar perf baseline (BENCH_PR4.json).",
+    )
+    parser.add_argument("--n-keys", type=int, default=100_000)
+    parser.add_argument("--n-queries", type=int, default=100_000)
+    parser.add_argument("--dataset", default="UDEN")
+    parser.add_argument("--batch-size", type=int, default=1024)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_PR4.json")
+    parser.add_argument(
+        "--indexes", nargs="*", default=list(DEFAULT_INDEXES),
+        help="index lineup (registry names plus 'SortedArray')",
+    )
+    args = parser.parse_args(argv)
+    scale = BenchScale(
+        base_keys=args.n_keys, n_queries=args.n_queries, seed=args.seed
+    )
+    run_perf_baseline(
+        scale,
+        dataset=args.dataset,
+        batch_size=args.batch_size,
+        indexes=args.indexes,
+        out_path=args.out,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -140,8 +140,15 @@ def run_fig13(
     scale: BenchScale | None = None,
     datasets: tuple[str, ...] = ("UDEN", "FACE"),
     indexes: tuple[str, ...] | None = None,
+    use_batch_api: bool = False,
+    batch_size: int = 1024,
 ) -> list[dict[str, Any]]:
-    """Read/write latency across batched insert/delete phases (Fig. 13)."""
+    """Read/write latency across batched insert/delete phases (Fig. 13).
+
+    With ``use_batch_api`` each phase dispatches through the vectorised
+    batch entry points instead of one Python call per operation; the
+    structural-cost columns are unchanged by construction.
+    """
     scale = scale or BenchScale()
     registry = _updatable(indexes)
     rows: list[dict[str, Any]] = []
@@ -155,6 +162,8 @@ def run_fig13(
                 batches=4,
                 queries_per_phase=max(500, scale.n_queries // 8),
                 seed=scale.seed,
+                use_batch_api=use_batch_api,
+                batch_size=batch_size,
             )
             for p in phases:
                 write_ops = max(1, p.write_result.total_ops)

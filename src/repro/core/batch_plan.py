@@ -1,0 +1,311 @@
+"""Flattened-tree execution plan for fused batch lookups.
+
+The grouped per-node descent in :meth:`ChameleonIndex.lookup_batch` is
+counter-exact but spends its wall-clock in per-group bookkeeping when a
+batch fans out across many small leaves — the common Chameleon shape is
+thousands of EBH leaves holding a handful of keys each, so a 1024-key
+batch lands well under one key per leaf. This module flattens the tree
+into numpy arrays once and then executes the whole key vector with a few
+full-vector operations:
+
+* **descent** — one gathered Eq. 1 evaluation per tree *level* rather
+  than per node: every key carries its current node id, node parameters
+  are gathered from per-node arrays, and the float expression replicates
+  the scalar :meth:`InnerNode.route` operation-for-operation, so the
+  routing decision (and therefore the visited leaf) is bit-identical;
+* **leaf probing** — the visited leaves' slot arrays live in one
+  concatenated store with per-leaf base offsets, so Eq. 2 home slots and
+  the cd-window probes run across *all* keys at once regardless of which
+  leaf each landed in. Probe *counts* use the closed forms of the scalar
+  outward scan (match at ``+o`` costs ``2o`` probes — ``1`` at
+  ``o == 0`` — match at ``-o`` costs ``2o + 1``, a miss scans the whole
+  deduplicated window).
+
+The plan is a cache, not part of the structure: it is rebuilt lazily
+whenever the index's structure version changes (live-key count, update
+counter, retrains, splits, root identity), and keys that reach a missing
+(``None``) child fall back to the scalar per-key walk, which materialises
+the empty leaf exactly as :meth:`ChameleonIndex._descend` would.
+
+Counter totals are identical to the scalar loop by construction; the
+equivalence tests in tests/test_batch_ops.py pin this property.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .builder import make_leaf
+from .node import InnerNode, LeafNode, Node
+
+if TYPE_CHECKING:
+    from .index import ChameleonIndex
+
+#: ``child_table`` encoding: inner node -> id + 1 (positive), leaf node ->
+#: -(id + 1) (negative), missing child -> 0.
+_HOLE = 0
+
+
+class BatchQueryPlan:
+    """Immutable flattened snapshot of one Chameleon tree.
+
+    Built by :func:`build_plan` and executed by
+    :meth:`ChameleonIndex.lookup_batch` when no lock manager is attached.
+    The lock path keeps the grouped descent instead: it must re-read
+    boundary pointers under each interval lock, which a snapshot cannot
+    express without weakening the PR-3 lock contract.
+    """
+
+    __slots__ = (
+        "version",
+        "inners",
+        "leaves",
+        "node_low",
+        "node_span",
+        "node_fan_f",
+        "node_fan_i",
+        "node_child_base",
+        "child_table",
+        "root_code",
+        "leaf_low",
+        "leaf_span",
+        "leaf_cap",
+        "leaf_alpha",
+        "leaf_cd",
+        "leaf_off",
+        "store_keys",
+        "store_values",
+    )
+
+    version: tuple[int, ...]
+    inners: list[InnerNode]
+    leaves: list[LeafNode]
+    node_low: np.ndarray
+    node_span: np.ndarray
+    node_fan_f: np.ndarray
+    node_fan_i: np.ndarray
+    node_child_base: np.ndarray
+    child_table: np.ndarray
+    root_code: int
+    leaf_low: np.ndarray
+    leaf_span: np.ndarray
+    leaf_cap: np.ndarray
+    leaf_alpha: np.ndarray
+    leaf_cd: np.ndarray
+    leaf_off: np.ndarray
+    store_keys: np.ndarray
+    store_values: np.ndarray
+
+    def __init__(self, version: tuple[int, ...]) -> None:
+        self.version = version
+        self.inners: list[InnerNode] = []
+        self.leaves: list[LeafNode] = []
+        self.root_code = _HOLE
+
+    # -- execution ------------------------------------------------------------
+
+    def lookup(self, index: "ChameleonIndex", karr: np.ndarray) -> list[Any | None]:
+        """Fused lookup of a key vector; results aligned with ``karr``.
+
+        Increments the index's counters by exactly the totals the scalar
+        per-key loop would: one node hop and one model evaluation per
+        inner node on each key's path, one model evaluation per Eq. 2
+        home-slot computation, and the scalar outward scan's probe count.
+        """
+        counters = index.counters
+        m = int(karr.size)
+        out: list[Any | None] = [None] * m
+        cur = np.full(m, self.root_code, dtype=np.int64)
+        hole_parent = np.full(m, -1, dtype=np.int64)
+        hole_rank = np.zeros(m, dtype=np.int64)
+        act = np.flatnonzero(cur > 0)
+        while act.size:
+            nid = cur[act] - 1
+            counters.node_hops += int(act.size)
+            counters.model_evals += int(act.size)
+            k = karr[act]
+            rank = np.trunc(
+                self.node_fan_f[nid] * (k - self.node_low[nid]) / self.node_span[nid]
+            ).astype(np.int64)
+            rank = np.minimum(np.maximum(rank, 0), self.node_fan_i[nid] - 1)
+            nxt = self.child_table[self.node_child_base[nid] + rank]
+            hole = nxt == _HOLE
+            if hole.any():
+                hole_parent[act[hole]] = nid[hole]
+                hole_rank[act[hole]] = rank[hole]
+            cur[act] = nxt
+            act = act[nxt > 0]
+        sel = np.flatnonzero(cur < 0)
+        if sel.size:
+            self._probe_leaves(index, karr, sel, -cur[sel] - 1, out)
+        for i in np.flatnonzero(cur == _HOLE).tolist():
+            # The plan recorded no leaf here when it was built. Re-read the
+            # live pointer: a scalar walk (or a retrainer swap) may have
+            # filled the slot since, otherwise materialise the empty leaf
+            # exactly as the scalar descent does. Counting stays exact —
+            # the fused loop already charged the hops down to this node.
+            parent = self.inners[int(hole_parent[i])]
+            rank = int(hole_rank[i])
+            child = parent.children[rank]
+            if child is None:
+                low, high = parent.child_interval(rank)
+                child = make_leaf(
+                    np.empty(0), [], low, high, index.config, counters
+                )
+                parent.children[rank] = child
+            out[i] = _lookup_from(index, child, float(karr[i]))
+        return out
+
+    def _probe_leaves(
+        self,
+        index: "ChameleonIndex",
+        karr: np.ndarray,
+        sel: np.ndarray,
+        lids: np.ndarray,
+        out: list[Any | None],
+    ) -> None:
+        """Fused Eq. 2 + cd-window probe for keys that reached a leaf."""
+        counters = index.counters
+        k = karr[sel]
+        r = int(sel.size)
+        counters.model_evals += r
+        low = self.leaf_low[lids]
+        span = self.leaf_span[lids]
+        caps = self.leaf_cap[lids]
+        den = np.where(span > 0.0, span, 1.0)
+        scaled = caps * (k - low) / den
+        homes = np.floor(self.leaf_alpha[lids] * scaled).astype(np.int64) % caps
+        homes = np.where(span > 0.0, homes, 0)
+        limits = np.minimum(self.leaf_cd[lids], caps // 2)
+        offs = self.leaf_off[lids]
+        store = self.store_keys
+        found = np.zeros(r, dtype=bool)
+        abs_slot = np.zeros(r, dtype=np.int64)
+        match_off = np.zeros(r, dtype=np.int64)
+        match_minus = np.zeros(r, dtype=bool)
+        for o in range(int(limits.max()) + 1):
+            active = ~found & (limits >= o)
+            if not active.any():
+                break
+            plus_slot = (homes + o) % caps
+            hitp = active & (store[offs + plus_slot] == k)
+            if hitp.any():
+                found |= hitp
+                match_off[hitp] = o
+                abs_slot[hitp] = (offs + plus_slot)[hitp]
+            if o:
+                # The minus probe exists unless the ring apex (2o == c)
+                # folds it onto the plus slot already inspected above.
+                live = active & ~hitp & (2 * o != caps)
+                minus_slot = (homes - o) % caps
+                hitm = live & (store[offs + minus_slot] == k)
+                if hitm.any():
+                    found |= hitm
+                    match_off[hitm] = o
+                    match_minus[hitm] = True
+                    abs_slot[hitm] = (offs + minus_slot)[hitm]
+        miss_probes = 1 + 2 * limits - ((2 * limits == caps) & (limits > 0))
+        probes = np.where(
+            found,
+            np.where(match_minus, 2 * match_off + 1, np.maximum(1, 2 * match_off)),
+            miss_probes,
+        )
+        counters.slot_probes += int(probes.sum())
+        if found.any():
+            hit_idx = sel[found]
+            vals = self.store_values[abs_slot[found]]
+            for i, v in zip(hit_idx.tolist(), vals.tolist()):
+                out[i] = v
+
+
+def _lookup_from(index: "ChameleonIndex", node: Node, key: float) -> Any | None:
+    """Scalar continuation below a re-read child pointer.
+
+    Identical accounting to the tail of :meth:`ChameleonIndex._descend`
+    followed by the EBH probe — used for plan holes, where the live slot
+    may meanwhile hold anything from ``None`` to a whole subtree.
+    """
+    counters = index.counters
+    while isinstance(node, InnerNode):
+        counters.node_hops += 1
+        rank = node.route(key)
+        child = node.children[rank]
+        if child is None:
+            low, high = node.child_interval(rank)
+            child = make_leaf(np.empty(0), [], low, high, index.config, counters)
+            node.children[rank] = child
+        node = child
+    return node.ebh.lookup(key)
+
+
+def build_plan(root: Node, version: tuple[int, ...]) -> BatchQueryPlan:
+    """Flatten ``root`` into a :class:`BatchQueryPlan` snapshot."""
+    plan = BatchQueryPlan(version)
+    inners = plan.inners
+    leaves = plan.leaves
+    stack: list[Node] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, LeafNode):
+            leaves.append(node)
+        else:
+            inners.append(node)
+            stack.extend(c for c in node.children if c is not None)
+
+    ni = len(inners)
+    fanouts = np.fromiter((n.fanout for n in inners), dtype=np.int64, count=ni)
+    child_base = np.zeros(ni, dtype=np.int64)
+    if ni > 1:
+        np.cumsum(fanouts[:-1], out=child_base[1:])
+    table = np.zeros(int(fanouts.sum()) if ni else 0, dtype=np.int64)
+    inner_ids = {id(n): i for i, n in enumerate(inners)}
+    leaf_ids = {id(n): i for i, n in enumerate(leaves)}
+    for i, n in enumerate(inners):
+        base = int(child_base[i])
+        for rank, child in enumerate(n.children):
+            if child is None:
+                continue
+            if isinstance(child, InnerNode):
+                table[base + rank] = inner_ids[id(child)] + 1
+            else:
+                table[base + rank] = -(leaf_ids[id(child)] + 1)
+    plan.node_low = np.fromiter((n.low_key for n in inners), dtype=np.float64, count=ni)
+    plan.node_span = np.fromiter(
+        (n.high_key - n.low_key for n in inners), dtype=np.float64, count=ni
+    )
+    plan.node_fan_f = fanouts.astype(np.float64)
+    plan.node_fan_i = fanouts
+    plan.node_child_base = child_base
+    plan.child_table = table
+    plan.root_code = 1 if isinstance(root, InnerNode) else -1
+
+    nl = len(leaves)
+    caps = np.fromiter((lf.ebh.capacity for lf in leaves), dtype=np.int64, count=nl)
+    leaf_off = np.zeros(nl, dtype=np.int64)
+    if nl > 1:
+        np.cumsum(caps[:-1], out=leaf_off[1:])
+    plan.leaf_cap = caps
+    plan.leaf_off = leaf_off
+    plan.leaf_low = np.fromiter(
+        (lf.ebh.low_key for lf in leaves), dtype=np.float64, count=nl
+    )
+    plan.leaf_span = np.fromiter(
+        (lf.ebh.high_key - lf.ebh.low_key for lf in leaves),
+        dtype=np.float64,
+        count=nl,
+    )
+    plan.leaf_alpha = np.fromiter(
+        (float(lf.ebh.alpha) for lf in leaves), dtype=np.float64, count=nl
+    )
+    plan.leaf_cd = np.fromiter(
+        (lf.ebh.conflict_degree for lf in leaves), dtype=np.int64, count=nl
+    )
+    if nl:
+        plan.store_keys = np.concatenate([lf.ebh._keys for lf in leaves])
+        plan.store_values = np.concatenate([lf.ebh._values for lf in leaves])
+    else:
+        plan.store_keys = np.empty(0, dtype=np.float64)
+        plan.store_values = np.empty(0, dtype=object)
+    return plan

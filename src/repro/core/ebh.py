@@ -14,17 +14,29 @@ no sorting (Section VI-C4).
 Capacity follows Theorem 1: ``c >= (n - 1) / (-ln(1 - tau))`` for a desired
 collision probability tau, adaptively enlarged when inserts push the load
 factor past the configured maximum.
+
+Storage is a ``float64`` slot array with a NaN empty-sentinel plus an
+object array for values, so the batch entry points (:meth:`lookup_batch`,
+:meth:`delete_batch`) resolve a whole key vector with one Eq. 2
+vectorisation and one window-gather comparison. Scalar and batch paths
+share the same backing store and increment the same counters by the same
+totals (see docs/cost_model.md).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
+
+import numpy as np
 
 from ..baselines.counters import Counters
 from ..baselines.interfaces import DuplicateKeyError
 
-_EMPTY = None
+#: Below this batch size the vectorised window gather costs more than the
+#: scalar probe loop; both paths count identically, so the switch is purely
+#: a wall-clock decision.
+_BATCH_MIN = 8
 
 
 class ErrorBoundedHash:
@@ -59,22 +71,57 @@ class ErrorBoundedHash:
         self.high_key = float(high_key)
         self.capacity = int(capacity)
         self.alpha = int(alpha)
-        self._keys: list[float | None] = [_EMPTY] * self.capacity
-        self._values: list[Any] = [_EMPTY] * self.capacity
+        self._keys: np.ndarray = np.full(self.capacity, np.nan, dtype=np.float64)
+        self._values: np.ndarray = np.empty(self.capacity, dtype=object)
         self.n_keys = 0
         self.conflict_degree = 0
         self.counters = counters if counters is not None else Counters()
 
     # -- hashing -------------------------------------------------------------
 
-    def home_slot(self, key: float) -> int:
-        """Eq. 2: the predicted slot for ``key``."""
-        self.counters.model_evals += 1
+    def _raw_home_slot(self, key: float) -> int:
+        """Eq. 2 without counter traffic — statistics/diagnostics paths."""
         span = self.high_key - self.low_key
         if span <= 0.0:
             return 0
         scaled = self.capacity * (key - self.low_key) / span
         return int(math.floor(self.alpha * scaled)) % self.capacity
+
+    def home_slot(self, key: float) -> int:
+        """Eq. 2: the predicted slot for ``key`` (counted as query work)."""
+        self.counters.model_evals += 1
+        return self._raw_home_slot(key)
+
+    def _raw_home_slots(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised Eq. 2, bit-identical to :meth:`_raw_home_slot`."""
+        span = self.high_key - self.low_key
+        if span <= 0.0:
+            return np.zeros(keys.shape, dtype=np.int64)
+        scaled = self.capacity * (keys - self.low_key) / span
+        return np.floor(self.alpha * scaled).astype(np.int64) % self.capacity
+
+    # -- probe geometry ------------------------------------------------------
+
+    def _window_limit(self) -> int:
+        """Largest distinct probe offset: min(cd, c // 2).
+
+        Beyond ``c // 2`` the ring wraps and ``(home + o) % c`` revisits
+        slots that ``(home - (c - o)) % c`` already probed, so offsets are
+        capped there — every ring slot is still reachable exactly once.
+        """
+        return min(self.conflict_degree, self.capacity // 2)
+
+    def _offset_slots(self, home: int, offset: int) -> tuple[int, ...]:
+        """Distinct slots at ``offset`` from ``home`` (deduplicated).
+
+        ``(home + o) % c`` and ``(home - o) % c`` coincide when
+        ``2 * o % c == 0`` — at offset 0 and, for even capacity, at
+        ``c / 2`` — in which case the slot is probed (and counted) once.
+        """
+        cap = self.capacity
+        if offset == 0 or 2 * offset == cap:
+            return ((home + offset) % cap,)
+        return ((home + offset) % cap, (home - offset) % cap)
 
     # -- operations ----------------------------------------------------------
 
@@ -82,13 +129,9 @@ class ErrorBoundedHash:
         """Find ``key`` within the conflict-degree window, else None."""
         home = self.home_slot(key)
         keys = self._keys
-        cap = self.capacity
         probes = 0
-        for offset in range(self.conflict_degree + 1):
-            for slot in ((home + offset) % cap,) if offset == 0 else (
-                (home + offset) % cap,
-                (home - offset) % cap,
-            ):
+        for offset in range(self._window_limit() + 1):
+            for slot in self._offset_slots(home, offset):
                 probes += 1
                 if keys[slot] == key:
                     self.counters.slot_probes += probes
@@ -114,19 +157,16 @@ class ErrorBoundedHash:
         # One pass outward: detect duplicates inside the cd window and find
         # the nearest free slot. Beyond the cd window a duplicate cannot
         # exist, so the scan may stop at the first free slot found there.
-        max_offset = cap  # worst case scans the whole ring
-        for offset in range(max_offset):
-            slots = ((home + offset) % cap,) if offset == 0 else (
-                (home + offset) % cap,
-                (home - offset) % cap,
-            )
-            for slot in slots:
+        # Offsets past c // 2 only revisit already-probed slots, so the
+        # deduplicated scan covers the whole ring by then.
+        for offset in range(cap // 2 + 1):
+            for slot in self._offset_slots(home, offset):
                 probes += 1
                 stored = keys[slot]
                 if stored == key:
                     self.counters.slot_probes += probes
                     raise DuplicateKeyError(f"key already present: {key!r}")
-                if stored is _EMPTY and free_slot < 0:
+                if free_slot < 0 and math.isnan(stored):
                     free_slot, free_offset = slot, offset
             if free_slot >= 0 and offset >= self.conflict_degree:
                 break
@@ -143,23 +183,118 @@ class ErrorBoundedHash:
         """Clear ``key``'s slot; return True if the key was present."""
         home = self.home_slot(key)
         keys = self._keys
-        cap = self.capacity
         probes = 0
-        for offset in range(self.conflict_degree + 1):
-            slots = ((home + offset) % cap,) if offset == 0 else (
-                (home + offset) % cap,
-                (home - offset) % cap,
-            )
-            for slot in slots:
+        for offset in range(self._window_limit() + 1):
+            for slot in self._offset_slots(home, offset):
                 probes += 1
                 if keys[slot] == key:
-                    keys[slot] = _EMPTY
-                    self._values[slot] = _EMPTY
+                    keys[slot] = np.nan
+                    self._values[slot] = None
                     self.n_keys -= 1
                     self.counters.slot_probes += probes
                     return True
         self.counters.slot_probes += probes
         return False
+
+    # -- batch operations ------------------------------------------------------
+
+    def _find_batch(
+        self, karr: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised cd-window search for a key vector.
+
+        One Eq. 2 vectorisation plus one window-gather comparison per probe
+        side. Returns ``(hit, slots, probes)`` where ``hit`` marks found
+        keys, ``slots`` holds each hit's slot (undefined for misses), and
+        ``probes`` counts, per key, exactly the slot inspections the scalar
+        outward scan would have performed (match at ``+o`` costs ``2o``
+        probes — ``1`` at ``o == 0`` — match at ``-o`` costs ``2o + 1``,
+        and a miss scans the whole deduplicated window).
+        """
+        m = karr.size
+        cap = self.capacity
+        limit = self._window_limit()
+        homes = self._raw_home_slots(karr)
+        store = self._keys
+
+        plus_offs = np.arange(limit + 1, dtype=np.int64)
+        plus_slots = (homes[:, None] + plus_offs[None, :]) % cap
+        plus_match = store[plus_slots] == karr[:, None]
+        plus_any = plus_match.any(axis=1)
+        plus_o = plus_match.argmax(axis=1)
+
+        minus_offs = np.arange(1, limit + 1, dtype=np.int64)
+        minus_offs = minus_offs[2 * minus_offs != cap]  # dedup the ring apex
+        if minus_offs.size:
+            minus_slots = (homes[:, None] - minus_offs[None, :]) % cap
+            minus_match = store[minus_slots] == karr[:, None]
+            minus_any = minus_match.any(axis=1)
+            minus_col = minus_match.argmax(axis=1)
+            minus_o = minus_offs[minus_col]
+        else:
+            minus_slots = np.zeros((m, 0), dtype=np.int64)
+            minus_any = np.zeros(m, dtype=bool)
+            minus_col = np.zeros(m, dtype=np.int64)
+            minus_o = np.zeros(m, dtype=np.int64)
+
+        # Keys are unique in an EBH node, so at most one side matches.
+        miss_probes = 1 + 2 * limit - (1 if 2 * limit == cap and limit > 0 else 0)
+        probes = np.full(m, miss_probes, dtype=np.int64)
+        probes[minus_any] = 2 * minus_o[minus_any] + 1
+        probes[plus_any] = np.where(plus_o[plus_any] == 0, 1, 2 * plus_o[plus_any])
+
+        hit = plus_any | minus_any
+        rows = np.arange(m)
+        slots = np.where(
+            plus_any,
+            plus_slots[rows, plus_o],
+            minus_slots[rows, np.minimum(minus_col, max(minus_slots.shape[1] - 1, 0))]
+            if minus_slots.shape[1]
+            else 0,
+        )
+        return hit, slots, probes
+
+    def lookup_batch(self, keys: "np.ndarray | Sequence[float]") -> list[Any | None]:
+        """Vectorised :meth:`lookup` over a key vector.
+
+        Increments the same counters by the same totals as looking every
+        key up one at a time; the result list is positionally aligned with
+        ``keys``.
+        """
+        karr = np.ascontiguousarray(keys, dtype=np.float64)
+        m = karr.size
+        if m == 0:
+            return []
+        if m < _BATCH_MIN:
+            return [self.lookup(k) for k in karr.tolist()]
+        self.counters.model_evals += m
+        hit, slots, probes = self._find_batch(karr)
+        self.counters.slot_probes += int(probes.sum())
+        out = np.full(m, None, dtype=object)
+        out[hit] = self._values[slots[hit]]
+        return list(out)
+
+    def delete_batch(self, keys: "np.ndarray | Sequence[float]") -> list[bool]:
+        """Vectorised :meth:`delete` over a key vector.
+
+        Falls back to the scalar loop when the batch contains duplicate
+        keys (the second occurrence must observe the first one's clear).
+        Counter totals match the scalar loop exactly either way.
+        """
+        karr = np.ascontiguousarray(keys, dtype=np.float64)
+        m = karr.size
+        if m == 0:
+            return []
+        if m < _BATCH_MIN or np.unique(karr).size < m:
+            return [self.delete(k) for k in karr.tolist()]
+        self.counters.model_evals += m
+        hit, slots, probes = self._find_batch(karr)
+        self.counters.slot_probes += int(probes.sum())
+        hit_slots = slots[hit]
+        self._keys[hit_slots] = np.nan
+        self._values[hit_slots] = None
+        self.n_keys -= int(hit.sum())
+        return list(map(bool, hit))
 
     # -- maintenance -----------------------------------------------------------
 
@@ -168,15 +303,27 @@ class ErrorBoundedHash:
         """n / c."""
         return self.n_keys / self.capacity if self.capacity else 1.0
 
+    def _live_slots(self) -> np.ndarray:
+        """Indices of occupied slots, in slot order."""
+        return np.flatnonzero(~np.isnan(self._keys))
+
     def items(self) -> Iterator[tuple[float, Any]]:
         """Live (key, value) pairs in slot order (unsorted)."""
-        for k, v in zip(self._keys, self._values):
-            if k is not _EMPTY:
-                yield k, v
+        keys = self._keys
+        values = self._values
+        for i in self._live_slots().tolist():
+            yield float(keys[i]), values[i]
 
     def sorted_items(self) -> list[tuple[float, Any]]:
-        """Live pairs sorted by key (range queries / rebuilds)."""
-        return sorted(self.items())
+        """Live pairs sorted by key (range queries / rebuilds).
+
+        One vectorised argsort over the live slots — keys are unique, so
+        sorting by key alone reproduces the old sort-by-pair order.
+        """
+        live = self._live_slots()
+        order = np.argsort(self._keys[live], kind="stable")
+        ordered = live[order]
+        return list(zip(self._keys[ordered].tolist(), self._values[ordered].tolist()))
 
     def rehash(self, new_capacity: int, low_key: float | None = None,
                high_key: float | None = None, refit: bool = False) -> None:
@@ -205,8 +352,8 @@ class ErrorBoundedHash:
             self.low_key = float(low_key)
         if high_key is not None:
             self.high_key = float(high_key)
-        self._keys = [_EMPTY] * self.capacity
-        self._values = [_EMPTY] * self.capacity
+        self._keys = np.full(self.capacity, np.nan, dtype=np.float64)
+        self._values = np.empty(self.capacity, dtype=object)
         self.n_keys = 0
         self.conflict_degree = 0
         self.counters.retrains += 1
@@ -217,25 +364,32 @@ class ErrorBoundedHash:
     # -- statistics -------------------------------------------------------------
 
     def offset_of(self, slot: int) -> int:
-        """Circular distance between a stored key's slot and its home slot."""
+        """Circular distance between a stored key's slot and its home slot.
+
+        A statistics accessor, not query work: routes through the
+        counter-neutral :meth:`_raw_home_slot` so diagnostics never perturb
+        the cost model (RL007).
+        """
         key = self._keys[slot]
-        if key is _EMPTY:
+        if math.isnan(key):
             raise ValueError("slot is empty")
-        home = self.home_slot(key)
-        self.counters.model_evals -= 1  # statistics call, not query work
+        home = self._raw_home_slot(float(key))
         direct = abs(slot - home)
         return min(direct, self.capacity - direct)
 
     def error_stats(self) -> tuple[int, float]:
-        """(max offset, mean offset) over stored keys — Table V errors."""
-        offsets = [
-            self.offset_of(i)
-            for i, k in enumerate(self._keys)
-            if k is not _EMPTY
-        ]
-        if not offsets:
+        """(max offset, mean offset) over stored keys — Table V errors.
+
+        Vectorised over the slot array; counter-neutral like
+        :meth:`offset_of`.
+        """
+        live = self._live_slots()
+        if live.size == 0:
             return 0, 0.0
-        return max(offsets), sum(offsets) / len(offsets)
+        homes = self._raw_home_slots(self._keys[live])
+        direct = np.abs(live - homes)
+        offsets = np.minimum(direct, self.capacity - direct)
+        return int(offsets.max()), float(offsets.mean())
 
     def size_bytes(self) -> int:
         """Modelled C++ footprint: 16 bytes per slot plus a 48-byte header."""

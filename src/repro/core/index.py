@@ -10,7 +10,7 @@ TSMDP under interval locks without blocking queries.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from ..baselines.interfaces import (
     as_key_value_arrays,
 )
 from ..robustness import faults
+from .batch_plan import BatchQueryPlan, build_plan
 from .builder import ChameleonBuilder, make_leaf, refine_with_tsmdp
 from .config import ChameleonConfig
 from .node import InnerNode, LeafNode, Node, subtree_stats, walk_leaves
@@ -32,6 +33,11 @@ if TYPE_CHECKING:
 
 #: Leaf-growth factor applied when a leaf rehashes to a larger capacity.
 LEAF_GROWTH = 1.5
+
+#: Below this batch size building/consulting the flattened plan costs more
+#: than the grouped descent; both paths count identically, so the switch is
+#: purely a wall-clock decision.
+_FUSED_MIN = 32
 
 
 class ChameleonIndex(BaseIndex):
@@ -75,6 +81,9 @@ class ChameleonIndex(BaseIndex):
         self.lock_manager = lock_manager
         self._root: Node | None = None
         self._n = 0
+        #: Lazily built flattened-tree snapshot for fused batch lookups;
+        #: invalidated by structure-version comparison (see batch_plan).
+        self._batch_plan: BatchQueryPlan | None = None
         #: Updates since the last full (re)construction — drives the
         #: DARE-triggered rebuild described in Section V's Limitations.
         self.updates_since_build = 0
@@ -169,6 +178,250 @@ class ChameleonIndex(BaseIndex):
             self._n -= 1
             self.updates_since_build += 1
         return removed
+
+    # -- batch operations --------------------------------------------------------------
+
+    def lookup_batch(self, keys: "Sequence[Key] | np.ndarray") -> list[Value | None]:
+        """Grouped vectorised lookup (see docs/cost_model.md).
+
+        The whole key vector is routed through each inner node with one
+        vectorised Eq. 1 evaluation, partitioned by child, and finished
+        with per-leaf EBH window gathers. Under a lock manager, keys are
+        grouped by h-th-level interval first so each interval's query lock
+        is acquired once per batch instead of once per key — the only
+        counters that legitimately differ from the scalar loop.
+        """
+        karr = np.ascontiguousarray(keys, dtype=np.float64)
+        m = karr.size
+        if m == 0:
+            return []
+        if self._root is None:
+            raise EmptyIndexError("index is empty; bulk_load first")
+        out: list[Value | None] = [None] * m
+        if self.lock_manager is None:
+            if m >= _FUSED_MIN:
+                return self._current_plan().lookup(self, karr)
+            self._descend_batch(
+                self._root, karr, np.arange(m), self._batch_leaf_lookup(karr, out)
+            )
+            return out
+        for ids, last, idx in self._group_upper(karr, np.arange(m)):
+            with self.lock_manager.query_lock(ids, self.counters):
+                self.lock_manager.assert_interval_locked(ids, where="lookup_batch")
+                start = self._reread_boundary(last)
+                self._descend_batch(
+                    start, karr, idx, self._batch_leaf_lookup(karr, out)
+                )
+        return out
+
+    def insert_batch(
+        self,
+        keys: "Sequence[Key] | np.ndarray",
+        values: "Sequence[Value] | None" = None,
+    ) -> None:
+        """Insert a key vector with per-interval lock amortisation.
+
+        Inserts stay scalar per key — splits and rehashes depend on the
+        sequential load trajectory, so vectorising them would change the
+        modelled cost — but under a lock manager the batch groups keys by
+        h-th-level interval and acquires each interval's lock once.
+        Within a group, keys land in their original stream order.
+        """
+        if self._root is None:
+            raise EmptyIndexError("bulk_load before inserting")
+        karr = np.ascontiguousarray(keys, dtype=np.float64)
+        vals: list[Value] | None = None
+        if values is not None:
+            vals = list(values)
+            if len(vals) != karr.size:
+                raise ValueError(
+                    f"keys and values length mismatch: {karr.size} != {len(vals)}"
+                )
+        if self.lock_manager is None:
+            for i, k in enumerate(karr.tolist()):
+                self._insert_locked(k, k if vals is None else vals[i])
+            return
+        for ids, _, idx in self._group_upper(karr, np.arange(karr.size)):
+            with self.lock_manager.query_lock(ids, self.counters):
+                self.lock_manager.assert_interval_locked(ids, where="insert_batch")
+                for i in idx.tolist():
+                    k = float(karr[i])
+                    self._insert_locked(k, k if vals is None else vals[i])
+
+    def delete_batch(self, keys: "Sequence[Key] | np.ndarray") -> list[bool]:
+        """Grouped vectorised delete; flags aligned positionally with ``keys``.
+
+        Mirrors the scalar protocol exactly: the full descent is counted
+        from the root (as :meth:`_delete_locked` does) and EBH probe totals
+        match the one-at-a-time stream, with locks amortised per interval.
+        """
+        karr = np.ascontiguousarray(keys, dtype=np.float64)
+        m = karr.size
+        if m == 0:
+            return []
+        if self._root is None:
+            return [False] * m
+        out = [False] * m
+        if self.lock_manager is None:
+            self._descend_batch(
+                self._root, karr, np.arange(m), self._batch_leaf_delete(karr, out)
+            )
+            return out
+        for ids, _, idx in self._group_upper(karr, np.arange(m)):
+            with self.lock_manager.query_lock(ids, self.counters):
+                self.lock_manager.assert_interval_locked(ids, where="delete_batch")
+                # _delete_locked descends from the root; the batch path
+                # replicates that accounting for hop/eval equivalence.
+                self._descend_batch(
+                    self._root, karr, idx, self._batch_leaf_delete(karr, out)
+                )
+        return out
+
+    def _batch_leaf_lookup(
+        self, karr: np.ndarray, out: list[Value | None]
+    ) -> "Callable[[LeafNode, np.ndarray], None]":
+        def visit(leaf: LeafNode, idx: np.ndarray) -> None:
+            results = leaf.ebh.lookup_batch(karr[idx])
+            for i, v in zip(idx.tolist(), results):
+                out[i] = v
+
+        return visit
+
+    def _batch_leaf_delete(
+        self, karr: np.ndarray, out: list[bool]
+    ) -> "Callable[[LeafNode, np.ndarray], None]":
+        def visit(leaf: LeafNode, idx: np.ndarray) -> None:
+            flags = leaf.ebh.delete_batch(karr[idx])
+            removed = 0
+            for i, flag in zip(idx.tolist(), flags):
+                out[i] = flag
+                removed += flag
+            if removed:
+                leaf.update_count += removed
+                self._n -= removed
+                self.updates_since_build += removed
+
+        return visit
+
+    def _descend_batch(
+        self,
+        start: Node,
+        karr: np.ndarray,
+        idx: np.ndarray,
+        visit: "Callable[[LeafNode, np.ndarray], None]",
+    ) -> None:
+        """Route ``karr[idx]`` down from ``start``; call ``visit`` per leaf.
+
+        Structural accounting matches the scalar walk: one node hop and one
+        model evaluation per key per inner node on its path, with ``None``
+        children materialised on demand exactly as :meth:`_descend` does.
+        """
+        stack: list[tuple[Node, np.ndarray]] = [(start, idx)]
+        while stack:
+            node, sub = stack.pop()
+            if isinstance(node, LeafNode):
+                visit(node, sub)
+                continue
+            self.counters.node_hops += int(sub.size)
+            ranks = node.route_batch(karr[sub])
+            order = np.argsort(ranks, kind="stable")
+            sorted_ranks = ranks[order]
+            cuts = np.flatnonzero(np.diff(sorted_ranks)) + 1
+            for group in np.split(order, cuts):
+                rank = int(ranks[group[0]])
+                child = node.children[rank]
+                if child is None:
+                    low, high = node.child_interval(rank)
+                    child = make_leaf(
+                        np.empty(0), [], low, high, self.config, self.counters
+                    )
+                    node.children[rank] = child
+                stack.append((child, sub[group]))
+
+    def _group_upper(
+        self, karr: np.ndarray, idx: np.ndarray
+    ) -> list[tuple[tuple[int, ...], tuple[InnerNode, int] | None, np.ndarray]]:
+        """Partition ``karr[idx]`` by h-th-level interval.
+
+        Vectorised counterpart of :meth:`_descend_upper`: walks only the
+        immutable upper ``h - 1`` levels (no lock needed), counting the
+        same hops and model evaluations. Returns ``(ids, boundary, idx)``
+        per group, where ``boundary`` is the ``(parent, rank)`` slot to
+        re-read under the interval lock (None when the root itself is the
+        boundary). Within each group the original stream order of ``idx``
+        is preserved.
+        """
+        boundary = max(1, self.config.h - 1)
+        results: list[
+            tuple[tuple[int, ...], tuple[InnerNode, int] | None, np.ndarray]
+        ] = []
+        stack: list[
+            tuple[Node | None, tuple[int, ...], tuple[InnerNode, int] | None, np.ndarray]
+        ] = [(self._root, (), None, idx)]
+        while stack:
+            node, ids, last, sub = stack.pop()
+            if not isinstance(node, InnerNode) or len(ids) >= boundary:
+                results.append((ids, last, sub))
+                continue
+            self.counters.node_hops += int(sub.size)
+            ranks = node.route_batch(karr[sub])
+            order = np.argsort(ranks, kind="stable")
+            sorted_ranks = ranks[order]
+            cuts = np.flatnonzero(np.diff(sorted_ranks)) + 1
+            for group in np.split(order, cuts):
+                rank = int(ranks[group[0]])
+                stack.append(
+                    (node.children[rank], ids + (rank,), (node, rank), sub[group])
+                )
+        return results
+
+    def _reread_boundary(self, last: tuple[InnerNode, int] | None) -> Node:
+        """Re-read a boundary child under its lock (see :meth:`_descend_lower`).
+
+        The retrainer may have swapped the subtree between the unlocked
+        upper walk and lock acquisition, so the pointer is read again here;
+        an interval that never received keys is materialised as an empty
+        leaf, exactly as the scalar path does.
+        """
+        if last is None:
+            assert self._root is not None
+            return self._root
+        parent, rank = last
+        node = parent.children[rank]
+        if node is None:
+            low, high = parent.child_interval(rank)
+            node = make_leaf(np.empty(0), [], low, high, self.config, self.counters)
+            parent.children[rank] = node
+        return node
+
+    def _plan_version(self) -> tuple[int, ...]:
+        """Structure version for the fused-lookup plan cache.
+
+        Every mutation path moves at least one component: inserts/deletes
+        bump ``updates_since_build`` (and ``_n``), leaf rehashes and
+        subtree/whole-tree rebuilds bump ``retrains``, leaf splits bump
+        ``splits``, and ``bulk_load`` swaps the root object itself.
+        Lookups never move any of them, so read-heavy phases reuse one
+        plan across every batch.
+        """
+        c = self.counters
+        return (
+            self._n,
+            self.updates_since_build,
+            c.retrains,
+            c.splits,
+            id(self._root),
+        )
+
+    def _current_plan(self) -> BatchQueryPlan:
+        """The flattened snapshot for the live structure (rebuilt lazily)."""
+        assert self._root is not None
+        version = self._plan_version()
+        plan = self._batch_plan
+        if plan is None or plan.version != version:
+            plan = build_plan(self._root, version)
+            self._batch_plan = plan
+        return plan
 
     # -- bulk reads --------------------------------------------------------------------
 
@@ -352,16 +605,16 @@ class ChameleonIndex(BaseIndex):
             node, where = stack.pop()
             if isinstance(node, LeafNode):
                 ebh = node.ebh
-                occupied = sum(1 for k in ebh._keys if k is not None)
+                live_slots = ebh._live_slots()
+                occupied = int(live_slots.size)
                 total_keys += ebh.n_keys
                 if occupied != ebh.n_keys:
                     report.add(
                         "live-count", where,
                         f"{occupied} occupied slots but n_keys={ebh.n_keys}",
                     )
-                for slot, k in enumerate(ebh._keys):
-                    if k is None:
-                        continue
+                for slot in live_slots.tolist():
+                    k = float(ebh._keys[slot])
                     if ebh.offset_of(slot) > ebh.conflict_degree:
                         report.add(
                             "leaf-placement", where,
@@ -427,6 +680,7 @@ class ChameleonIndex(BaseIndex):
         """Drop runtime-only attachments before pickling (save/load)."""
         state = self.__dict__.copy()
         state["lock_manager"] = None
+        state["_batch_plan"] = None  # cache; duplicates the tree's arrays
         return state
 
     def rebuild_all(self) -> int:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Union
 
+import numpy as np
+
 from ..baselines.counters import Counters
 from .ebh import ErrorBoundedHash
 
@@ -108,6 +110,18 @@ class InnerNode:
         if rank >= self.fanout:
             return self.fanout - 1
         return rank
+
+    def route_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised Eq. 1 over a key vector.
+
+        Counts one model evaluation per key — identical totals to calling
+        :meth:`route` in a loop — and truncates toward zero before
+        clamping, matching the scalar ``int()`` semantics exactly.
+        """
+        self.counters.model_evals += int(keys.size)
+        span = self.high_key - self.low_key
+        ranks = np.trunc(self.fanout * (keys - self.low_key) / span).astype(np.int64)
+        return np.clip(ranks, 0, self.fanout - 1)
 
     def child_interval(self, rank: int) -> tuple[float, float]:
         """The key interval [lk_i, uk_i) of child ``rank``."""

@@ -1,6 +1,12 @@
 """Workload generation: read-only, mixed, and batched operation streams."""
 
-from .operations import OpKind, Operation, WorkloadResult, run_workload
+from .operations import (
+    OpKind,
+    Operation,
+    WorkloadResult,
+    run_workload,
+    run_workload_batched,
+)
 from .readonly import readonly_workload
 from .mixed import insert_delete_workload, read_write_workload, split_load_and_pool
 from .batched import BatchedPhaseResult, batched_workload_phases
@@ -14,6 +20,7 @@ __all__ = [
     "Operation",
     "WorkloadResult",
     "run_workload",
+    "run_workload_batched",
     "readonly_workload",
     "read_write_workload",
     "insert_delete_workload",

@@ -13,7 +13,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..baselines.interfaces import BaseIndex
-from .operations import OpKind, Operation, WorkloadResult, run_workload
+from .operations import (
+    OpKind,
+    Operation,
+    WorkloadResult,
+    run_workload,
+    run_workload_batched,
+)
 
 
 @dataclass
@@ -42,6 +48,8 @@ def batched_workload_phases(
     queries_per_phase: int = 1000,
     bootstrap_fraction: float = 0.0,
     seed: int = 0,
+    use_batch_api: bool = False,
+    batch_size: int = 1024,
 ) -> list[BatchedPhaseResult]:
     """Drive the Fig. 13 batched protocol against one index.
 
@@ -54,12 +62,22 @@ def batched_workload_phases(
         queries_per_phase: point queries after each batch.
         bootstrap_fraction: fraction of keys bulk loaded up front.
         seed: RNG seed for query sampling.
+        use_batch_api: execute each phase through
+            :func:`run_workload_batched` instead of one call per op — the
+            structural costs are identical, only wall-clock changes.
+        batch_size: max keys per batch call when ``use_batch_api`` is set.
 
     Returns:
         One :class:`BatchedPhaseResult` per batch, inserts first.
     """
     if batches < 1:
         raise ValueError("batches must be >= 1")
+
+    def drive(ops: list[Operation]) -> WorkloadResult:
+        if use_batch_api:
+            return run_workload_batched(index, ops, batch_size=batch_size)
+        return run_workload(index, ops)
+
     arr = np.asarray(keys, dtype=np.float64)
     rng = np.random.default_rng(seed)
     shuffled = arr.copy()
@@ -75,17 +93,17 @@ def batched_workload_phases(
 
     live: list[float] = list(boot_keys)
     results: list[BatchedPhaseResult] = []
-    batch_size = max(1, remaining.size // batches)
+    chunk_size = max(1, remaining.size // batches)
 
     for b in range(batches):
-        chunk = remaining[b * batch_size : (b + 1) * batch_size]
+        chunk = remaining[b * chunk_size : (b + 1) * chunk_size]
         if b == batches - 1:
-            chunk = remaining[b * batch_size :]
+            chunk = remaining[b * chunk_size :]
         write_ops = [Operation(OpKind.INSERT, float(k)) for k in chunk]
-        write_result = run_workload(index, write_ops)
+        write_result = drive(write_ops)
         live.extend(float(k) for k in chunk)
         read_ops = _sample_reads(live, queries_per_phase, rng)
-        read_result = run_workload(index, read_ops)
+        read_result = drive(read_ops)
         results.append(
             BatchedPhaseResult("insert", b + 1, len(live), write_result, read_result)
         )
@@ -101,11 +119,11 @@ def batched_workload_phases(
         if b == batches - 1:
             chunk = deletable[b * del_batch :]
         write_ops = [Operation(OpKind.DELETE, float(k)) for k in chunk]
-        write_result = run_workload(index, write_ops)
+        write_result = drive(write_ops)
         gone = set(chunk)
         live = [k for k in live if k not in gone]
         read_ops = _sample_reads(live, queries_per_phase, rng)
-        read_result = run_workload(index, read_ops)
+        read_result = drive(read_ops)
         results.append(
             BatchedPhaseResult("delete", b + 1, len(live), write_result, read_result)
         )

@@ -13,6 +13,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..baselines.interfaces import BaseIndex
 
 
@@ -141,6 +143,67 @@ def run_workload(
             index.range_query(op.key, high)
         if record_latencies:
             result.latencies_ns.setdefault(op.kind, []).append(perf() - t0)
+    result.total_seconds = (perf() - start_all) / 1e9
+    result.counter_delta = index.counters.diff(before)
+    return result
+
+
+def run_workload_batched(
+    index: BaseIndex,
+    operations: Iterable[Operation],
+    batch_size: int = 1024,
+) -> WorkloadResult:
+    """Execute an operation stream through the batch API.
+
+    Maximal runs of consecutive same-kind operations (capped at
+    ``batch_size``) are dispatched as one ``lookup_batch`` /
+    ``insert_batch`` / ``delete_batch`` call; RANGE operations execute
+    one at a time. Results, hit/miss tallies, and the structural-counter
+    delta match :func:`run_workload` on the same stream — only wall-clock
+    time differs (see docs/cost_model.md).
+
+    Args:
+        index: any index implementing the shared interface.
+        operations: the stream to execute.
+        batch_size: maximum keys per batch call.
+
+    Returns:
+        A populated :class:`WorkloadResult` (no per-op latency samples —
+        batched execution has no per-op timing).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    ops = list(operations)
+    result = WorkloadResult()
+    before = index.counters.snapshot()
+    perf = time.perf_counter_ns
+    start_all = perf()
+    i = 0
+    n = len(ops)
+    while i < n:
+        kind = ops[i].kind
+        j = i + 1
+        while j < n and ops[j].kind is kind and j - i < batch_size:
+            j += 1
+        chunk = ops[i:j]
+        result.op_counts[kind] = result.op_counts.get(kind, 0) + len(chunk)
+        if kind is OpKind.RANGE:
+            for op in chunk:
+                high = op.key if op.high is None else op.high
+                index.range_query(op.key, high)
+        else:
+            keys = np.fromiter(
+                (op.key for op in chunk), dtype=np.float64, count=len(chunk)
+            )
+            if kind is OpKind.LOOKUP:
+                found = index.lookup_batch(keys)
+                result.lookup_hits += sum(v is not None for v in found)
+            elif kind is OpKind.INSERT:
+                index.insert_batch(keys)
+            else:
+                flags = index.delete_batch(keys)
+                result.failed_deletes += sum(1 for f in flags if not f)
+        i = j
     result.total_seconds = (perf() - start_all) / 1e9
     result.counter_delta = index.counters.diff(before)
     return result

@@ -1,0 +1,19 @@
+"""Known-bad fixture for RL005 on a vectorised batch path. Never imported.
+
+The PR-4 batch overrides made it tempting to time the vector kernel
+inline "just while optimising"; inside a baseline that wall-clock read is
+exactly what the structural cost model bans.
+"""
+
+import numpy as np
+
+
+class TimedBatchIndex:
+    def lookup_batch(self, keys):
+        import time
+
+        start = time.perf_counter()  # expect[RL005]
+        karr = np.ascontiguousarray(keys, dtype=np.float64)
+        pos = np.searchsorted(karr, karr)
+        self.batch_seconds = time.perf_counter() - start  # expect[RL005]
+        return pos.tolist()

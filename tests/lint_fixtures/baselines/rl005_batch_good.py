@@ -1,0 +1,21 @@
+"""Known-good fixture for RL005: a batch path with no wall-clock reads.
+
+Mirrors the shape of the real vectorised overrides — whole-vector
+searchsorted plus bulk counter increments — which must lint clean.
+"""
+
+import numpy as np
+
+
+class VectorBatchIndex:
+    def __init__(self, counters, arr):
+        self.counters = counters
+        self.arr = arr
+
+    def lookup_batch(self, keys):
+        karr = np.ascontiguousarray(keys, dtype=np.float64)
+        self.counters.comparisons += int(karr.size) * 4
+        pos = np.searchsorted(self.arr, karr, side="left")
+        hit = (pos < self.arr.size) & (self.arr[np.minimum(pos, self.arr.size - 1)] == karr)
+        self.counters.slot_probes += int(hit.sum())
+        return pos.tolist()

@@ -1,0 +1,17 @@
+"""Known-bad fixture for RL002 on a batch path. Never imported.
+
+A vectorised override that tallies probe work into shadow attributes
+instead of the shared Counters object — the batch totals silently drift
+from the scalar path's accounting.
+"""
+
+
+class ShadowBatchIndex:
+    def __init__(self):
+        self.slot_probes = 0
+        self.model_evals = 0
+
+    def lookup_batch(self, keys, probes):
+        self.model_evals += len(keys)  # expect[RL002]
+        self.slot_probes += int(probes.sum())  # expect[RL002]
+        return [None] * len(keys)

@@ -1,0 +1,17 @@
+"""Known-good fixture for RL002: batch totals through the Counters API.
+
+Bulk increments (``+= n`` where ``n`` is a whole-batch total) are the
+documented batch idiom — one increment per vector operation, same totals
+as the scalar loop.
+"""
+
+
+class VectorBatchIndex:
+    def __init__(self, counters):
+        self.counters = counters
+
+    def lookup_batch(self, keys, probes):
+        self.counters.model_evals += len(keys)
+        self.counters.slot_probes += int(probes.sum())
+        self.counters.node_hops += int(keys.size)
+        return [None] * len(keys)

@@ -1,0 +1,338 @@
+"""Batch/scalar equivalence for the vectorised batch-execution layer.
+
+The batch API's contract (docs/cost_model.md) is that for any key vector
+it returns exactly what the scalar loop would return AND increments the
+structural counters by exactly the scalar totals — the only permitted
+divergence is lock amortisation (`lock_acquisitions`/`lock_waits` may
+shrink under a lock manager, never grow). These tests pin that contract
+with randomized streams for Chameleon (grouped, fused, and lock paths)
+and for every baseline with a vectorised override, plus the exact probe
+geometry of the deduplicated EBH ring scan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import INDEX_REGISTRY, UPDATABLE_INDEXES
+from repro.baselines.counters import Counters
+from repro.baselines.pgm import PGMIndex
+from repro.baselines.radix_spline import RadixSplineIndex
+from repro.baselines.sorted_array import SortedArrayIndex
+from repro.core.config import ChameleonConfig
+from repro.core.ebh import ErrorBoundedHash
+from repro.core.index import ChameleonIndex
+from repro.core.interval_lock import IntervalLockManager
+from repro.datasets import load as load_dataset
+from repro.workloads import OpKind, Operation, run_workload, run_workload_batched
+
+
+def _queries(keys: np.ndarray, n: int, seed: int) -> np.ndarray:
+    """Mixed present/absent query stream over the key range."""
+    rng = np.random.default_rng(seed)
+    present = rng.choice(keys, n // 2, replace=True)
+    absent = rng.uniform(keys.min(), keys.max(), n - n // 2)
+    q = np.concatenate([present, absent])
+    rng.shuffle(q)
+    return q
+
+
+def _chameleon(keys: np.ndarray, lock: bool = False) -> ChameleonIndex:
+    manager = IntervalLockManager(debug_asserts=True) if lock else None
+    ix = ChameleonIndex(ChameleonConfig(), strategy="ChaB", lock_manager=manager)
+    ix.bulk_load(keys)
+    return ix
+
+
+class TestEBHProbeGeometry:
+    """Pin the deduplicated ring scan's exact probe counts (cd >= c/2).
+
+    Capacity 4, alpha 1, interval [0, 1): keys below 0.025 all hash to
+    home slot 0, so four inserts drive the conflict degree to c/2 = 2 —
+    the regime where ``(home+o) % c`` and ``(home-o) % c`` coincide at
+    the ring apex and must be probed (and counted) exactly once.
+    """
+
+    KEYS = (0.001, 0.004, 0.009, 0.016)  # slots 0, +1, -1(=3), apex(=2)
+    MISS = 0.02  # also home slot 0, never inserted
+
+    def _build(self) -> ErrorBoundedHash:
+        ebh = ErrorBoundedHash(0.0, 1.0, capacity=4, alpha=1)
+        for k in self.KEYS:
+            ebh.insert(k, k)
+        return ebh
+
+    def test_insert_probe_counts(self):
+        ebh = ErrorBoundedHash(0.0, 1.0, capacity=4, alpha=1)
+        expected = (1, 3, 3, 4)  # last insert probes the whole ring once
+        for k, want in zip(self.KEYS, expected):
+            before = ebh.counters.snapshot()
+            ebh.insert(k, k)
+            assert ebh.counters.diff(before)["slot_probes"] == want
+        assert ebh.conflict_degree == 2  # = capacity // 2
+
+    def test_scalar_lookup_probe_counts(self):
+        ebh = self._build()
+        # +0 -> 1; +1 -> 2; -1 -> 3; apex (single slot) -> 2o = 4.
+        for k, want in zip(self.KEYS + (self.MISS,), (1, 2, 3, 4, 4)):
+            before = ebh.counters.snapshot()
+            assert (ebh.lookup(k) is not None) == (k != self.MISS)
+            assert ebh.counters.diff(before)["slot_probes"] == want
+
+    def test_batch_lookup_probe_counts_match_scalar(self):
+        ebh = self._build()
+        # >= _BATCH_MIN keys so the vectorised window gather runs.
+        batch = list(self.KEYS) + [self.MISS, self.KEYS[0], self.KEYS[2], self.MISS]
+        before = ebh.counters.snapshot()
+        got = ebh.lookup_batch(np.asarray(batch))
+        delta = ebh.counters.diff(before)
+        assert delta["slot_probes"] == 1 + 2 + 3 + 4 + 4 + 1 + 3 + 4
+        assert delta["model_evals"] == len(batch)
+        assert [v is not None for v in got] == [k != self.MISS for k in batch]
+
+    def test_miss_scans_ring_exactly_once(self):
+        ebh = self._build()
+        # Window limit 2 on a 4-ring: offsets 0, +/-1, apex -> 4 distinct
+        # slots; the pre-dedup scan would have counted 5.
+        before = ebh.counters.snapshot()
+        assert ebh.lookup(self.MISS) is None
+        assert ebh.counters.diff(before)["slot_probes"] == ebh.capacity
+
+
+class TestChameleonBatchEquivalence:
+    @pytest.mark.parametrize("dataset", ["UDEN", "FACE"])
+    @pytest.mark.parametrize("batch_size", [16, 1024])
+    def test_lookup_results_and_counters(self, dataset, batch_size):
+        keys = load_dataset(dataset, 4000, seed=2)
+        queries = _queries(keys, 3000, seed=5)
+        a, b = _chameleon(keys), _chameleon(keys)
+        before = a.counters.snapshot()
+        want = [a.lookup(float(k)) for k in queries]
+        scalar_delta = a.counters.diff(before)
+        before = b.counters.snapshot()
+        got: list = []
+        for i in range(0, queries.size, batch_size):
+            got.extend(b.lookup_batch(queries[i : i + batch_size]))
+        assert got == want
+        assert b.counters.diff(before) == scalar_delta
+
+    def test_fused_plan_reused_across_batches(self):
+        keys = load_dataset("UDEN", 3000, seed=1)
+        ix = _chameleon(keys)
+        q = _queries(keys, 1024, seed=3)
+        ix.lookup_batch(q)
+        plan = ix._batch_plan
+        assert plan is not None
+        ix.lookup_batch(q)
+        assert ix._batch_plan is plan  # lookups never invalidate
+        ix.insert(float(keys.max()) + 1.0)
+        ix.lookup_batch(q)
+        assert ix._batch_plan is not plan  # mutations do
+
+    def test_delete_batch_equivalence(self):
+        keys = load_dataset("UDEN", 3000, seed=4)
+        rng = np.random.default_rng(9)
+        targets = np.concatenate(
+            [rng.choice(keys, 600, replace=False), rng.uniform(0, 1e9, 200)]
+        )
+        rng.shuffle(targets)
+        a, b = _chameleon(keys), _chameleon(keys)
+        before = a.counters.snapshot()
+        want = [a.delete(float(k)) for k in targets]
+        scalar_delta = a.counters.diff(before)
+        before = b.counters.snapshot()
+        got = b.delete_batch(targets)
+        assert got == want
+        assert b.counters.diff(before) == scalar_delta
+        assert len(a) == len(b)
+        assert b.verify_integrity().ok
+
+    def test_insert_batch_equivalence(self):
+        keys = load_dataset("UDEN", 2000, seed=6)
+        rng = np.random.default_rng(11)
+        new = rng.uniform(keys.min(), keys.max(), 500)
+        new = np.unique(new)
+        a, b = _chameleon(keys), _chameleon(keys)
+        before = a.counters.snapshot()
+        for k in new:
+            a.insert(float(k))
+        scalar_delta = a.counters.diff(before)
+        before = b.counters.snapshot()
+        b.insert_batch(new)
+        assert b.counters.diff(before) == scalar_delta
+        assert len(a) == len(b)
+        assert sorted(a.items()) == sorted(b.items())
+
+    def test_empty_and_tiny_batches(self):
+        keys = load_dataset("UDEN", 500, seed=8)
+        ix = _chameleon(keys)
+        assert ix.lookup_batch(np.empty(0)) == []
+        assert ix.delete_batch(np.empty(0)) == []
+        one = ix.lookup_batch(np.asarray([float(keys[0])]))
+        assert one == [ix.lookup(float(keys[0]))]
+
+
+class TestChameleonLockPath:
+    def test_lock_amortisation_preserves_contract(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_ASSERTS", "1")
+        keys = load_dataset("UDEN", 3000, seed=2)
+        queries = _queries(keys, 2000, seed=5)
+        rng = np.random.default_rng(3)
+        inserts = np.unique(rng.uniform(keys.min(), keys.max(), 300))
+        deletes = rng.choice(keys, 300, replace=False)
+
+        a, b = _chameleon(keys, lock=True), _chameleon(keys, lock=True)
+        assert a.lock_manager is not None and a.lock_manager.debug_asserts
+        before = a.counters.snapshot()
+        want = [a.lookup(float(k)) for k in queries]
+        for k in inserts:
+            a.insert(float(k))
+        del_want = [a.delete(float(k)) for k in deletes]
+        scalar_delta = a.counters.diff(before)
+
+        before = b.counters.snapshot()
+        got: list = []
+        for i in range(0, queries.size, 512):
+            got.extend(b.lookup_batch(queries[i : i + 512]))
+        b.insert_batch(inserts)
+        del_got = b.delete_batch(deletes)
+        batch_delta = b.counters.diff(before)
+
+        assert got == want
+        assert del_got == del_want
+        # Everything matches except lock traffic, which must only shrink.
+        scalar_locks = scalar_delta.pop("lock_acquisitions")
+        batch_locks = batch_delta.pop("lock_acquisitions")
+        scalar_delta.pop("lock_waits", None)
+        batch_delta.pop("lock_waits", None)
+        assert batch_delta == scalar_delta
+        assert 0 < batch_locks < scalar_locks
+        # Zero lock-protocol violations under the armed race detector.
+        assert a.lock_manager.race_report() == []
+        assert b.lock_manager is not None
+        assert b.lock_manager.race_report() == []
+
+
+class TestBaselineBatchOverrides:
+    @pytest.mark.parametrize("dataset", ["UDEN", "FACE", "OSMC", "LOGN"])
+    @pytest.mark.parametrize(
+        "ctor", [SortedArrayIndex, PGMIndex, RadixSplineIndex],
+        ids=["SortedArray", "PGM", "RS"],
+    )
+    def test_lookup_batch_equivalence(self, ctor, dataset):
+        keys = load_dataset(dataset, 3000, seed=7)
+        queries = _queries(keys, 2000, seed=13)
+        a, b = ctor(), ctor()
+        a.bulk_load(keys)
+        b.bulk_load(keys)
+        before = a.counters.snapshot()
+        want = [a.lookup(float(k)) for k in queries]
+        scalar_delta = a.counters.diff(before)
+        before = b.counters.snapshot()
+        got = b.lookup_batch(queries)
+        assert got == want
+        assert b.counters.diff(before) == scalar_delta
+
+    def test_pgm_buffer_and_tombstones(self):
+        keys = load_dataset("UDEN", 2000, seed=1)
+        rng = np.random.default_rng(17)
+        extra = np.unique(rng.uniform(keys.min(), keys.max(), 200))
+
+        def build() -> PGMIndex:
+            ix = PGMIndex()
+            ix.bulk_load(keys)
+            for k in extra:
+                ix.insert(float(k))  # lands in the insert buffer
+            for k in keys[::10]:
+                ix.delete(float(k))  # tombstoned in the main array
+            return ix
+
+        queries = np.concatenate([keys[:400], extra[:100], keys[::10][:100]])
+        a, b = build(), build()
+        before = a.counters.snapshot()
+        want = [a.lookup(float(k)) for k in queries]
+        scalar_delta = a.counters.diff(before)
+        before = b.counters.snapshot()
+        got = b.lookup_batch(queries)
+        assert got == want
+        assert b.counters.diff(before) == scalar_delta
+
+
+class TestDefaultConformance:
+    """Every registry index honours the batch API (scalar-loop defaults)."""
+
+    @pytest.mark.parametrize("name", sorted(INDEX_REGISTRY))
+    def test_lookup_batch_matches_scalar(self, name):
+        keys = load_dataset("UDEN", 800, seed=3)
+        queries = _queries(keys, 300, seed=4)
+        a, b = INDEX_REGISTRY[name](), INDEX_REGISTRY[name]()
+        a.bulk_load(keys)
+        b.bulk_load(keys)
+        before = a.counters.snapshot()
+        want = [a.lookup(float(k)) for k in queries]
+        scalar_delta = a.counters.diff(before)
+        before = b.counters.snapshot()
+        assert b.lookup_batch(queries) == want
+        assert b.counters.diff(before) == scalar_delta
+
+    @pytest.mark.parametrize("name", sorted(UPDATABLE_INDEXES))
+    def test_write_batches_match_scalar(self, name):
+        keys = load_dataset("UDEN", 800, seed=5)
+        rng = np.random.default_rng(21)
+        new = np.unique(rng.uniform(keys.min(), keys.max(), 120))
+        gone = rng.choice(keys, 120, replace=False)
+        a, b = INDEX_REGISTRY[name](), INDEX_REGISTRY[name]()
+        a.bulk_load(keys)
+        b.bulk_load(keys)
+        for k in new:
+            a.insert(float(k))
+        want = [a.delete(float(k)) for k in gone]
+        b.insert_batch(new)
+        assert b.delete_batch(gone) == want
+        assert len(a) == len(b)
+        probe = np.concatenate([new[:50], gone[:50]])
+        assert b.lookup_batch(probe) == [a.lookup(float(k)) for k in probe]
+
+    def test_insert_batch_length_mismatch(self):
+        ix = INDEX_REGISTRY["B+Tree"]()
+        ix.bulk_load(np.asarray([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            ix.insert_batch(np.asarray([4.0, 5.0]), values=["only-one"])
+
+
+class TestWorkloadDriverEquivalence:
+    def test_batched_driver_matches_scalar_driver(self):
+        keys = load_dataset("UDEN", 2000, seed=9)
+        rng = np.random.default_rng(31)
+        ops: list[Operation] = []
+        for k in rng.choice(keys, 400):
+            ops.append(Operation(OpKind.LOOKUP, float(k)))
+        for k in np.unique(rng.uniform(keys.min(), keys.max(), 200)):
+            ops.append(Operation(OpKind.INSERT, float(k)))
+        for k in rng.choice(keys, 200, replace=False):
+            ops.append(Operation(OpKind.DELETE, float(k)))
+        lo = float(keys[100])
+        ops.append(Operation(OpKind.RANGE, lo, high=lo + 1e4))
+        rng.shuffle(ops)  # interleave kinds to exercise run segmentation
+
+        a, b = _chameleon(keys), _chameleon(keys)
+        ra = run_workload(a, ops)
+        rb = run_workload_batched(b, ops, batch_size=128)
+        assert rb.op_counts == ra.op_counts
+        assert rb.lookup_hits == ra.lookup_hits
+        assert rb.failed_deletes == ra.failed_deletes
+        assert rb.counter_delta == ra.counter_delta
+
+    def test_batch_size_validation(self):
+        ix = _chameleon(load_dataset("UDEN", 100, seed=0))
+        with pytest.raises(ValueError):
+            run_workload_batched(ix, [], batch_size=0)
+
+
+def test_counters_is_dataclass_snapshot_roundtrip():
+    c = Counters()
+    c.slot_probes += 3
+    snap = c.snapshot()
+    c.slot_probes += 2
+    delta = c.diff(snap)
+    assert delta["slot_probes"] == 2
+    assert all(v == 0 for k, v in delta.items() if k != "slot_probes")

@@ -54,9 +54,11 @@ def findings_for(path: Path, rule_id: str) -> set[tuple[str, int]]:
         ("RL001", "rl001_bad.py", "rl001_good.py"),
         ("RL001", "rl001_interproc_bad.py", "rl001_interproc_good.py"),
         ("RL002", "rl002_bad.py", "rl002_good.py"),
+        ("RL002", "rl002_batch_bad.py", "rl002_batch_good.py"),
         ("RL003", "rl003_bad.py", "rl003_good.py"),
         ("RL004", "rl004_bad.py", "rl004_good.py"),
         ("RL005", "baselines/rl005_bad.py", "baselines/rl005_good.py"),
+        ("RL005", "baselines/rl005_batch_bad.py", "baselines/rl005_batch_good.py"),
         ("RL006", "rl006_bad.py", "rl006_good.py"),
         ("RL007", "rl007_bad.py", "rl007_good.py"),
     ],

@@ -1,5 +1,6 @@
 """Tests for the robustness subsystem: injector, supervisor, integrity."""
 
+import math
 import time
 
 import pytest
@@ -286,8 +287,8 @@ class TestIntegrityCorruption:
         index.bulk_load(face_like(800, seed=2))
         leaf = max(walk_leaves(index._root), key=lambda l: l.n_keys)
         ebh = leaf.ebh
-        src = next(i for i, k in enumerate(ebh._keys) if k is not None)
-        home = ebh.home_slot(ebh._keys[src])
+        src = int(ebh._live_slots()[0])
+        home = ebh.home_slot(float(ebh._keys[src]))
 
         def circular(a, b):
             d = abs(a - b)
@@ -297,11 +298,12 @@ class TestIntegrityCorruption:
         dst = next(
             i
             for i in range(ebh.capacity)
-            if ebh._keys[i] is None
+            if math.isnan(ebh._keys[i])
             and circular(i, home) > ebh.conflict_degree
         )
         ebh._keys[dst], ebh._values[dst] = ebh._keys[src], ebh._values[src]
-        ebh._keys[src] = ebh._values[src] = None
+        ebh._keys[src] = math.nan
+        ebh._values[src] = None
         report = index.verify_integrity()
         assert not report.ok
         assert any(v.check == "leaf-placement" for v in report.violations)
