@@ -15,4 +15,5 @@ from . import (  # noqa: F401  (imports register the rules)
     rl005_wall_clock,
     rl006_randomness,
     rl007_diagnostics,
+    rl008_emissions,
 )

@@ -1,0 +1,91 @@
+"""RL008 — no ``print()`` / ``logging.basicConfig()`` in library packages.
+
+Library code emits diagnostics through the shared ``repro`` logger
+(:func:`repro.obs.log.get_logger`, NullHandler-rooted per the stdlib
+library convention); the *application* decides whether anything reaches a
+terminal. A ``print()`` in ``core``/``robustness``/``rl``/... writes to the
+caller's stdout unconditionally — corrupting bench output that downstream
+tooling parses — and a ``logging.basicConfig()`` hijacks the root logger
+configuration of every program that imports the module. Both belong only
+in CLI entry points (``bench/``, ``datasets/__main__``, ``analysis``),
+which this rule deliberately does not scope.
+
+The basicConfig check resolves ``import logging as log`` aliases and
+``from logging import basicConfig`` member imports, including
+function-local imports, the same way RL005 resolves ``time``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, import_aliases, register_rule
+
+#: Packages under src/repro that are libraries: imported, never the program.
+LIBRARY_PACKAGES = frozenset(
+    {"core", "baselines", "robustness", "rl", "workloads", "obs"}
+)
+
+
+def _in_library_scope(parts: tuple[str, ...]) -> bool:
+    return any(part in LIBRARY_PACKAGES for part in parts[:-1])
+
+
+@register_rule
+class EmissionDisciplineRule(Rule):
+    rule_id = "RL008"
+    name = "no-print-in-libraries"
+    description = (
+        "print() and logging.basicConfig() are forbidden in library "
+        "packages (core, baselines, robustness, rl, workloads, obs); "
+        "emit via repro.obs.log.get_logger and leave stdout/root-logger "
+        "configuration to CLI entry points"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return _in_library_scope(ctx.path_parts())
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        module_aliases, member_aliases = import_aliases(ctx.tree, "logging")
+        basic_config_names = {
+            local
+            for local, member in member_aliases.items()
+            if member == "basicConfig"
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "print() in a library module writes to the importing "
+                    "program's stdout unconditionally; take a logger from "
+                    "repro.obs.log.get_logger(__name__) instead",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "basicConfig"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{func.value.id}.basicConfig() in a library module "
+                    "hijacks the root-logger configuration of every "
+                    "importer; libraries attach a NullHandler (repro.obs.log "
+                    "already does) and let applications configure handlers",
+                )
+            elif isinstance(func, ast.Name) and func.id in basic_config_names:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{func.id} (from logging import basicConfig) in a "
+                    "library module hijacks the root-logger configuration "
+                    "of every importer; let applications configure handlers",
+                )

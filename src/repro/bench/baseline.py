@@ -1,15 +1,19 @@
 """Machine-readable performance baseline for the batch-execution layer.
 
-Produces ``BENCH_PR4.json`` (schema ``repro-perf-baseline/v1``): for each
+Produces ``BENCH_PR5.json`` (schema ``repro-perf-baseline/v2``): for each
 index, the scalar-loop and batch-API lookup throughput on the same query
-stream, the speedup, and a structural-counter equivalence verdict. The
-file is committed so later PRs can diff their numbers against a pinned
-reference instead of a prose claim; docs/benchmarking.md documents the
-format and the refresh procedure.
+stream, the speedup, and a structural-counter equivalence verdict. Since
+v2 the document also carries an ``obs_overhead`` section: the same seeded
+mixed workload run with :mod:`repro.obs` disarmed and armed, pinning the
+wall-clock ratio, the counter-neutrality contract (bit-identical Counters
+and results either way), and the zero-allocation property of the disarmed
+hot path (tracemalloc bytes/op). The file is committed so later PRs can
+diff their numbers against a pinned reference instead of a prose claim;
+docs/benchmarking.md documents the format and the refresh procedure.
 
 Wall-clock numbers are machine-dependent — the committed file records the
-*shape* (batch >= scalar, counters equal), which is what CI's bench-smoke
-job asserts at small scale.
+*shape* (batch >= scalar, counters equal, disarmed obs allocation-free),
+which is what CI's bench-smoke job asserts at small scale.
 """
 
 from __future__ import annotations
@@ -18,18 +22,26 @@ import argparse
 import json
 import platform
 import time
+import tracemalloc
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..baselines import INDEX_REGISTRY
 from ..baselines.interfaces import BaseIndex
 from ..baselines.sorted_array import SortedArrayIndex
+from ..core.index import ChameleonIndex
+from ..core.interval_lock import IntervalLockManager
+from ..core.retrainer import RetrainingThread
 from ..datasets import load as load_dataset
+from ..obs import trace as obs_trace
+from ..workloads.mixed import read_write_workload, split_load_and_pool
+from ..workloads.operations import OpKind
 from .harness import BenchScale
 
-SCHEMA = "repro-perf-baseline/v1"
+SCHEMA = "repro-perf-baseline/v2"
 
 #: Default lineup: every index with a genuinely vectorised batch override
 #: plus one scalar-default control (B+Tree) proving API conformance.
@@ -102,12 +114,110 @@ def _measure_one(
     }
 
 
+def _null_alloc_bytes_per_op(iterations: int = 50_000) -> float:
+    """Bytes allocated per disarmed span+event pair (should be ~0).
+
+    The disarmed hot path must not allocate: ``span`` returns the shared
+    ``NULL_SPAN`` singleton and ``event`` short-circuits on ``ACTIVE is
+    None``. tracemalloc around a tight loop pins that; the loop iterator
+    is pre-built and a warm-up pass absorbs one-time interning so only
+    steady-state allocation is charged.
+    """
+    with obs.disarmed():
+        for _ in range(1_000):  # warm-up: interning, bytecode caches
+            with obs_trace.span("bench.null").put("n", 1):
+                pass
+            obs_trace.event("bench.null")
+        steps = range(iterations)
+        tracemalloc.start()
+        before, _peak = tracemalloc.get_traced_memory()
+        for _ in steps:
+            with obs_trace.span("bench.null").put("n", 1):
+                pass
+            obs_trace.event("bench.null")
+        after, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return max(0, after - before) / iterations
+
+
+def _run_obs_workload(
+    keys: np.ndarray, n_ops: int, seed: int
+) -> tuple[float, dict[str, int], list[Any]]:
+    """One seeded mixed run on a locking Chameleon with retrainer sweeps.
+
+    Deterministic given ``(keys, n_ops, seed)``: the same index, the same
+    operation stream, sweeps at the same points — so two invocations under
+    different arming states are directly comparable. Returns wall-clock
+    seconds, the structural-counter delta, and the lookup result list.
+    """
+    lock_manager = IntervalLockManager()
+    index = ChameleonIndex(strategy="ChaB", lock_manager=lock_manager)
+    loaded, pool = split_load_and_pool(keys, 0.7, seed=seed)
+    index.bulk_load(loaded)
+    # Threshold low enough that a ~30%-write stream drifts some of the
+    # h-level intervals between sweeps, so retrain spans/locks are part
+    # of what the overhead (and the trace-smoke coverage set) measures.
+    retrainer = RetrainingThread(index, lock_manager, update_threshold=8)
+    ops = read_write_workload(loaded, pool, n_ops, write_ratio=0.3, seed=seed + 1)
+    sweep_every = max(1, len(ops) // 8)
+    before = index.counters.snapshot()
+    results: list[Any] = []
+    t0 = time.perf_counter()
+    for i, op in enumerate(ops, start=1):
+        if op.kind is OpKind.LOOKUP:
+            results.append(index.lookup(op.key))
+        elif op.kind is OpKind.INSERT:
+            index.insert(op.key)
+        else:
+            index.delete(op.key)
+        if i % sweep_every == 0:
+            retrainer.sweep_once()
+    secs = time.perf_counter() - t0
+    return secs, index.counters.diff(before), results
+
+
+def measure_obs_overhead(
+    keys: np.ndarray, n_ops: int = 5_000, seed: int = 0
+) -> dict[str, Any]:
+    """Disarmed vs. armed cost of :mod:`repro.obs` on a mixed workload.
+
+    Runs :func:`_run_obs_workload` twice — once with both sinks swapped
+    out, once with a fresh recorder and registry installed — and reports
+    the wall-clock ratio plus the counter-neutrality verdicts the armed
+    mode must uphold (RL007: structural Counters are measurement, not
+    measured).
+    """
+    with obs.disarmed():
+        disarmed_secs, disarmed_counters, disarmed_results = _run_obs_workload(
+            keys, n_ops, seed
+        )
+    recorder = obs.TraceRecorder()
+    registry = obs.MetricsRegistry()
+    with obs.armed(recorder=recorder, registry=registry):
+        armed_secs, armed_counters, armed_results = _run_obs_workload(
+            keys, n_ops, seed
+        )
+    return {
+        "n_ops": int(n_ops),
+        "disarmed_seconds": round(disarmed_secs, 6),
+        "armed_seconds": round(armed_secs, 6),
+        "overhead_ratio": (
+            round(armed_secs / disarmed_secs, 3) if disarmed_secs > 0 else 0.0
+        ),
+        "counters_equal": disarmed_counters == armed_counters,
+        "results_equal": disarmed_results == armed_results,
+        "trace_events": len(recorder),
+        "null_alloc_bytes_per_op": round(_null_alloc_bytes_per_op(), 4),
+    }
+
+
 def run_perf_baseline(
     scale: BenchScale | None = None,
     dataset: str = "UDEN",
     batch_size: int = 1024,
     indexes: Sequence[str] = DEFAULT_INDEXES,
-    out_path: str | Path | None = "BENCH_PR4.json",
+    out_path: str | Path | None = "BENCH_PR5.json",
+    obs_ops: int = 5_000,
 ) -> dict[str, Any]:
     """Measure scalar vs batch lookups and emit the baseline document.
 
@@ -119,6 +229,8 @@ def run_perf_baseline(
         batch_size: keys per ``lookup_batch`` call.
         indexes: lineup of index names (registry plus "SortedArray").
         out_path: where to write the JSON document (None = don't write).
+        obs_ops: mixed-workload ops for the ``obs_overhead`` section
+            (0 skips it).
 
     Returns:
         The baseline document (also written to ``out_path``).
@@ -149,6 +261,15 @@ def run_perf_baseline(
         "machine": platform.machine(),
         "results": results,
     }
+    if obs_ops > 0:
+        overhead = measure_obs_overhead(keys, n_ops=obs_ops, seed=scale.seed)
+        doc["obs_overhead"] = overhead
+        print(
+            f"obs overhead: {overhead['overhead_ratio']:.2f}x armed/disarmed "
+            f"({overhead['trace_events']:,} trace events), "
+            f"counters_equal={overhead['counters_equal']}, "
+            f"null path {overhead['null_alloc_bytes_per_op']:.2f} B/op"
+        )
     if out_path is not None:
         Path(out_path).write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {out_path}")
@@ -158,14 +279,18 @@ def run_perf_baseline(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.baseline",
-        description="Emit the batch-vs-scalar perf baseline (BENCH_PR4.json).",
+        description="Emit the batch-vs-scalar perf baseline (BENCH_PR5.json).",
     )
     parser.add_argument("--n-keys", type=int, default=100_000)
     parser.add_argument("--n-queries", type=int, default=100_000)
     parser.add_argument("--dataset", default="UDEN")
     parser.add_argument("--batch-size", type=int, default=1024)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--out", default="BENCH_PR4.json")
+    parser.add_argument("--out", default="BENCH_PR5.json")
+    parser.add_argument(
+        "--obs-ops", type=int, default=5_000,
+        help="mixed-workload ops for the obs_overhead section (0 = skip)",
+    )
     parser.add_argument(
         "--indexes", nargs="*", default=list(DEFAULT_INDEXES),
         help="index lineup (registry names plus 'SortedArray')",
@@ -180,6 +305,7 @@ def main(argv: list[str] | None = None) -> int:
         batch_size=args.batch_size,
         indexes=args.indexes,
         out_path=args.out,
+        obs_ops=args.obs_ops,
     )
     return 0
 

@@ -15,6 +15,9 @@ from typing import Callable
 import numpy as np
 
 from ..baselines.interfaces import BaseIndex
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.structure import sample_index
 from ..workloads.operations import Operation, WorkloadResult, run_workload
 
 
@@ -76,8 +79,16 @@ class Measurement:
 
 
 def measure(index: BaseIndex, operations: list[Operation]) -> Measurement:
-    """Run a workload and package both cost currencies."""
-    result = run_workload(index, operations)
+    """Run a workload and package both cost currencies.
+
+    When the observability sinks are armed, the run is wrapped in a
+    ``bench.measure`` span and the index's per-leaf structure gauges are
+    refreshed afterwards (see :func:`repro.obs.structure.sample_index`).
+    """
+    with obs_trace.span("bench.measure").put("ops", len(operations)):
+        result = run_workload(index, operations)
+    if obs_metrics.ACTIVE is not None:
+        sample_index(index)
     ops = max(1, result.total_ops)
     return Measurement(
         wall_ns_per_op=result.total_seconds * 1e9 / ops,

@@ -7,9 +7,13 @@ Terminal-friendly stand-ins for the paper's illustrative figures:
 * :func:`segmentation_view` — where an index places its leaf boundaries
   over the key space and how many keys each leaf holds (Fig. 2's
   comparison of segmentation strategies);
-* :func:`latency_trace` — a log-scale per-op latency strip (Fig. 1(b)).
+* :func:`latency_trace` — a log-scale per-op latency strip (Fig. 1(b));
+* :func:`leaf_heatmap` — per-leaf load/update heat over the key space,
+  fed by :func:`repro.obs.structure.sample_index`.
 
 All functions return strings, so they compose with logging and tests.
+Diagnostics go through the shared ``repro`` logger (RL008) — rendering
+stays pure, callers decide what reaches a terminal.
 """
 
 from __future__ import annotations
@@ -21,7 +25,11 @@ import numpy as np
 
 from ..core.node import walk_leaves
 from ..core.skewness import local_skewness_windows
+from ..obs.log import get_logger
+from ..obs.structure import sample_index
 from .reporting import series_sparkline
+
+_log = get_logger(__name__)
 
 #: Characters for vertical resolution in plots, light to dark.
 _SHADES = " .:-=+*#%@"
@@ -99,6 +107,53 @@ def segmentation_view(index: Any, width: int = 64) -> str:
         f"leaf boundaries |{strip}|\n"
         f"{len(leaves):,} leaves; keys/leaf min/median/max = "
         f"{min(sizes)}/{int(np.median(sizes))}/{max(sizes)}"
+    )
+
+
+def leaf_heatmap(index: Any, width: int = 64, by: str = "update_count") -> str:
+    """Per-leaf heat over the key space — where the update pressure lands.
+
+    Each key-space column is shaded by the *hottest* leaf whose interval
+    touches it, so locally-skewed write bursts show up as dark bands even
+    when the surrounding key space is cold (the structure Chameleon's
+    retrainer chases). Heat comes from the counter-neutral structure
+    records of :func:`repro.obs.structure.sample_index`.
+
+    Args:
+        index: a built ChameleonIndex (anything exposing a ``_root`` tree).
+        width: columns.
+        by: record field to shade by — ``update_count`` (default),
+            ``load_factor``, ``n_keys``, or ``overflow_chain``.
+    """
+    records = sample_index(index, registry=None)
+    if not records:
+        return "(index is empty)"
+    if by not in records[0]:
+        raise ValueError(
+            f"unknown heat field {by!r}; one of "
+            f"{', '.join(sorted(records[0]))}"
+        )
+    _log.debug("leaf_heatmap: %d leaves, field %s", len(records), by)
+    lo = min(r["low_key"] for r in records)
+    hi = max(r["high_key"] for r in records)
+    span = (hi - lo) or 1.0
+    heat = [0.0] * width
+    for r in records:
+        value = float(r[by])
+        first = int((r["low_key"] - lo) / span * (width - 1))
+        last = int((r["high_key"] - lo) / span * (width - 1))
+        for col in range(max(first, 0), min(last, width - 1) + 1):
+            heat[col] = max(heat[col], value)
+    peak = max(heat) or 1.0
+    strip = "".join(
+        _SHADES[min(len(_SHADES) - 1, int(h / peak * (len(_SHADES) - 1)))]
+        for h in heat
+    )
+    values = [float(r[by]) for r in records]
+    return (
+        f"leaf {by} |{strip}|\n"
+        f"{len(records):,} leaves; {by} min/median/max = "
+        f"{min(values):.3g}/{float(np.median(values)):.3g}/{max(values):.3g}"
     )
 
 

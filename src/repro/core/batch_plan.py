@@ -37,10 +37,13 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .builder import make_leaf
 from .node import InnerNode, LeafNode, Node
 
 if TYPE_CHECKING:
+    from ..baselines.counters import Counters
     from .index import ChameleonIndex
 
 #: ``child_table`` encoding: inner node -> id + 1 (positive), leaf node ->
@@ -117,6 +120,17 @@ class BatchQueryPlan:
         counters = index.counters
         m = int(karr.size)
         out: list[Any | None] = [None] * m
+        with obs_trace.span("plan.lookup").put("n", m):
+            return self._lookup_fused(index, karr, counters, m, out)
+
+    def _lookup_fused(
+        self,
+        index: "ChameleonIndex",
+        karr: np.ndarray,
+        counters: "Counters",
+        m: int,
+        out: list[Any | None],
+    ) -> list[Any | None]:
         cur = np.full(m, self.root_code, dtype=np.int64)
         hole_parent = np.full(m, -1, dtype=np.int64)
         hole_rank = np.zeros(m, dtype=np.int64)
@@ -213,6 +227,10 @@ class BatchQueryPlan:
             miss_probes,
         )
         counters.slot_probes += int(probes.sum())
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.observe_many(
+                "chameleon_probe_length_slots", probes.tolist()
+            )
         if found.any():
             hit_idx = sel[found]
             vals = self.store_values[abs_slot[found]]
@@ -242,6 +260,14 @@ def _lookup_from(index: "ChameleonIndex", node: Node, key: float) -> Any | None:
 
 def build_plan(root: Node, version: tuple[int, ...]) -> BatchQueryPlan:
     """Flatten ``root`` into a :class:`BatchQueryPlan` snapshot."""
+    with obs_trace.span("plan.build") as sp:
+        plan = _build_plan(root, version)
+        if obs_trace.ACTIVE is not None:
+            sp.put("inners", len(plan.inners)).put("leaves", len(plan.leaves))
+        return plan
+
+
+def _build_plan(root: Node, version: tuple[int, ...]) -> BatchQueryPlan:
     plan = BatchQueryPlan(version)
     inners = plan.inners
     leaves = plan.leaves

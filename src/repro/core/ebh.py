@@ -32,6 +32,8 @@ import numpy as np
 
 from ..baselines.counters import Counters
 from ..baselines.interfaces import DuplicateKeyError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 
 #: Below this batch size the vectorised window gather costs more than the
 #: scalar probe loop; both paths count identically, so the switch is purely
@@ -135,8 +137,12 @@ class ErrorBoundedHash:
                 probes += 1
                 if keys[slot] == key:
                     self.counters.slot_probes += probes
+                    if obs_metrics.ACTIVE is not None:
+                        obs_metrics.ACTIVE.observe("chameleon_probe_length_slots", probes)
                     return self._values[slot]
         self.counters.slot_probes += probes
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.observe("chameleon_probe_length_slots", probes)
         return None
 
     def insert(self, key: float, value: Any) -> None:
@@ -270,6 +276,8 @@ class ErrorBoundedHash:
         self.counters.model_evals += m
         hit, slots, probes = self._find_batch(karr)
         self.counters.slot_probes += int(probes.sum())
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.observe_many("chameleon_probe_length_slots", probes.tolist())
         out = np.full(m, None, dtype=object)
         out[hit] = self._values[slots[hit]]
         return list(out)
@@ -358,6 +366,12 @@ class ErrorBoundedHash:
         self.conflict_degree = 0
         self.counters.retrains += 1
         self.counters.retrain_keys += len(pairs)
+        if obs_trace.ACTIVE is not None:
+            obs_trace.ACTIVE.event(
+                "ebh.rehash", {"capacity": self.capacity, "n_keys": len(pairs)}
+            )
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.inc("chameleon_leaf_rehash_total")
         for k, v in pairs:
             self.insert(k, v)
 

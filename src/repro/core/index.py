@@ -22,6 +22,8 @@ from ..baselines.interfaces import (
     Value,
     as_key_value_arrays,
 )
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..robustness import faults
 from .batch_plan import BatchQueryPlan, build_plan
 from .builder import ChameleonBuilder, make_leaf, refine_with_tsmdp
@@ -104,30 +106,41 @@ class ChameleonIndex(BaseIndex):
 
     def lookup(self, key: Key) -> Value | None:
         key_f = float(key)
-        if self.lock_manager is None:
-            leaf, _, _ = self._descend(key_f)
-            return leaf.ebh.lookup(key_f)
-        # Faithful protocol: descend the (immutable) upper h-1 levels once,
-        # acquire the interval's query lock, then continue below the lock
-        # boundary — the retrainer may only swap subtrees under it.
-        ids, path = self._descend_upper(key_f)
-        with self.lock_manager.query_lock(ids, self.counters):
-            self.lock_manager.assert_interval_locked(ids, where="lookup")
-            leaf, _ = self._descend_lower(key_f, path)
-            return leaf.ebh.lookup(key_f)
+        with obs_trace.span("index.lookup"):
+            if self.lock_manager is None:
+                leaf, path, _ = self._descend(key_f)
+                if obs_metrics.ACTIVE is not None:
+                    obs_metrics.ACTIVE.observe(
+                        "chameleon_descent_depth_levels", len(path)
+                    )
+                return leaf.ebh.lookup(key_f)
+            # Faithful protocol: descend the (immutable) upper h-1 levels
+            # once, acquire the interval's query lock, then continue below
+            # the lock boundary — the retrainer may only swap subtrees
+            # under it.
+            ids, path = self._descend_upper(key_f)
+            with self.lock_manager.query_lock(ids, self.counters):
+                self.lock_manager.assert_interval_locked(ids, where="lookup")
+                leaf, full_path = self._descend_lower(key_f, path)
+                if obs_metrics.ACTIVE is not None:
+                    obs_metrics.ACTIVE.observe(
+                        "chameleon_descent_depth_levels", len(full_path)
+                    )
+                return leaf.ebh.lookup(key_f)
 
     def insert(self, key: Key, value: Value | None = None) -> None:
         if self._root is None:
             raise EmptyIndexError("bulk_load before inserting")
         key_f = float(key)
         stored = key_f if value is None else value
-        if self.lock_manager is None:
-            self._insert_locked(key_f, stored)
-            return
-        ids, _ = self._descend_upper(key_f)
-        with self.lock_manager.query_lock(ids, self.counters):
-            self.lock_manager.assert_interval_locked(ids, where="insert")
-            self._insert_locked(key_f, stored)
+        with obs_trace.span("index.insert"):
+            if self.lock_manager is None:
+                self._insert_locked(key_f, stored)
+                return
+            ids, _ = self._descend_upper(key_f)
+            with self.lock_manager.query_lock(ids, self.counters):
+                self.lock_manager.assert_interval_locked(ids, where="insert")
+                self._insert_locked(key_f, stored)
 
     def _insert_locked(self, key: Key, value: Value) -> None:
         # Fault point before any mutation: an injected raise aborts the
@@ -163,12 +176,13 @@ class ChameleonIndex(BaseIndex):
         if self._root is None:
             return False
         key_f = float(key)
-        if self.lock_manager is None:
-            return self._delete_locked(key_f)
-        ids, _ = self._descend_upper(key_f)
-        with self.lock_manager.query_lock(ids, self.counters):
-            self.lock_manager.assert_interval_locked(ids, where="delete")
-            return self._delete_locked(key_f)
+        with obs_trace.span("index.delete"):
+            if self.lock_manager is None:
+                return self._delete_locked(key_f)
+            ids, _ = self._descend_upper(key_f)
+            with self.lock_manager.query_lock(ids, self.counters):
+                self.lock_manager.assert_interval_locked(ids, where="delete")
+                return self._delete_locked(key_f)
 
     def _delete_locked(self, key: Key) -> bool:
         leaf, _, _ = self._descend(key)
@@ -198,21 +212,22 @@ class ChameleonIndex(BaseIndex):
         if self._root is None:
             raise EmptyIndexError("index is empty; bulk_load first")
         out: list[Value | None] = [None] * m
-        if self.lock_manager is None:
-            if m >= _FUSED_MIN:
-                return self._current_plan().lookup(self, karr)
-            self._descend_batch(
-                self._root, karr, np.arange(m), self._batch_leaf_lookup(karr, out)
-            )
-            return out
-        for ids, last, idx in self._group_upper(karr, np.arange(m)):
-            with self.lock_manager.query_lock(ids, self.counters):
-                self.lock_manager.assert_interval_locked(ids, where="lookup_batch")
-                start = self._reread_boundary(last)
+        with obs_trace.span("index.lookup_batch").put("n", m):
+            if self.lock_manager is None:
+                if m >= _FUSED_MIN:
+                    return self._current_plan().lookup(self, karr)
                 self._descend_batch(
-                    start, karr, idx, self._batch_leaf_lookup(karr, out)
+                    self._root, karr, np.arange(m), self._batch_leaf_lookup(karr, out)
                 )
-        return out
+                return out
+            for ids, last, idx in self._group_upper(karr, np.arange(m)):
+                with self.lock_manager.query_lock(ids, self.counters):
+                    self.lock_manager.assert_interval_locked(ids, where="lookup_batch")
+                    start = self._reread_boundary(last)
+                    self._descend_batch(
+                        start, karr, idx, self._batch_leaf_lookup(karr, out)
+                    )
+            return out
 
     def insert_batch(
         self,
@@ -237,16 +252,17 @@ class ChameleonIndex(BaseIndex):
                 raise ValueError(
                     f"keys and values length mismatch: {karr.size} != {len(vals)}"
                 )
-        if self.lock_manager is None:
-            for i, k in enumerate(karr.tolist()):
-                self._insert_locked(k, k if vals is None else vals[i])
-            return
-        for ids, _, idx in self._group_upper(karr, np.arange(karr.size)):
-            with self.lock_manager.query_lock(ids, self.counters):
-                self.lock_manager.assert_interval_locked(ids, where="insert_batch")
-                for i in idx.tolist():
-                    k = float(karr[i])
+        with obs_trace.span("index.insert_batch").put("n", int(karr.size)):
+            if self.lock_manager is None:
+                for i, k in enumerate(karr.tolist()):
                     self._insert_locked(k, k if vals is None else vals[i])
+                return
+            for ids, _, idx in self._group_upper(karr, np.arange(karr.size)):
+                with self.lock_manager.query_lock(ids, self.counters):
+                    self.lock_manager.assert_interval_locked(ids, where="insert_batch")
+                    for i in idx.tolist():
+                        k = float(karr[i])
+                        self._insert_locked(k, k if vals is None else vals[i])
 
     def delete_batch(self, keys: "Sequence[Key] | np.ndarray") -> list[bool]:
         """Grouped vectorised delete; flags aligned positionally with ``keys``.
@@ -262,20 +278,21 @@ class ChameleonIndex(BaseIndex):
         if self._root is None:
             return [False] * m
         out = [False] * m
-        if self.lock_manager is None:
-            self._descend_batch(
-                self._root, karr, np.arange(m), self._batch_leaf_delete(karr, out)
-            )
-            return out
-        for ids, _, idx in self._group_upper(karr, np.arange(m)):
-            with self.lock_manager.query_lock(ids, self.counters):
-                self.lock_manager.assert_interval_locked(ids, where="delete_batch")
-                # _delete_locked descends from the root; the batch path
-                # replicates that accounting for hop/eval equivalence.
+        with obs_trace.span("index.delete_batch").put("n", m):
+            if self.lock_manager is None:
                 self._descend_batch(
-                    self._root, karr, idx, self._batch_leaf_delete(karr, out)
+                    self._root, karr, np.arange(m), self._batch_leaf_delete(karr, out)
                 )
-        return out
+                return out
+            for ids, _, idx in self._group_upper(karr, np.arange(m)):
+                with self.lock_manager.query_lock(ids, self.counters):
+                    self.lock_manager.assert_interval_locked(ids, where="delete_batch")
+                    # _delete_locked descends from the root; the batch path
+                    # replicates that accounting for hop/eval equivalence.
+                    self._descend_batch(
+                        self._root, karr, idx, self._batch_leaf_delete(karr, out)
+                    )
+            return out
 
     def _batch_leaf_lookup(
         self, karr: np.ndarray, out: list[Value | None]
@@ -545,35 +562,42 @@ class ChameleonIndex(BaseIndex):
             self.lock_manager.assert_interval_locked(
                 ids, mode="retrain", where="rebuild_subtree"
             )
-        # Fault point before the rebuild starts: RAISE models a retrain
-        # crashing mid-flight (the old subtree stays live and consistent),
-        # SKIP models a rebuild intentionally shed under pressure.
-        if faults.ACTIVE is not None and faults.ACTIVE.fire(
-            "index.rebuild_subtree", self.counters
-        ):
+        with obs_trace.span("index.rebuild_subtree") as sp:
+            if obs_trace.ACTIVE is not None and ids is not None:
+                sp.put("interval", str(ids))
+            # Fault point before the rebuild starts: RAISE models a retrain
+            # crashing mid-flight (the old subtree stays live and
+            # consistent), SKIP models a rebuild intentionally shed under
+            # pressure.
+            if faults.ACTIVE is not None and faults.ACTIVE.fire(
+                "index.rebuild_subtree", self.counters
+            ):
+                return 0
+            child = parent.children[rank]
+            if child is None:
+                return 0
+            pairs = sorted(
+                pair for leaf in walk_leaves(child) for pair in leaf.items()
+            )
+            low, high = parent.child_interval(rank)
+            keys = np.asarray([p[0] for p in pairs], dtype=np.float64)
+            values = [p[1] for p in pairs]
+            agent = self.builder._ensure_tsmdp()
+            new_child = refine_with_tsmdp(
+                keys, values, low, high, agent, self.config, self.counters
+            )
+            w_q, w_m = self.config.w_query, self.config.w_memory
+            old_q, old_m = measured_structure_cost(child, self.config)
+            new_q, new_m = measured_structure_cost(new_child, self.config)
+            if w_q * new_q + w_m * new_m <= w_q * old_q + w_m * old_m:
+                parent.children[rank] = new_child
+                n = len(pairs)
+                self.counters.retrains += 1
+                self.counters.retrain_keys += n
+                sp.put("retrained_keys", n)
+                return n
+            sp.put("retrained_keys", 0)
             return 0
-        child = parent.children[rank]
-        if child is None:
-            return 0
-        pairs = sorted(
-            pair for leaf in walk_leaves(child) for pair in leaf.items()
-        )
-        low, high = parent.child_interval(rank)
-        keys = np.asarray([p[0] for p in pairs], dtype=np.float64)
-        values = [p[1] for p in pairs]
-        agent = self.builder._ensure_tsmdp()
-        new_child = refine_with_tsmdp(
-            keys, values, low, high, agent, self.config, self.counters
-        )
-        w_q, w_m = self.config.w_query, self.config.w_memory
-        old_q, old_m = measured_structure_cost(child, self.config)
-        new_q, new_m = measured_structure_cost(new_child, self.config)
-        if w_q * new_q + w_m * new_m <= w_q * old_q + w_m * old_m:
-            parent.children[rank] = new_child
-            self.counters.retrains += 1
-            self.counters.retrain_keys += len(pairs)
-            return len(pairs)
-        return 0
 
     # -- integrity -------------------------------------------------------------------
 
@@ -694,24 +718,27 @@ class ChameleonIndex(BaseIndex):
 
         Returns the number of keys rebuilt.
         """
-        if faults.ACTIVE is not None and faults.ACTIVE.fire(
-            "index.rebuild_all", self.counters
-        ):
-            return 0
-        if self._root is None:
-            return 0
-        pairs = sorted(self.items())
-        if not pairs:
-            return 0
-        keys = np.asarray([p[0] for p in pairs], dtype=np.float64)
-        values = [p[1] for p in pairs]
-        result = self.builder.build(keys, values, self.counters)
-        self._root = result.root
-        self._n = len(pairs)
-        self.updates_since_build = 0
-        self.counters.retrains += 1
-        self.counters.retrain_keys += len(pairs)
-        return len(pairs)
+        with obs_trace.span("index.rebuild_all") as sp:
+            if faults.ACTIVE is not None and faults.ACTIVE.fire(
+                "index.rebuild_all", self.counters
+            ):
+                return 0
+            if self._root is None:
+                return 0
+            pairs = sorted(self.items())
+            if not pairs:
+                return 0
+            keys = np.asarray([p[0] for p in pairs], dtype=np.float64)
+            values = [p[1] for p in pairs]
+            result = self.builder.build(keys, values, self.counters)
+            self._root = result.root
+            n = len(pairs)
+            self._n = n
+            self.updates_since_build = 0
+            self.counters.retrains += 1
+            self.counters.retrain_keys += n
+            sp.put("retrained_keys", n)
+            return n
 
     # -- internals ---------------------------------------------------------------------
 

@@ -23,6 +23,8 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from ..baselines.counters import Counters
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..robustness import faults
 
 IntervalIds = tuple[int, ...]
@@ -198,6 +200,12 @@ class IntervalLockManager:
         queries on the interval (and everything on other intervals) pass.
         """
         ids = tuple(ids)
+        # Sinks are read once per acquisition; the disarmed path pays two
+        # module-attribute loads and no clock reads or allocations.
+        rec = obs_trace.ACTIVE
+        mreg = obs_metrics.ACTIVE
+        armed = rec is not None or mreg is not None
+        t_enter = time.monotonic_ns() if armed else 0
         with self._mutex:
             state = self._state(ids)
             waited = False
@@ -205,6 +213,9 @@ class IntervalLockManager:
                 waited = True
                 state.condition.wait()
             state.readers += 1
+        t_acq = time.monotonic_ns() if armed else 0
+        if mreg is not None and waited:
+            mreg.observe("chameleon_lock_wait_seconds", (t_acq - t_enter) / 1e9)
         if counters is not None:
             counters.lock_acquisitions += 1
             if waited:
@@ -216,6 +227,8 @@ class IntervalLockManager:
         finally:
             if self._debug:
                 self._on_released(ids, "query")
+            if rec is not None:
+                rec.complete("lock.query", t_acq, {"interval": str(ids), "waited": waited})
             with self._mutex:
                 state.readers -= 1
                 if state.readers == 0:
@@ -244,6 +257,10 @@ class IntervalLockManager:
         if faults.ACTIVE is not None:
             faults.ACTIVE.fire("interval_lock.retrain", counters)
         ids = tuple(ids)
+        rec = obs_trace.ACTIVE
+        mreg = obs_metrics.ACTIVE
+        armed = rec is not None or mreg is not None
+        t_enter = time.monotonic_ns() if armed else 0
         acquired = False
         waited = False
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -260,6 +277,12 @@ class IntervalLockManager:
             else:
                 state.retraining = True
                 acquired = True
+        t_acq = time.monotonic_ns() if armed else 0
+        if acquired:
+            if mreg is not None and waited:
+                mreg.observe("chameleon_lock_wait_seconds", (t_acq - t_enter) / 1e9)
+        elif rec is not None:
+            rec.event("lock.retrain_timeout", {"interval": str(ids)})
         if counters is not None:
             counters.lock_acquisitions += 1
             if waited:
@@ -272,6 +295,10 @@ class IntervalLockManager:
             if acquired:
                 if self._debug:
                     self._on_released(ids, "retrain")
+                if rec is not None:
+                    rec.complete(
+                        "lock.retrain", t_acq, {"interval": str(ids), "waited": waited}
+                    )
                 with self._mutex:
                     state.retraining = False
                     state.condition.notify_all()

@@ -13,7 +13,10 @@ import threading
 import time
 import warnings
 from dataclasses import dataclass, field
+from typing import Any
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..robustness import faults
 from .index import ChameleonIndex
 from .interval_lock import IntervalLockManager
@@ -138,51 +141,86 @@ class RetrainingThread(threading.Thread):
             "retrainer.sweep", self.index.counters
         ):
             return 0
-        rebuilt = 0
-        with self.stats._lock:
-            self.stats.passes += 1
-        if (
-            self.full_rebuild_fraction is not None
-            and self.index.updates_since_build
-            > self.full_rebuild_fraction * max(1, len(self.index))
-        ):
-            started = time.perf_counter()
-            try:
-                keys = self.index.rebuild_all()
-            except Exception:
-                self._record_failure()
-                return 0
+        with obs_trace.span("retrainer.sweep") as sweep_span:
+            rebuilt = 0
             with self.stats._lock:
-                self.stats.full_rebuilds += 1
-                self.stats.retrained_keys += keys
-                self.stats.total_retrain_seconds += time.perf_counter() - started
-            return 1
-        for ids, parent, rank in self.index.h_level_entries():
-            if self._stop_event.is_set():
-                break
-            if self.index.subtree_update_count(parent, rank) < self.update_threshold:
-                continue
-            try:
-                with self.lock_manager.retrain_lock(
-                    ids, self.index.counters, timeout=self.lock_timeout_s
-                ) as acquired:
-                    if not acquired:
-                        with self.stats._lock:
-                            self.stats.skipped_busy += 1
-                        continue
-                    started = time.perf_counter()
-                    keys = self.index.rebuild_subtree(parent, rank, ids=ids)
-                    elapsed = time.perf_counter() - started
-                    self._reset_update_counts(parent, rank)
-            except Exception:
-                self._record_failure()
-                continue
-            with self.stats._lock:
-                self.stats.retrained_intervals += 1
-                self.stats.retrained_keys += keys
-                self.stats.total_retrain_seconds += elapsed
-            rebuilt += 1
-        return rebuilt
+                self.stats.passes += 1
+            if (
+                self.full_rebuild_fraction is not None
+                and self.index.updates_since_build
+                > self.full_rebuild_fraction * max(1, len(self.index))
+            ):
+                units0 = (
+                    self.index.counters.total_update_work()
+                    if obs_metrics.ACTIVE is not None or obs_trace.ACTIVE is not None
+                    else 0
+                )
+                started = time.perf_counter()
+                try:
+                    keys = self.index.rebuild_all()
+                except Exception:
+                    self._record_failure()
+                    return 0
+                with self.stats._lock:
+                    self.stats.full_rebuilds += 1
+                    self.stats.retrained_keys += keys
+                    self.stats.total_retrain_seconds += time.perf_counter() - started
+                self._observe_rebuild("retrainer.full_rebuild", None, keys, units0)
+                sweep_span.put("rebuilt", 1)
+                return 1
+            for ids, parent, rank in self.index.h_level_entries():
+                if self._stop_event.is_set():
+                    break
+                if self.index.subtree_update_count(parent, rank) < self.update_threshold:
+                    continue
+                units0 = (
+                    self.index.counters.total_update_work()
+                    if obs_metrics.ACTIVE is not None or obs_trace.ACTIVE is not None
+                    else 0
+                )
+                try:
+                    with self.lock_manager.retrain_lock(
+                        ids, self.index.counters, timeout=self.lock_timeout_s
+                    ) as acquired:
+                        if not acquired:
+                            with self.stats._lock:
+                                self.stats.skipped_busy += 1
+                            continue
+                        started = time.perf_counter()
+                        keys = self.index.rebuild_subtree(parent, rank, ids=ids)
+                        elapsed = time.perf_counter() - started
+                        self._reset_update_counts(parent, rank)
+                except Exception:
+                    self._record_failure()
+                    continue
+                with self.stats._lock:
+                    self.stats.retrained_intervals += 1
+                    self.stats.retrained_keys += keys
+                    self.stats.total_retrain_seconds += elapsed
+                self._observe_rebuild("retrainer.rebuild", ids, keys, units0)
+                rebuilt += 1
+            sweep_span.put("rebuilt", rebuilt)
+            return rebuilt
+
+    def _observe_rebuild(
+        self, name: str, ids: tuple[int, ...] | None, keys: int, units0: int
+    ) -> None:
+        """Publish one rebuild's structural cost (armed sinks only).
+
+        Retrain duration is reported in structural-cost *units* — the delta
+        of ``Counters.total_update_work()`` across the rebuild — so traces
+        compare runs on the two-currency model, not the wall clock.
+        """
+        if obs_metrics.ACTIVE is None and obs_trace.ACTIVE is None:
+            return
+        units = self.index.counters.total_update_work() - units0
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.observe("chameleon_retrain_cost_units", units)
+        if obs_trace.ACTIVE is not None:
+            attrs: dict[str, Any] = {"keys": keys, "cost_units": units}
+            if ids is not None:
+                attrs["interval"] = str(ids)
+            obs_trace.ACTIVE.event(name, attrs)
 
     def _record_failure(self) -> None:
         with self.stats._lock:

@@ -1,0 +1,141 @@
+"""repro.obs — structured tracing and metrics across the reproduction.
+
+Three parts (docs/observability.md is the full guide):
+
+* :mod:`~repro.obs.trace` — span/event recorder (bounded ring buffer,
+  monotonic clock, thread-aware), exportable as Chrome trace-event JSON
+  (loads in Perfetto) or JSONL via :mod:`~repro.obs.export`;
+* :mod:`~repro.obs.metrics` — counters/gauges/histograms with Prometheus
+  text exposition and a JSON dump;
+* arming discipline — everything is **disarmed by default** through the
+  same module-level singleton swap the fault injector uses: hot paths read
+  ``trace.ACTIVE`` / ``metrics.ACTIVE`` once and do nothing when None.
+  Arm via ``REPRO_TRACE=1`` / ``REPRO_METRICS=1`` in the environment
+  (read once at import) or programmatically::
+
+      from repro import obs
+
+      recorder = obs.arm_tracing()
+      registry = obs.arm_metrics()
+      ...
+      obs.disarm_tracing(); obs.disarm_metrics()
+
+      # or scoped:
+      with obs.armed() as (recorder, registry):
+          ...
+
+  Instrumentation is counter-neutral: structural Counters and results are
+  bit-identical armed vs. disarmed (RL007; pinned by tests/test_obs.py and
+  the CI trace-smoke job).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from . import export, log, metrics, structure, trace
+from .log import get_logger
+from .metrics import METRICS_ENV, MetricsRegistry
+from .trace import TRACE_ENV, TraceRecorder
+
+__all__ = [
+    "export",
+    "log",
+    "metrics",
+    "structure",
+    "trace",
+    "get_logger",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "TRACE_ENV",
+    "METRICS_ENV",
+    "arm_tracing",
+    "disarm_tracing",
+    "arm_metrics",
+    "disarm_metrics",
+    "arm_from_env",
+    "armed",
+    "disarmed",
+]
+
+
+def arm_tracing(recorder: TraceRecorder | None = None) -> TraceRecorder:
+    """Install ``recorder`` (or a fresh one) as the active trace sink."""
+    trace.ACTIVE = recorder if recorder is not None else TraceRecorder()
+    return trace.ACTIVE
+
+
+def disarm_tracing() -> TraceRecorder | None:
+    """Swap the no-op recorder back in; returns the previous recorder."""
+    previous = trace.ACTIVE
+    trace.ACTIVE = None
+    return previous
+
+
+def arm_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the active metrics sink."""
+    metrics.ACTIVE = registry if registry is not None else MetricsRegistry()
+    return metrics.ACTIVE
+
+
+def disarm_metrics() -> MetricsRegistry | None:
+    """Disarm metrics; returns the previous registry."""
+    previous = metrics.ACTIVE
+    metrics.ACTIVE = None
+    return previous
+
+
+def arm_from_env(
+    environ: Mapping[str, str] | None = None,
+) -> tuple[TraceRecorder | None, MetricsRegistry | None]:
+    """Arm whichever sinks the environment requests (idempotent).
+
+    ``REPRO_TRACE=1`` arms tracing, ``REPRO_METRICS=1`` arms metrics;
+    already-armed sinks are left in place. Called once at import of this
+    package, so ``REPRO_TRACE=1 python -m ...`` traces without any code
+    change.
+    """
+    env = os.environ if environ is None else environ
+    if env.get(TRACE_ENV, "") == "1" and trace.ACTIVE is None:
+        arm_tracing()
+    if env.get(METRICS_ENV, "") == "1" and metrics.ACTIVE is None:
+        arm_metrics()
+    return trace.ACTIVE, metrics.ACTIVE
+
+
+@contextmanager
+def armed(
+    tracing: bool = True,
+    metering: bool = True,
+    recorder: TraceRecorder | None = None,
+    registry: MetricsRegistry | None = None,
+) -> Iterator[tuple[TraceRecorder | None, MetricsRegistry | None]]:
+    """Scoped arming; restores the previous sinks on exit."""
+    prev_recorder, prev_registry = trace.ACTIVE, metrics.ACTIVE
+    try:
+        if tracing:
+            arm_tracing(recorder)
+        if metering:
+            arm_metrics(registry)
+        yield trace.ACTIVE, metrics.ACTIVE
+    finally:
+        trace.ACTIVE = prev_recorder
+        metrics.ACTIVE = prev_registry
+
+
+@contextmanager
+def disarmed() -> Iterator[None]:
+    """Scoped disarming of both sinks; restores them on exit."""
+    prev_recorder, prev_registry = trace.ACTIVE, metrics.ACTIVE
+    trace.ACTIVE = None
+    metrics.ACTIVE = None
+    try:
+        yield
+    finally:
+        trace.ACTIVE = prev_recorder
+        metrics.ACTIVE = prev_registry
+
+
+arm_from_env()

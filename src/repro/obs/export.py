@@ -1,0 +1,191 @@
+"""Trace/metric export formats: Chrome trace-event JSON, JSONL, Prometheus.
+
+The Chrome trace-event document (``{"traceEvents": [...]}``) loads directly
+in Perfetto / ``chrome://tracing``; timestamps are microseconds relative to
+the recorder's epoch, thread identity is preserved, and thread-name
+metadata events ("M" phase) label the rows. :func:`validate_chrome_trace`
+checks the schema properties the CI trace-smoke job (and Perfetto) rely
+on, and :func:`parse_prometheus` is the counterpart of
+:meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus` so the exposition
+round-trips in tests without an external client library.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+from .trace import TraceRecorder
+
+#: Event phases the exporter emits: complete, instant, metadata.
+_PHASES = ("X", "i", "M")
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def chrome_trace(recorder: TraceRecorder) -> dict[str, Any]:
+    """Build a Chrome trace-event JSON document from a recorder."""
+    trace_events: list[dict[str, Any]] = []
+    for tid, thread_name in sorted(recorder.thread_names().items()):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": thread_name},
+            }
+        )
+    for name, phase, t_rel_ns, dur_ns, tid, attrs in recorder.events():
+        event: dict[str, Any] = {
+            "name": name,
+            "cat": "repro",
+            "ph": phase,
+            "ts": t_rel_ns / 1_000.0,
+            "pid": 1,
+            "tid": tid,
+        }
+        if phase == "X":
+            event["dur"] = dur_ns / 1_000.0
+        elif phase == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if attrs:
+            event["args"] = attrs
+        trace_events.append(event)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"dropped_events": recorder.dropped},
+    }
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: str | Path) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    out = Path(path)
+    out.write_text(json.dumps(chrome_trace(recorder), indent=None) + "\n")
+    return out
+
+
+def to_jsonl(recorder: TraceRecorder) -> str:
+    """One JSON object per line — grep/jq-friendly streaming form."""
+    lines = []
+    for name, phase, t_rel_ns, dur_ns, tid, attrs in recorder.events():
+        record: dict[str, Any] = {
+            "name": name,
+            "ph": phase,
+            "ts_us": t_rel_ns / 1_000.0,
+            "tid": tid,
+        }
+        if phase == "X":
+            record["dur_us"] = dur_ns / 1_000.0
+        if attrs:
+            record["args"] = attrs
+        lines.append(json.dumps(record))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(recorder: TraceRecorder, path: str | Path) -> Path:
+    out = Path(path)
+    out.write_text(to_jsonl(recorder))
+    return out
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Schema problems in a Chrome trace-event document ([] = valid).
+
+    Checks the properties Perfetto's importer and the CI smoke job rely
+    on: a ``traceEvents`` list whose entries carry a string ``name``, a
+    known ``ph``, non-negative numeric ``ts``, integer ``pid``/``tid``, a
+    ``dur`` on complete events, and dict ``args`` when present.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected dict"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not a dict")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing/empty name")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event with bad dur {dur!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: missing integer {field}")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args is not a dict")
+    return problems
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
+    """Parse Prometheus text exposition into ``{metric: {...}}``.
+
+    Returns, per metric family: ``type``, ``help`` and ``samples`` — a list
+    of ``(sample_name, labels, value)`` tuples. Histogram ``_bucket`` /
+    ``_sum`` / ``_count`` samples are grouped under their family name.
+    Raises ``ValueError`` on a line that is neither a comment nor a valid
+    sample, so tests can use it as a strict round-trip check.
+    """
+    families: dict[str, dict[str, Any]] = {}
+
+    def family(name: str) -> dict[str, Any]:
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        return families.setdefault(base, {"type": None, "help": None, "samples": []})
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"type": None, "help": None, "samples": []})[
+                "help"
+            ] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(name, {"type": None, "help": None, "samples": []})[
+                "type"
+            ] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for label in _LABEL.finditer(match.group("labels")):
+                labels[label.group("key")] = label.group("value")
+        value_text = match.group("value")
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        family(match.group("name"))["samples"].append(
+            (match.group("name"), labels, value)
+        )
+    return families

@@ -1,0 +1,41 @@
+"""Shared library logger for every ``repro`` package.
+
+Library code must not ``print()`` or call ``logging.basicConfig()`` —
+repro-lint rule RL008 enforces this for the library packages. Modules that
+want diagnostics take a logger from here::
+
+    from repro.obs.log import get_logger
+
+    _log = get_logger(__name__)
+    _log.debug("rebuilt %d keys", n)
+
+The root ``repro`` logger carries a ``NullHandler`` (the stdlib convention
+for libraries), so nothing is emitted unless the *application* configures
+handlers; bench CLI entry points keep their ``print()`` output — they are
+programs, not libraries.
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: Root logger name every repro library logger hangs under.
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger namespaced under the shared ``repro`` root.
+
+    Args:
+        name: usually ``__name__``; dotted names already under ``repro``
+            are used as-is, anything else is nested under the root, and
+            None returns the root logger itself.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())

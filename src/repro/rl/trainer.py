@@ -25,6 +25,8 @@ import numpy as np
 from ..core.config import ChameleonConfig
 from ..core.costs import leaf_cost, split_step_cost, cache_penalty
 from ..core.features import node_state
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .dare import DAREAgent, gene_bounds
 from .exploration import DecaySchedule
 from .rewards import RewardWeights
@@ -114,58 +116,82 @@ class MARLTrainer:
             A :class:`TrainingReport`. The trained agents are available as
             :attr:`tsmdp` and :attr:`dare` (both flagged ``trained``).
         """
-        # Imported here, not at module level: repro.core.builder imports the
-        # agent modules of this package, so a top-level import would cycle.
-        from ..core.builder import estimate_genes_cost
-
         report = TrainingReport()
         lower, upper = gene_bounds(self.config)
-        while not self.er.finished and report.rounds < max_rounds:
-            for _ in range(episodes_per_round):
-                keys = self.dataset_factory(self._rng)
-                report.episodes += 1
-                weights = RewardWeights.random(self._rng)
-                state = node_state(keys, self.config.b_d)
-
-                # Algorithm 2 lines 8-10: blend optimised and random genes.
-                fitness = self._analytic_fitness(keys, weights)
-                a_best = self.dare.propose_action(
-                    state, weights=weights, fitness_fn=fitness, ga_iterations=4,
-                    seed_individual=self.dare.heuristic_action(len(keys)),
-                )
-                log_lo, log_hi = np.log(lower), np.log(upper)
-                a_random = np.exp(self._rng.uniform(log_lo, log_hi))
-                er = self.er.value
-                a_blend = (1.0 - er) * a_best + er * a_random
-
-                # Line 11: instantiate and observe the true costs. Random
-                # exploration genes can be arbitrarily bad (hundreds of
-                # probes); clip the targets so the critic's regression is
-                # not dominated by those tails — beyond the clip, "terrible"
-                # is all the actor needs to know.
-                costs = np.asarray(
-                    estimate_genes_cost(keys, a_blend, self.config, len(keys))
-                )
-                costs = np.minimum(costs, 20.0)
-                dare_loss = self.dare.train_critic(state, a_blend, costs, steps=4)
-                report.dare_losses.append(dare_loss)
-
-                # Line 12: TSMDP exploration on the dataset's partitions.
-                self._tsmdp_episode(keys, weights)
-                losses = []
-                for _ in range(tsmdp_steps_per_episode):
-                    loss = self.tsmdp.train_step()
-                    if loss is not None:
-                        losses.append(loss)
-                if losses:
-                    report.tsmdp_losses.append(float(np.mean(losses)))
-                self.tsmdp.end_episode()
-            self.er.step()
-            report.rounds += 1
+        with obs_trace.span("rl.train"):
+            while not self.er.finished and report.rounds < max_rounds:
+                with obs_trace.span("rl.round").put("round", report.rounds):
+                    for _ in range(episodes_per_round):
+                        self._episode(report, lower, upper, tsmdp_steps_per_episode)
+                self.er.step()
+                report.rounds += 1
         report.final_er = self.er.value
         self.tsmdp.trained = True
         self.dare.trained = True
         return report
+
+    def _episode(
+        self,
+        report: TrainingReport,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        tsmdp_steps_per_episode: int,
+    ) -> None:
+        """One Algorithm 2 episode (lines 8-12) against a sampled dataset."""
+        # Imported here, not at module level: repro.core.builder imports the
+        # agent modules of this package, so a top-level import would cycle.
+        from ..core.builder import estimate_genes_cost
+
+        keys = self.dataset_factory(self._rng)
+        report.episodes += 1
+        weights = RewardWeights.random(self._rng)
+        state = node_state(keys, self.config.b_d)
+
+        # Algorithm 2 lines 8-10: blend optimised and random genes.
+        fitness = self._analytic_fitness(keys, weights)
+        a_best = self.dare.propose_action(
+            state, weights=weights, fitness_fn=fitness, ga_iterations=4,
+            seed_individual=self.dare.heuristic_action(len(keys)),
+        )
+        log_lo, log_hi = np.log(lower), np.log(upper)
+        a_random = np.exp(self._rng.uniform(log_lo, log_hi))
+        er = self.er.value
+        a_blend = (1.0 - er) * a_best + er * a_random
+
+        # Line 11: instantiate and observe the true costs. Random
+        # exploration genes can be arbitrarily bad (hundreds of
+        # probes); clip the targets so the critic's regression is
+        # not dominated by those tails — beyond the clip, "terrible"
+        # is all the actor needs to know.
+        costs = np.asarray(
+            estimate_genes_cost(keys, a_blend, self.config, len(keys))
+        )
+        costs = np.minimum(costs, 20.0)
+        dare_loss = self.dare.train_critic(state, a_blend, costs, steps=4)
+        report.dare_losses.append(dare_loss)
+
+        # Line 12: TSMDP exploration on the dataset's partitions.
+        self._tsmdp_episode(keys, weights)
+        losses = []
+        for _ in range(tsmdp_steps_per_episode):
+            loss = self.tsmdp.train_step()
+            if loss is not None:
+                losses.append(loss)
+        if losses:
+            report.tsmdp_losses.append(float(np.mean(losses)))
+        self.tsmdp.end_episode()
+        if obs_trace.ACTIVE is not None:
+            obs_trace.ACTIVE.event(
+                "rl.episode",
+                {
+                    "episode": report.episodes,
+                    "n_keys": len(keys),
+                    "dare_loss": dare_loss,
+                    "er": er,
+                },
+            )
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.inc("chameleon_rl_episodes_total")
 
     # -- internals --------------------------------------------------------------
 

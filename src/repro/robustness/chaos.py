@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from ..baselines.interfaces import DuplicateKeyError
 from ..core.index import ChameleonIndex
+from ..obs import trace as obs_trace
 from ..core.interval_lock import IntervalLockManager
 from ..datasets import face_like
 from ..workloads.mixed import read_write_workload, split_load_and_pool
@@ -187,7 +188,7 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
         )
 
     sweep_every = max(1, len(ops) // max(1, config.sweeps))
-    with injector.installed():
+    with injector.installed(), obs_trace.span("chaos.run").put("n_ops", len(ops)):
         for i, op in enumerate(ops):
             if i > 0 and i % sweep_every == 0 and report.sweeps_run < config.sweeps:
                 rebuilt = supervisor.sweep_once()

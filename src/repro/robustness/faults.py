@@ -28,6 +28,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
 if TYPE_CHECKING:
     from ..baselines.counters import Counters
 
@@ -165,7 +168,15 @@ class FaultInjector:
                 return False
             spec.fires += 1
             self._sequence += 1
-            self.events.append(FaultEvent(point, spec.mode, self._sequence))
+            seq = self._sequence
+            self.events.append(FaultEvent(point, spec.mode, seq))
+        if obs_trace.ACTIVE is not None:
+            obs_trace.ACTIVE.event(
+                "fault.fire",
+                {"point": point, "mode": spec.mode.value, "sequence": seq},
+            )
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.inc("chameleon_fault_fires_total")
         if counters is not None:
             counters.faults_injected += 1
         if spec.mode is FaultMode.RAISE:

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from ..core.index import ChameleonIndex
 from ..core.interval_lock import IntervalLockManager
 from ..core.retrainer import RetrainerStats, RetrainingThread
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 
 
 class RetrainerHealth(enum.Enum):
@@ -177,23 +179,50 @@ class SupervisedRetrainer:
             self.stats.consecutive_failures += 1
             self.stats.last_error = repr(exc)
             failures = self.stats.consecutive_failures
+        old = self._health
         if failures >= self.halt_after:
-            if self._health is not RetrainerHealth.HALTED:
+            if old is not RetrainerHealth.HALTED:
                 with self.stats._lock:
                     self.stats.halts += 1
             self._health = RetrainerHealth.HALTED
         else:
             self._health = RetrainerHealth.DEGRADED
+        self._observe_transition(old, self._health, failures)
 
     def _on_success(self) -> None:
         recovered = self._health is not RetrainerHealth.HEALTHY
         with self.stats._lock:
+            cleared = self.stats.consecutive_failures
             self.stats.consecutive_failures = 0
             if recovered:
                 self.stats.recoveries += 1
         if recovered:
             self.index.counters.retrain_recoveries += 1
+        old = self._health
         self._health = RetrainerHealth.HEALTHY
+        self._observe_transition(old, RetrainerHealth.HEALTHY, cleared)
+
+    def _observe_transition(
+        self, old: RetrainerHealth, new: RetrainerHealth, failures: int
+    ) -> None:
+        """Emit exactly one trace event per health *change* (armed only).
+
+        The attached ``consecutive_failures`` is the streak that drove the
+        transition — on recovery, the streak that was just cleared.
+        """
+        if old is new:
+            return
+        if obs_trace.ACTIVE is not None:
+            obs_trace.ACTIVE.event(
+                "supervisor.health",
+                {
+                    "from": old.value,
+                    "to": new.value,
+                    "consecutive_failures": failures,
+                },
+            )
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.inc("chameleon_health_transitions_total")
 
     # -- daemon lifecycle ----------------------------------------------------
 
@@ -240,4 +269,9 @@ class SupervisedRetrainer:
                     self.stats.watchdog_restarts += 1  # repro-lint: disable=RL002
                 self.index.counters.watchdog_restarts += 1
                 self._health = RetrainerHealth.DEGRADED
+                if obs_trace.ACTIVE is not None:
+                    obs_trace.ACTIVE.event(
+                        "supervisor.watchdog_restart",
+                        {"thread_id": worker.ident, "thread_name": worker.name},
+                    )
                 self._spawn_worker()

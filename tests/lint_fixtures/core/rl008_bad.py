@@ -1,0 +1,26 @@
+"""Known-bad fixture for RL008 (stdout/root-logger use in a library).
+
+Lives under a ``core/`` directory so the library scope applies. Covers all
+four shapes the rule resolves: a bare ``print``, a direct
+``logging.basicConfig``, a module-alias ``basicConfig``, and a member
+import (including the aliased function-local form where offenders hide).
+"""
+
+import logging
+
+
+def announce_rebuild(n_keys):
+    print(f"rebuilt {n_keys} keys")  # expect[RL008]
+    logging.basicConfig(level=logging.DEBUG)  # expect[RL008]
+
+
+def configure_via_alias():
+    import logging as log_mod
+
+    log_mod.basicConfig(level=10)  # expect[RL008]
+
+
+def configure_via_member():
+    from logging import basicConfig as configure
+
+    configure(level=10)  # expect[RL008]

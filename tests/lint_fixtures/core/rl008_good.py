@@ -1,0 +1,23 @@
+"""Known-good fixture for RL008: library diagnostics via the shared logger.
+
+Loggers, ``getLogger``, and handler-free emission are all fine — the rule
+forbids only unconditional stdout writes and root-logger hijacking.
+"""
+
+import logging
+
+from repro.obs.log import get_logger
+
+_log = get_logger(__name__)
+
+
+def rebuild_with_diagnostics(n_keys):
+    _log.debug("rebuilding %d keys", n_keys)
+    extra = logging.getLogger("repro.core.fixture")
+    extra.info("still fine: namespaced logger, no handler configuration")
+    return n_keys
+
+
+def format_summary(n_keys):
+    # Building a string is fine; *printing* it is the caller's decision.
+    return f"rebuilt {n_keys} keys"

@@ -61,6 +61,7 @@ def findings_for(path: Path, rule_id: str) -> set[tuple[str, int]]:
         ("RL005", "baselines/rl005_batch_bad.py", "baselines/rl005_batch_good.py"),
         ("RL006", "rl006_bad.py", "rl006_good.py"),
         ("RL007", "rl007_bad.py", "rl007_good.py"),
+        ("RL008", "core/rl008_bad.py", "core/rl008_good.py"),
     ],
 )
 def test_rule_detects_exactly_the_marked_lines(rule_id, bad, good):
@@ -71,7 +72,7 @@ def test_rule_detects_exactly_the_marked_lines(rule_id, bad, good):
     assert findings_for(FIXTURES / good, rule_id) == set()
 
 
-def test_seven_rules_registered():
+def test_eight_rules_registered():
     ids = [r.rule_id for r in all_rules()]
     assert ids == [
         "RL001",
@@ -81,6 +82,7 @@ def test_seven_rules_registered():
         "RL005",
         "RL006",
         "RL007",
+        "RL008",
     ]
     for rule in all_rules():
         assert rule.name and rule.description
@@ -213,7 +215,7 @@ def test_cli_exit_codes_and_flags(tmp_path, capsys):
 
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    assert out.count("RL0") == 7
+    assert out.count("RL0") == 8
 
 
 def test_module_context_from_source_suppressions():
