@@ -56,7 +56,7 @@ def test_lookup_batch_throughput(benchmark, name, face_keys):
     """Batch-API lookup over 1024-key vectors (PR-4 batch layer).
 
     Indexes without a vectorised override run the scalar-loop default, so
-    this row doubles as a conformance check; the BENCH_PR5.json baseline
+    this row doubles as a conformance check; the BENCH_PR6.json baseline
     records the batch-vs-scalar speedups these rounds correspond to.
     """
     index = INDEX_REGISTRY[name]()

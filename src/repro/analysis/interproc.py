@@ -29,6 +29,15 @@ blocking facts by design: its injected delays are the chaos harness's
 instrument — they *simulate* slow operations under test and are compiled
 out in production paths — so routing every hot path's ``fire()`` hook into
 a "may block" verdict would poison the whole graph.
+
+The durability layer (:mod:`repro.robustness.durability`) is exempt for a
+different reason: it deliberately mirrors the index write API
+(``insert``/``delete``/``delete_batch``), and name-based call resolution
+would route the index's *internal* calls to those names through the
+WAL-backed wrapper, tagging every locked hot path as blocking. The wrapper
+is apply-then-log — the WAL write happens strictly after the index call
+returns and releases its interval locks — so its (real) file I/O can never
+execute under a query lock.
 """
 
 from __future__ import annotations
@@ -53,7 +62,10 @@ BLOCKING_EXACT = ("sleep", "sweep_once", "wait")
 BLOCKING_BUILTINS = ("open", "input")
 
 #: Modules whose functions never receive blocking facts (see docstring).
-BLOCKING_EXEMPT_MODULES = ("repro.robustness.faults",)
+BLOCKING_EXEMPT_MODULES = (
+    "repro.robustness.faults",
+    "repro.robustness.durability",
+)
 
 #: Receiver identifiers that designate a Counters instance by convention
 #: (shared with RL002).
@@ -142,12 +154,14 @@ def compute_summaries(graph: CallGraph) -> SummaryTable:
         reverse,
         fact="may_block",
         chain="blocking_chain",
+        honor_exemptions=True,
     )
     _propagate(
         table,
         reverse,
         fact="acquires_retrain_lock",
         chain="retrain_lock_chain",
+        honor_exemptions=True,
     )
     _propagate(
         table,
@@ -158,12 +172,28 @@ def compute_summaries(graph: CallGraph) -> SummaryTable:
     return table
 
 
+def _module_exempt(module: str) -> bool:
+    return any(
+        module == mod or module.startswith(mod + ".")
+        for mod in BLOCKING_EXEMPT_MODULES
+    )
+
+
 def _propagate(
     table: SummaryTable,
     reverse: dict[str, set[str]],
     fact: str,
     chain: str,
+    honor_exemptions: bool = False,
 ) -> None:
+    """Caller-ward fixpoint for one fact.
+
+    With ``honor_exemptions`` (the blocking facts), functions in
+    :data:`BLOCKING_EXEMPT_MODULES` never *receive* the fact — neither
+    directly (handled in ``_direct_facts``) nor by propagation — so an
+    exempt module is a wall, not merely a non-source: chains through the
+    fault injector or the durability wrapper stop at its boundary.
+    """
     worklist = [q for q, s in table.summaries.items() if getattr(s, fact)]
     while worklist:
         callee = worklist.pop()
@@ -172,6 +202,10 @@ def _propagate(
             caller_summary = table.summaries.get(caller)
             if caller_summary is None or getattr(caller_summary, fact):
                 continue  # already known: cycle-safe, each node flips once
+            if honor_exemptions:
+                info = table.graph.functions.get(caller)
+                if info is not None and _module_exempt(info.module):
+                    continue
             setattr(caller_summary, fact, True)
             setattr(
                 caller_summary,

@@ -1,4 +1,4 @@
-"""RL003 — fault-point names must exist in the live registry.
+"""RL003 — fault-point and crash-point names must exist in their registries.
 
 The chaos harness woven into the hot paths fires named fault points
 (:data:`~repro.robustness.faults.KNOWN_FAULT_POINTS`). ``arm()`` validates
@@ -8,6 +8,12 @@ firing and chaos coverage decays). This rule cross-checks every string
 literal passed to an injector call site against the registry *imported
 live*, so renaming a point in ``faults.py`` without updating a call site
 breaks lint, not chaos coverage.
+
+The durability layer's crash points (:data:`~repro.robustness.durability.
+crashpoint.KNOWN_CRASH_POINTS`) have the same failure mode with higher
+stakes: ``crash_here`` with a misspelled name simply never kills the child,
+and the crash matrix silently degrades into a plain workload run. The same
+literal check covers ``crash_here`` / ``arm_crash_point`` call sites.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from ...robustness.durability.crashpoint import KNOWN_CRASH_POINTS
 from ...robustness.faults import KNOWN_FAULT_POINTS
 from ..context import ModuleContext
 from ..findings import Finding
@@ -22,6 +29,9 @@ from ..registry import Rule, receiver_name, register_rule
 
 #: Injector methods whose first argument is a fault-point name.
 POINT_METHODS = frozenset({"fire", "arm", "disarm", "fires_at"})
+
+#: Crash-point functions whose first argument is a crash-point name.
+CRASH_FUNCTIONS = frozenset({"crash_here", "arm_crash_point"})
 
 #: Receiver identifiers that designate an injector. `faults.fire(...)` and
 #: `faults.ACTIVE.fire(...)` are the woven-in forms; `inj`/`injector` the
@@ -53,9 +63,9 @@ class FaultPointRegistryRule(Rule):
     )
 
     def applies_to(self, ctx: ModuleContext) -> bool:
-        # faults.py documents non-registry examples in docstrings; its own
-        # code never passes literals.
-        return ctx.path_parts()[-1] != "faults.py"
+        # faults.py / crashpoint.py document non-registry examples in
+        # docstrings; their own code never passes literals.
+        return ctx.path_parts()[-1] not in ("faults.py", "crashpoint.py")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -65,14 +75,25 @@ class FaultPointRegistryRule(Rule):
             name = func.attr if isinstance(func, ast.Attribute) else (
                 func.id if isinstance(func, ast.Name) else None
             )
+            if name in CRASH_FUNCTIONS:
+                arg = self._literal_first_arg(node)
+                if arg is not None and arg.value not in KNOWN_CRASH_POINTS:
+                    yield self.finding(
+                        ctx,
+                        arg,
+                        f"unknown crash point {arg.value!r}; "
+                        f"KNOWN_CRASH_POINTS defines: "
+                        f"{', '.join(KNOWN_CRASH_POINTS)} — a misspelled "
+                        "point is never armed, so the crash silently stops "
+                        "firing and the matrix degrades to a plain run",
+                    )
+                continue
             if name not in POINT_METHODS:
                 continue
             if not _looks_like_injector(node):
                 continue
-            if not node.args:
-                continue
-            arg = node.args[0]
-            if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+            arg = self._literal_first_arg(node)
+            if arg is None:
                 continue  # dynamic names are validated at runtime by arm()
             if arg.value in KNOWN_FAULT_POINTS:
                 continue
@@ -83,3 +104,12 @@ class FaultPointRegistryRule(Rule):
                 f"defines: {', '.join(KNOWN_FAULT_POINTS)} — a misspelled "
                 "point is never armed, so the fault silently stops firing",
             )
+
+    @staticmethod
+    def _literal_first_arg(node: ast.Call) -> ast.Constant | None:
+        if not node.args:
+            return None
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg
+        return None

@@ -19,6 +19,7 @@ from .interfaces import (
     DuplicateKeyError,
     EmptyIndexError,
     IndexError_,
+    PersistenceError,
     as_key_value_arrays,
 )
 from .lipp import LIPPIndex
@@ -66,6 +67,7 @@ __all__ = [
     "DuplicateKeyError",
     "EmptyIndexError",
     "IndexError_",
+    "PersistenceError",
     "as_key_value_arrays",
     "BPlusTreeIndex",
     "ALEXIndex",

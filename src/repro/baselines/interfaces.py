@@ -9,7 +9,9 @@ the paper's Table I.
 from __future__ import annotations
 
 import abc
+import os
 import pickle
+import struct
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
@@ -20,6 +22,14 @@ from .counters import Counters
 
 Key = float
 Value = Any
+
+#: On-disk snapshot header: magic + little-endian u16 format version. The
+#: magic rejects arbitrary pickles (and pre-header snapshots) up front; the
+#: version lets a future layout change fail loudly instead of unpickling
+#: garbage into a live index.
+INDEX_MAGIC = b"RIDX"
+INDEX_FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sH")
 
 
 class IndexError_(Exception):
@@ -32,6 +42,10 @@ class DuplicateKeyError(IndexError_):
 
 class EmptyIndexError(IndexError_):
     """Raised when querying an index that was never loaded."""
+
+
+class PersistenceError(IndexError_):
+    """Raised when an on-disk snapshot is unreadable or version-mismatched."""
 
 
 @dataclass(frozen=True)
@@ -229,23 +243,63 @@ class BaseIndex(abc.ABC):
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist the index to disk (pickle).
+        """Persist the index to disk atomically (header + pickle).
+
+        The snapshot is written to a temporary file in the target
+        directory, flushed and fsynced, then promoted with ``os.replace``
+        — a reader (or a crash) never observes a half-written snapshot at
+        ``path``; either the old file or the new one is there. The payload
+        is prefixed with :data:`INDEX_MAGIC` and
+        :data:`INDEX_FORMAT_VERSION` so :meth:`load` can reject foreign or
+        stale-format files before unpickling.
 
         Runtime-only attachments (lock managers, live threads) are dropped
         by the owning class's ``__getstate__`` where applicable; reattach
         them after :meth:`load`.
         """
-        with open(path, "wb") as f:
-            pickle.dump(self, f, protocol=pickle.HIGHEST_PROTOCOL)
+        final = Path(path)
+        tmp = final.with_name(f"{final.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as f:
+                f.write(_HEADER.pack(INDEX_MAGIC, INDEX_FORMAT_VERSION))
+                pickle.dump(self, f, protocol=pickle.HIGHEST_PROTOCOL)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, final)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "BaseIndex":
         """Load an index previously written by :meth:`save`.
 
         Raises:
+            PersistenceError: if the file lacks the snapshot header (not a
+                repro snapshot, or written before headers existed) or its
+                format version does not match this build.
             TypeError: if the file holds a different index class.
         """
         with open(path, "rb") as f:
+            header = f.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise PersistenceError(
+                    f"{path} is too short to be an index snapshot "
+                    f"({len(header)} bytes)"
+                )
+            magic, version = _HEADER.unpack(header)
+            if magic != INDEX_MAGIC:
+                raise PersistenceError(
+                    f"{path} is not a repro index snapshot (bad magic "
+                    f"{magic!r}; expected {INDEX_MAGIC!r}). Pre-header "
+                    "snapshots must be regenerated with save()."
+                )
+            if version != INDEX_FORMAT_VERSION:
+                raise PersistenceError(
+                    f"{path} uses snapshot format v{version}; this build "
+                    f"reads v{INDEX_FORMAT_VERSION} — regenerate the "
+                    "snapshot with save()"
+                )
             index = pickle.load(f)
         if not isinstance(index, cls):
             raise TypeError(

@@ -1,19 +1,26 @@
 """Machine-readable performance baseline for the batch-execution layer.
 
-Produces ``BENCH_PR5.json`` (schema ``repro-perf-baseline/v2``): for each
+Produces ``BENCH_PR6.json`` (schema ``repro-perf-baseline/v3``): for each
 index, the scalar-loop and batch-API lookup throughput on the same query
 stream, the speedup, and a structural-counter equivalence verdict. Since
 v2 the document also carries an ``obs_overhead`` section: the same seeded
 mixed workload run with :mod:`repro.obs` disarmed and armed, pinning the
 wall-clock ratio, the counter-neutrality contract (bit-identical Counters
 and results either way), and the zero-allocation property of the disarmed
-hot path (tracemalloc bytes/op). The file is committed so later PRs can
-diff their numbers against a pinned reference instead of a prose claim;
-docs/benchmarking.md documents the format and the refresh procedure.
+hot path (tracemalloc bytes/op). v3 adds a ``durability`` section: the
+same seeded mixed workload with writes routed through a WAL-backed
+:class:`~repro.robustness.durability.durable.DurableIndex` under the
+``group`` and ``always`` fsync policies, pinning the write-overhead
+ratios, the WAL counter-neutrality contract, and a crash-recovery timing
+(restore + full replay, normalised to seconds per 100k logged records).
+The file is committed so later PRs can diff their numbers against a
+pinned reference instead of a prose claim; docs/benchmarking.md documents
+the format and the refresh procedure.
 
 Wall-clock numbers are machine-dependent — the committed file records the
-*shape* (batch >= scalar, counters equal, disarmed obs allocation-free),
-which is what CI's bench-smoke job asserts at small scale.
+*shape* (batch >= scalar, counters equal, disarmed obs allocation-free,
+WAL-on counters bit-identical to WAL-off, recovery loss-free), which is
+what CI's bench-smoke job asserts at small scale.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import tempfile
 import time
 import tracemalloc
 from pathlib import Path
@@ -41,7 +49,7 @@ from ..workloads.mixed import read_write_workload, split_load_and_pool
 from ..workloads.operations import OpKind
 from .harness import BenchScale
 
-SCHEMA = "repro-perf-baseline/v2"
+SCHEMA = "repro-perf-baseline/v3"
 
 #: Default lineup: every index with a genuinely vectorised batch override
 #: plus one scalar-default control (B+Tree) proving API conformance.
@@ -211,13 +219,125 @@ def measure_obs_overhead(
     }
 
 
+def _run_durable_workload(
+    keys: np.ndarray,
+    n_ops: int,
+    seed: int,
+    directory: str | Path | None = None,
+    fsync: str = "always",
+) -> tuple[float, dict[str, int], list[Any], ChameleonIndex]:
+    """The obs mixed workload with writes optionally routed through a WAL.
+
+    Identical op stream and sweep schedule to :func:`_run_obs_workload`
+    so WAL-off and WAL-on invocations are directly comparable; lookups
+    always hit the index directly (reads are not logged).
+    """
+    lock_manager = IntervalLockManager()
+    index = ChameleonIndex(strategy="ChaB", lock_manager=lock_manager)
+    loaded, pool = split_load_and_pool(keys, 0.7, seed=seed)
+    durable = None
+    if directory is not None:
+        from ..robustness.durability.durable import DurableIndex
+
+        durable = DurableIndex(index, directory, fsync=fsync)
+        durable.bulk_load(loaded)
+    else:
+        index.bulk_load(loaded)
+    retrainer = RetrainingThread(index, lock_manager, update_threshold=8)
+    ops = read_write_workload(loaded, pool, n_ops, write_ratio=0.3, seed=seed + 1)
+    sweep_every = max(1, len(ops) // 8)
+    before = index.counters.snapshot()
+    results: list[Any] = []
+    t0 = time.perf_counter()
+    for i, op in enumerate(ops, start=1):
+        if op.kind is OpKind.LOOKUP:
+            results.append(index.lookup(op.key))
+        elif op.kind is OpKind.INSERT:
+            if durable is not None:
+                durable.insert(op.key)
+            else:
+                index.insert(op.key)
+        else:
+            if durable is not None:
+                durable.delete(op.key)
+            else:
+                index.delete(op.key)
+        if i % sweep_every == 0:
+            retrainer.sweep_once()
+    secs = time.perf_counter() - t0
+    if durable is not None:
+        durable.close()
+    return secs, index.counters.diff(before), results, index
+
+
+def measure_durability(
+    keys: np.ndarray, n_ops: int = 5_000, seed: int = 0
+) -> dict[str, Any]:
+    """WAL-on write overhead and recovery timing on the mixed workload.
+
+    Three runs of the identical seeded workload — WAL off, WAL ``group``,
+    WAL ``always`` — pin the overhead ratios and the counter-neutrality
+    contract (durability must not perturb the structural cost model: same
+    Counters, same lookup results, bit for bit). The ``always`` run's
+    directory is then recovered from disk alone and compared against the
+    live index, timing restore + full-replay normalised to 100k records.
+    """
+    from ..robustness.durability.recovery import RecoveryManager
+
+    off_secs, off_counters, off_results, _ = _run_durable_workload(
+        keys, n_ops, seed
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as d:
+        group_secs, group_counters, group_results, _ = _run_durable_workload(
+            keys, n_ops, seed, directory=d, fsync="group"
+        )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as d:
+        always_secs, always_counters, always_results, live = (
+            _run_durable_workload(keys, n_ops, seed, directory=d, fsync="always")
+        )
+        t0 = time.perf_counter()
+        recovered, report = RecoveryManager(
+            d, lambda: ChameleonIndex(strategy="ChaB")
+        ).recover()
+        recovery_secs = time.perf_counter() - t0
+        recovered_equal = dict(recovered.items()) == dict(live.items())
+        integrity_ok = not recovered.verify_integrity().violations
+    replayed = max(1, report.replayed_records)
+    return {
+        "n_ops": int(n_ops),
+        "wal_off_seconds": round(off_secs, 6),
+        "wal_group_seconds": round(group_secs, 6),
+        "wal_always_seconds": round(always_secs, 6),
+        "overhead_ratio_group": (
+            round(group_secs / off_secs, 3) if off_secs > 0 else 0.0
+        ),
+        "overhead_ratio_always": (
+            round(always_secs / off_secs, 3) if off_secs > 0 else 0.0
+        ),
+        "counters_equal_group": off_counters == group_counters,
+        "counters_equal_always": off_counters == always_counters,
+        "results_equal": (
+            off_results == group_results == always_results
+        ),
+        "wal_records": int(report.last_lsn),
+        "recovery_seconds": round(recovery_secs, 6),
+        "recovery_replayed_records": int(report.replayed_records),
+        "recovery_seconds_per_100k_records": round(
+            recovery_secs * 100_000 / replayed, 4
+        ),
+        "recovered_equal": bool(recovered_equal),
+        "integrity_ok": bool(integrity_ok),
+    }
+
+
 def run_perf_baseline(
     scale: BenchScale | None = None,
     dataset: str = "UDEN",
     batch_size: int = 1024,
     indexes: Sequence[str] = DEFAULT_INDEXES,
-    out_path: str | Path | None = "BENCH_PR5.json",
+    out_path: str | Path | None = "BENCH_PR6.json",
     obs_ops: int = 5_000,
+    durability_ops: int = 5_000,
 ) -> dict[str, Any]:
     """Measure scalar vs batch lookups and emit the baseline document.
 
@@ -230,6 +350,8 @@ def run_perf_baseline(
         indexes: lineup of index names (registry plus "SortedArray").
         out_path: where to write the JSON document (None = don't write).
         obs_ops: mixed-workload ops for the ``obs_overhead`` section
+            (0 skips it).
+        durability_ops: mixed-workload ops for the ``durability`` section
             (0 skips it).
 
     Returns:
@@ -270,6 +392,18 @@ def run_perf_baseline(
             f"counters_equal={overhead['counters_equal']}, "
             f"null path {overhead['null_alloc_bytes_per_op']:.2f} B/op"
         )
+    if durability_ops > 0:
+        durability = measure_durability(
+            keys, n_ops=durability_ops, seed=scale.seed
+        )
+        doc["durability"] = durability
+        print(
+            f"durability: WAL overhead {durability['overhead_ratio_group']:.2f}x"
+            f" (group) / {durability['overhead_ratio_always']:.2f}x (always), "
+            f"counters_equal={durability['counters_equal_always']}, "
+            f"recovery {durability['recovery_seconds_per_100k_records']:.3f}"
+            f" s/100k records, recovered_equal={durability['recovered_equal']}"
+        )
     if out_path is not None:
         Path(out_path).write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {out_path}")
@@ -279,17 +413,21 @@ def run_perf_baseline(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.baseline",
-        description="Emit the batch-vs-scalar perf baseline (BENCH_PR5.json).",
+        description="Emit the batch-vs-scalar perf baseline (BENCH_PR6.json).",
     )
     parser.add_argument("--n-keys", type=int, default=100_000)
     parser.add_argument("--n-queries", type=int, default=100_000)
     parser.add_argument("--dataset", default="UDEN")
     parser.add_argument("--batch-size", type=int, default=1024)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--out", default="BENCH_PR5.json")
+    parser.add_argument("--out", default="BENCH_PR6.json")
     parser.add_argument(
         "--obs-ops", type=int, default=5_000,
         help="mixed-workload ops for the obs_overhead section (0 = skip)",
+    )
+    parser.add_argument(
+        "--durability-ops", type=int, default=5_000,
+        help="mixed-workload ops for the durability section (0 = skip)",
     )
     parser.add_argument(
         "--indexes", nargs="*", default=list(DEFAULT_INDEXES),
@@ -306,6 +444,7 @@ def main(argv: list[str] | None = None) -> int:
         indexes=args.indexes,
         out_path=args.out,
         obs_ops=args.obs_ops,
+        durability_ops=args.durability_ops,
     )
     return 0
 

@@ -45,6 +45,18 @@ KNOWN_HISTOGRAMS: dict[str, tuple[tuple[float, ...], str]] = {
         (1e2, 1e3, 1e4, 1e5, 1e6, 1e7),
         "Structural-cost units (total_update_work delta) per subtree rebuild",
     ),
+    "chameleon_fsync_seconds": (
+        (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0),
+        "WAL fsync latency per sync (policy always: one per append)",
+    ),
+    "chameleon_checkpoint_seconds": (
+        (1e-3, 1e-2, 1e-1, 1.0, 10.0),
+        "End-to-end checkpoint duration (snapshot + manifest + truncation)",
+    ),
+    "chameleon_recovery_seconds": (
+        (1e-3, 1e-2, 1e-1, 1.0, 10.0, 60.0),
+        "Crash-recovery duration (checkpoint restore + WAL tail replay)",
+    ),
 }
 
 

@@ -30,6 +30,7 @@ containments, same recoveries. ``benchmarks/bench_chaos.py`` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 from ..baselines.interfaces import DuplicateKeyError
 from ..core.index import ChameleonIndex
@@ -38,13 +39,20 @@ from ..core.interval_lock import IntervalLockManager
 from ..datasets import face_like
 from ..workloads.mixed import read_write_workload, split_load_and_pool
 from ..workloads.operations import OpKind
+from .durability.wal import TornWriteError
 from .faults import FaultInjector, FaultMode, InjectedFault
 from .integrity import IntegrityViolation
 from .supervisor import RetrainerHealth, SupervisedRetrainer
 
+if TYPE_CHECKING:
+    from .durability.durable import DurableIndex
+
 #: Default per-point fault modes. Retraining-path points RAISE (exercising
 #: containment/backoff/recovery); the lock point DELAYs (stalled waits);
 #: the full rebuild SKIPs half the time it fires (shed under pressure).
+#: The durability points are armed too but only draw RNG in durable runs
+#: (``durability_dir`` set) — a WAL-off run never reaches them, so its
+#: fault schedule is bit-identical to pre-durability seeds.
 DEFAULT_FAULT_MODES: dict[str, FaultMode] = {
     "index.rebuild_subtree": FaultMode.RAISE,
     "index.rebuild_all": FaultMode.RAISE,
@@ -52,6 +60,10 @@ DEFAULT_FAULT_MODES: dict[str, FaultMode] = {
     "interval_lock.retrain": FaultMode.DELAY,
     "ebh.insert": FaultMode.RAISE,
     "ebh.expand": FaultMode.RAISE,
+    "wal.append": FaultMode.RAISE,
+    "wal.short_write": FaultMode.SKIP,
+    "wal.fsync": FaultMode.RAISE,
+    "checkpoint.write": FaultMode.RAISE,
 }
 
 
@@ -76,6 +88,13 @@ class ChaosConfig:
         lock_asserts: arm the interval-lock debug contract layer (ledger
             asserts + race detector) for the run, regardless of the
             ``REPRO_LOCK_ASSERTS`` environment flag.
+        durability_dir: when set, all writes go through a
+            :class:`~repro.robustness.durability.durable.DurableIndex`
+            rooted there (WAL + supervisor-triggered checkpoints), the
+            WAL fault points join the storm, and the run ends with a
+            recovery cross-check (recover the directory into a fresh
+            index and compare against the oracle).
+        wal_fsync: WAL fsync policy for durable runs.
     """
 
     n_keys: int = 3000
@@ -93,6 +112,8 @@ class ChaosConfig:
     strategy: str = "ChaB"
     seed: int = 0
     lock_asserts: bool = True
+    durability_dir: str | None = None
+    wal_fsync: str = "always"
 
 
 @dataclass
@@ -107,6 +128,11 @@ class ChaosReport:
     sweeps_run: int = 0
     faults_injected: int = 0
     insert_faults: int = 0
+    delete_faults: int = 0
+    wal_records: int = 0
+    checkpoints_triggered: int = 0
+    recovery_checked: bool = False
+    recovered_equal: bool = True
     contained_sweep_failures: int = 0
     failed_retrains: int = 0
     recoveries: int = 0
@@ -126,20 +152,29 @@ class ChaosReport:
             and not self.violations
             and not self.lock_protocol_violations
             and self.lock_quiescent
+            and self.recovered_equal
             and self.final_health is RetrainerHealth.HEALTHY
         )
 
     def summary(self) -> str:
         status = "OK" if self.ok else "FAILED"
+        durability = (
+            f", {self.wal_records} WAL records, "
+            f"{self.checkpoints_triggered} checkpoints, "
+            f"recovery {'OK' if self.recovered_equal else 'DIVERGED'}"
+            if self.recovery_checked
+            else ""
+        )
         return (
             f"chaos {status}: {self.ops_executed} ops, {self.sweeps_run} sweeps, "
             f"{self.faults_injected} faults ({self.insert_faults} on inserts, "
+            f"{self.delete_faults} on deletes, "
             f"{self.contained_sweep_failures} contained sweeps, "
             f"{self.failed_retrains} contained retrains), "
             f"{self.recoveries} recoveries, {self.wrong_lookups} wrong lookups, "
             f"{len(self.violations)} violations, "
             f"{len(self.lock_protocol_violations)} lock-protocol violations, "
-            f"health={self.final_health.value}"
+            f"health={self.final_health.value}{durability}"
         )
 
 
@@ -167,13 +202,29 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
     )
     manager = IntervalLockManager(debug_asserts=config.lock_asserts)
     index = ChameleonIndex(strategy=config.strategy, lock_manager=manager)
-    index.bulk_load(loaded)
+
+    durable: "DurableIndex | None" = None
+    checkpoint_hook: "Callable[[int], None] | None" = None
+    if config.durability_dir is not None:
+        from .durability.durable import DurableIndex
+
+        durable_index = DurableIndex(
+            index, config.durability_dir, fsync=config.wal_fsync
+        )
+        durable = durable_index
+        checkpoint_hook = lambda rebuilt: durable_index.checkpoint()  # noqa: E731
+
+    if durable is not None:
+        durable.bulk_load(loaded)
+    else:
+        index.bulk_load(loaded)
     supervisor = SupervisedRetrainer(
         index,
         manager,
         update_threshold=config.update_threshold,
         full_rebuild_fraction=config.full_rebuild_fraction,
         seed=config.seed,
+        checkpoint_hook=checkpoint_hook,
     )
     ops = read_write_workload(
         loaded, pool, config.n_ops, config.write_ratio, seed=config.seed
@@ -206,8 +257,13 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
                     report.events.append(f"op {i}: wrong lookup for {key!r}")
             elif op.kind is OpKind.INSERT:
                 try:
-                    index.insert(key)
-                except InjectedFault:
+                    if durable is not None:
+                        durable.insert(key)
+                    else:
+                        index.insert(key)
+                except (InjectedFault, TornWriteError):
+                    # Fault-atomicity (and, durably, append rollback): the
+                    # key landed in neither the index nor the log.
                     report.insert_faults += 1
                     report.events.append(f"op {i}: insert of {key!r} faulted")
                 except DuplicateKeyError:
@@ -215,14 +271,23 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
                 else:
                     expected[key] = key
             elif op.kind is OpKind.DELETE:
-                removed = index.delete(key)
-                if removed != (key in expected):
-                    report.wrong_lookups += 1
-                    report.events.append(
-                        f"op {i}: delete of {key!r} returned {removed}, "
-                        f"oracle says {key in expected}"
-                    )
-                expected.pop(key, None)
+                try:
+                    if durable is not None:
+                        removed = durable.delete(key)
+                    else:
+                        removed = index.delete(key)
+                except (InjectedFault, TornWriteError):
+                    # Append rollback re-inserted the key; oracle unchanged.
+                    report.delete_faults += 1
+                    report.events.append(f"op {i}: delete of {key!r} faulted")
+                else:
+                    if removed != (key in expected):
+                        report.wrong_lookups += 1
+                        report.events.append(
+                            f"op {i}: delete of {key!r} returned {removed}, "
+                            f"oracle says {key in expected}"
+                        )
+                    expected.pop(key, None)
             report.ops_executed += 1
 
     # Faults off: the supervisor must heal. A couple of probe sweeps model
@@ -245,4 +310,33 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
         report.events.append(f"race detector: {violation_text}")
     report.live_keys = len(expected)
     report.counters = index.counters.snapshot()
+
+    if durable is not None:
+        # Durability cross-check: everything the oracle holds must come
+        # back from disk alone. Exact equality is valid because append
+        # rollback keeps memory == log for every contained fault.
+        from .durability.recovery import RecoveryManager
+
+        durable.close()
+        report.wal_records = durable.last_lsn
+        report.checkpoints_triggered = supervisor.stats.checkpoints_triggered
+        report.recovery_checked = True
+        recovered, recovery_report = RecoveryManager(
+            durable.directory,
+            lambda: ChameleonIndex(strategy=config.strategy),
+        ).recover()
+        recovered_state = dict(recovered.items())
+        report.recovered_equal = (
+            recovered_state == expected
+            and recovery_report.failed_applies == 0
+            and not recovered.verify_integrity().violations
+        )
+        if not report.recovered_equal:
+            missing = len(set(expected) - set(recovered_state))
+            extra = len(set(recovered_state) - set(expected))
+            report.events.append(
+                f"recovery diverged: {missing} missing, {extra} extra keys, "
+                f"{recovery_report.failed_applies} failed applies "
+                f"({'; '.join(recovery_report.notes[-3:])})"
+            )
     return report

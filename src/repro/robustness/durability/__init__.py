@@ -1,0 +1,65 @@
+"""Durability layer: write-ahead log, atomic checkpoints, crash recovery.
+
+See docs/robustness.md (Durability section) for the on-disk formats, the
+fsync policies, the recovery algorithm, and the durability contract the
+crash matrix enforces.
+"""
+
+from .checkpoint import CheckpointManager, Manifest, list_snapshots, read_manifest
+from .crashpoint import (
+    KNOWN_CRASH_POINTS,
+    CrashCaseReport,
+    CrashMatrixReport,
+    CrashWorkloadConfig,
+    arm_crash_point,
+    crash_here,
+    disarm_crash_points,
+    run_crash_case,
+    run_crash_matrix,
+)
+from .durable import DurableIndex
+from .recovery import RecoveryManager, RecoveryReport, apply_record
+from .wal import (
+    OP_BULK_LOAD,
+    OP_DELETE,
+    OP_INSERT,
+    ScanResult,
+    TornWriteError,
+    WALError,
+    WALRecord,
+    WriteAheadLog,
+    encode_frame,
+    list_segments,
+    scan,
+)
+
+__all__ = [
+    "CheckpointManager",
+    "Manifest",
+    "list_snapshots",
+    "read_manifest",
+    "KNOWN_CRASH_POINTS",
+    "CrashCaseReport",
+    "CrashMatrixReport",
+    "CrashWorkloadConfig",
+    "arm_crash_point",
+    "crash_here",
+    "disarm_crash_points",
+    "run_crash_case",
+    "run_crash_matrix",
+    "DurableIndex",
+    "RecoveryManager",
+    "RecoveryReport",
+    "apply_record",
+    "OP_BULK_LOAD",
+    "OP_DELETE",
+    "OP_INSERT",
+    "ScanResult",
+    "TornWriteError",
+    "WALError",
+    "WALRecord",
+    "WriteAheadLog",
+    "encode_frame",
+    "list_segments",
+    "scan",
+]

@@ -1,0 +1,180 @@
+"""Atomic checkpoints: snapshot + manifest + WAL truncation.
+
+A checkpoint is two files in the durability directory:
+
+* ``checkpoint-{lsn:016d}.snap`` — a :meth:`BaseIndex.save` snapshot
+  (itself header-stamped and atomically promoted) of the index state
+  after applying every record up to ``lsn``;
+* ``MANIFEST`` — a JSON document ``{"snapshot": ..., "last_lsn": ...}``
+  naming the current snapshot. The manifest is written to a temp file,
+  fsynced, then promoted with ``os.replace``; a crash at any instant
+  leaves either the old manifest or the new one, never a hybrid.
+
+Recovery trusts the manifest first but never *only* the manifest: if it
+is missing or points at a damaged snapshot, any other ``checkpoint-*``
+snapshot (newest first) works, because the WAL is only truncated up to
+the **oldest retained** checkpoint — every surviving snapshot still has
+its full replay tail. Snapshot pruning keeps :attr:`keep` checkpoints.
+
+Crash points ``checkpoint.mid_snapshot`` (after the snapshot temp is
+promoted-ready, before the manifest swap) and ``checkpoint.mid_manifest``
+(manifest temp written, not yet promoted) exercise both windows; the
+``checkpoint.write`` fault point models an in-process failure at the
+start of the checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ...obs import metrics as obs_metrics
+from ...obs import trace as obs_trace
+from .. import faults
+from . import crashpoint
+
+if TYPE_CHECKING:
+    from ...baselines.interfaces import BaseIndex
+    from .wal import WriteAheadLog
+
+MANIFEST_NAME = "MANIFEST"
+SNAPSHOT_PREFIX = "checkpoint-"
+SNAPSHOT_SUFFIX = ".snap"
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """Decoded MANIFEST contents."""
+
+    snapshot: str
+    last_lsn: int
+
+
+def snapshot_name(lsn: int) -> str:
+    return f"{SNAPSHOT_PREFIX}{lsn:016d}{SNAPSHOT_SUFFIX}"
+
+
+def snapshot_lsn(path: Path) -> int | None:
+    """Parse the LSN from a snapshot filename, or None for foreign files."""
+    name = path.name
+    if not (name.startswith(SNAPSHOT_PREFIX) and name.endswith(SNAPSHOT_SUFFIX)):
+        return None
+    try:
+        return int(name[len(SNAPSHOT_PREFIX) : -len(SNAPSHOT_SUFFIX)])
+    except ValueError:
+        return None
+
+
+def list_snapshots(directory: str | Path) -> list[Path]:
+    """Snapshot files, oldest (lowest LSN) first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    snaps = [p for p in directory.iterdir() if snapshot_lsn(p) is not None]
+    snaps.sort(key=lambda p: snapshot_lsn(p) or 0)
+    return snaps
+
+
+def read_manifest(directory: str | Path) -> Manifest | None:
+    """Read MANIFEST; None when absent or unparsable (recovery falls back)."""
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        doc = json.loads(path.read_text())
+        return Manifest(snapshot=str(doc["snapshot"]), last_lsn=int(doc["last_lsn"]))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class CheckpointManager:
+    """Writes checkpoints for one index + WAL pair.
+
+    Args:
+        directory: durability root (shared with the manifest/snapshots;
+            the WAL lives in a subdirectory managed by the caller).
+        keep: checkpoints retained after pruning (>= 1). Keeping more
+            than one lets recovery survive a damaged newest snapshot.
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 2) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.keep = int(keep)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.checkpoints_written = 0
+
+    def checkpoint(self, index: "BaseIndex", wal: "WriteAheadLog") -> Manifest:
+        """Write one checkpoint of ``index`` at the WAL's current LSN.
+
+        Orders the writes so that every crash window is recoverable:
+        snapshot promoted → manifest promoted → old snapshots pruned →
+        WAL truncated up to the oldest *retained* checkpoint. Pending WAL
+        records are fsynced first so the snapshot never gets ahead of the
+        durable log.
+        """
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("checkpoint.write", None)
+        started = time.perf_counter()
+        with obs_trace.span("durability.checkpoint") as span:
+            lsn = wal.sync() if wal.fsync_policy != "none" else wal.last_lsn
+            snap_path = self.directory / snapshot_name(lsn)
+            index.save(snap_path)  # atomic: temp + fsync + os.replace
+            _fsync_dir(self.directory)
+            if crashpoint.ACTIVE is not None:
+                crashpoint.crash_here("checkpoint.mid_snapshot")
+
+            manifest = Manifest(snapshot=snap_path.name, last_lsn=lsn)
+            tmp = self.directory / f"{MANIFEST_NAME}.tmp.{os.getpid()}"
+            try:
+                with open(tmp, "w") as f:
+                    json.dump(
+                        {"snapshot": manifest.snapshot, "last_lsn": lsn}, f
+                    )
+                    f.flush()
+                    os.fsync(f.fileno())
+                if crashpoint.ACTIVE is not None:
+                    crashpoint.crash_here("checkpoint.mid_manifest")
+                os.replace(tmp, self.directory / MANIFEST_NAME)
+            except BaseException:
+                tmp.unlink(missing_ok=True)
+                raise
+            _fsync_dir(self.directory)
+
+            self._prune()
+            retained = list_snapshots(self.directory)
+            oldest_lsn = snapshot_lsn(retained[0]) if retained else lsn
+            removed = wal.truncate_upto(oldest_lsn if oldest_lsn is not None else lsn)
+            self.checkpoints_written += 1
+            span.put("lsn", lsn)
+            span.put("segments_removed", removed)
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.inc("chameleon_checkpoints_total")
+            obs_metrics.ACTIVE.observe(
+                "chameleon_checkpoint_seconds", time.perf_counter() - started
+            )
+        return manifest
+
+    def _prune(self) -> None:
+        """Delete all but the newest ``keep`` snapshots."""
+        snaps = list_snapshots(self.directory)
+        for stale in snaps[: -self.keep]:
+            stale.unlink(missing_ok=True)
+        if len(snaps) > self.keep:
+            _fsync_dir(self.directory)

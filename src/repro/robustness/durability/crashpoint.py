@@ -1,0 +1,519 @@
+"""Crash points and the SIGKILL crash-recovery harness.
+
+Two halves:
+
+**Crash points** are named places inside the durability hot paths (WAL
+append/fsync, checkpoint snapshot/manifest promotion) where a process can
+die *for real*. Unlike the :class:`~repro.robustness.faults.FaultInjector`
+— which raises exceptions a caller can contain — an armed crash point
+sends ``SIGKILL`` to its own process: no ``finally`` blocks, no buffer
+flushes, no atexit. This is the only honest way to test a durability
+contract; an in-process exception always unwinds politely.
+
+Arming follows the fault injector's module-singleton pattern: hot paths
+guard on :data:`ACTIVE` being non-None, so with nothing armed the cost is
+one attribute load and a pointer compare. A child process arms itself from
+``REPRO_CRASH_POINT`` / ``REPRO_CRASH_HITS`` at harness startup; the
+N-th arrival at the named point kills the process.
+
+**The harness** (:func:`run_crash_case` / :func:`run_crash_matrix`) runs a
+seeded workload through a :class:`~repro.robustness.durability.durable.
+DurableIndex` in a child process, lets the armed crash point SIGKILL it
+mid-operation, recovers in the parent with
+:class:`~repro.robustness.durability.recovery.RecoveryManager`, and
+verifies the durability contract:
+
+* the recovered index passes ``verify_integrity()`` with no violations;
+* its contents equal a deterministic oracle applied over exactly the
+  recovered LSN prefix (no holes, no reordering, no resurrected deletes);
+* the recovered prefix covers every *acknowledged* operation — the child
+  appends each LSN to a side ``ack.log`` (fsynced after the WAL fsync),
+  so the parent knows a durable lower bound independent of the WAL.
+
+Everything is seeded: the dataset, the op stream, and the LSN→operation
+mapping are reproducible in the parent, so the oracle needs no channel
+other than the config.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ...workloads.operations import Operation
+
+#: Crash points woven into the durability paths. ``crash_here`` literals
+#: are cross-checked against this registry by RL003 (a misspelled point is
+#: never armed, so the crash silently stops firing — same failure mode as
+#: fault points).
+KNOWN_CRASH_POINTS = (
+    "wal.mid_append",      # half the WAL frame written, rest never lands
+    "wal.mid_fsync",       # record written (page cache) but not fsynced
+    "checkpoint.mid_snapshot",  # snapshot promoted, manifest still old/absent
+    "checkpoint.mid_manifest",  # manifest temp written+fsynced, not promoted
+)
+
+#: Environment contract for child processes.
+CRASH_POINT_ENV = "REPRO_CRASH_POINT"
+CRASH_HITS_ENV = "REPRO_CRASH_HITS"
+
+
+@dataclass
+class CrashSpec:
+    """One armed crash point: die on the ``on_hit``-th arrival."""
+
+    point: str
+    on_hit: int = 1
+    hits: int = 0
+
+
+#: The armed crash point, or None (disarmed — the default).
+ACTIVE: CrashSpec | None = None
+
+
+def arm_crash_point(point: str, on_hit: int = 1) -> CrashSpec:
+    """Arm one crash point in this process; returns the spec."""
+    global ACTIVE
+    if point not in KNOWN_CRASH_POINTS:
+        raise ValueError(
+            f"unknown crash point {point!r}; known points: "
+            f"{', '.join(KNOWN_CRASH_POINTS)}"
+        )
+    if on_hit < 1:
+        raise ValueError("on_hit must be >= 1")
+    ACTIVE = CrashSpec(point=point, on_hit=int(on_hit))
+    return ACTIVE
+
+
+def disarm_crash_points() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+def arm_from_env() -> CrashSpec | None:
+    """Arm from ``REPRO_CRASH_POINT``/``REPRO_CRASH_HITS`` (child startup)."""
+    point = os.environ.get(CRASH_POINT_ENV, "")
+    if not point:
+        return None
+    hits = int(os.environ.get(CRASH_HITS_ENV, "1"))
+    return arm_crash_point(point, on_hit=hits)
+
+
+def crash_here(point: str) -> None:
+    """Kill the process if ``point`` is armed and this is the fatal hit.
+
+    Call sites inline the ``ACTIVE is not None`` guard; this function is
+    only entered while a crash point is armed. SIGKILL is delivered to our
+    own pid — unbuffered bytes already handed to the OS survive (page
+    cache), everything else is lost, exactly like a power-cut mid-write.
+    """
+    spec = ACTIVE
+    if spec is None or spec.point != point:
+        return
+    spec.hits += 1
+    if spec.hits >= spec.on_hit:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ---------------------------------------------------------------------------
+# Seeded crash workload (shared between the child process and the oracle)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashWorkloadConfig:
+    """Deterministic workload a crash-case child executes.
+
+    Every field feeds a seeded generator, so the parent can re-derive the
+    exact LSN→operation mapping without any channel from the child.
+    """
+
+    n_keys: int = 1500
+    load_fraction: float = 0.6
+    n_ops: int = 500
+    write_ratio: float = 0.6
+    checkpoint_every: int = 150
+    fsync: str = "always"
+    strategy: str = "ChaB"
+    seed: int = 0
+
+
+def _workload_parts(
+    config: CrashWorkloadConfig,
+) -> tuple[list[float], "list[Operation]"]:
+    """(loaded keys, op stream) for one config — identical in both roles."""
+    from ...datasets import face_like
+    from ...workloads.mixed import read_write_workload, split_load_and_pool
+
+    keys = face_like(config.n_keys, seed=config.seed)
+    loaded, pool = split_load_and_pool(
+        keys, config.load_fraction, seed=config.seed
+    )
+    ops = read_write_workload(
+        loaded, pool, config.n_ops, config.write_ratio, seed=config.seed
+    )
+    return [float(k) for k in loaded], list(ops)
+
+
+def oracle_upto(
+    config: CrashWorkloadConfig, upto_lsn: int
+) -> dict[float, float]:
+    """Expected key→value state after applying the LSN prefix ``upto_lsn``.
+
+    Replays the deterministic workload against a plain dict, assigning
+    LSNs with exactly the :class:`DurableIndex` rules: the bulk load is
+    LSN 1, then every *effective* insert (key absent) and every *effective*
+    delete (key present) takes the next LSN; lookups and no-op writes take
+    none.
+    """
+    from ...workloads.operations import OpKind
+
+    loaded, ops = _workload_parts(config)
+    state: dict[float, float] = {}
+    lsn = 1  # the bulk-load record
+    if upto_lsn < 1:
+        return state
+    state = {k: k for k in loaded}
+    for op in ops:
+        kind = op.kind
+        key = float(op.key)
+        if kind is OpKind.INSERT and key not in state:
+            lsn += 1
+            if lsn > upto_lsn:
+                break
+            state[key] = key
+        elif kind is OpKind.DELETE and key in state:
+            lsn += 1
+            if lsn > upto_lsn:
+                break
+            del state[key]
+    return state
+
+
+def max_oracle_lsn(config: CrashWorkloadConfig) -> int:
+    """Highest LSN the workload produces when it runs to completion."""
+    from ...workloads.operations import OpKind
+
+    loaded, ops = _workload_parts(config)
+    state = {k: k for k in loaded}
+    lsn = 1
+    for op in ops:
+        kind = op.kind
+        key = float(op.key)
+        if kind is OpKind.INSERT and key not in state:
+            lsn += 1
+            state[key] = key
+        elif kind is OpKind.DELETE and key in state:
+            lsn += 1
+            del state[key]
+    return lsn
+
+
+def run_crash_child(workdir: str | Path, config: CrashWorkloadConfig) -> None:
+    """Child-process body: seeded workload through a DurableIndex.
+
+    Appends each acknowledged LSN to ``ack.log`` (fsynced after the WAL
+    ack), so the parent has a durable lower bound on what must survive.
+    Runs to completion and returns when no crash point fires.
+    """
+    from ...baselines.interfaces import DuplicateKeyError
+    from ...core.index import ChameleonIndex
+    from ...workloads.operations import OpKind
+    from .durable import DurableIndex
+
+    arm_from_env()
+    workdir = Path(workdir)
+    loaded, ops = _workload_parts(config)
+    index = ChameleonIndex(strategy=config.strategy)
+    durable = DurableIndex(
+        index,
+        workdir,
+        fsync=config.fsync,
+        checkpoint_every_records=config.checkpoint_every,
+    )
+    ack_fd = os.open(
+        workdir / "ack.log", os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+    )
+
+    def ack(lsn: int) -> None:
+        os.write(ack_fd, f"{lsn}\n".encode())
+        os.fsync(ack_fd)
+
+    try:
+        durable.bulk_load(loaded)
+        ack(durable.last_lsn)
+        for op in ops:
+            kind = op.kind  # type: ignore[attr-defined]
+            key = float(op.key)  # type: ignore[attr-defined]
+            if kind is OpKind.LOOKUP:
+                durable.lookup(key)
+            elif kind is OpKind.INSERT:
+                try:
+                    durable.insert(key)
+                except DuplicateKeyError:
+                    continue
+                ack(durable.last_lsn)
+            elif kind is OpKind.DELETE:
+                if durable.delete(key):
+                    ack(durable.last_lsn)
+        durable.close()
+    finally:
+        os.close(ack_fd)
+
+
+def read_acked_lsn(workdir: str | Path) -> int:
+    """Highest complete LSN line in ``ack.log`` (0 when absent/empty).
+
+    The ack file itself can have a torn final line (the child died mid
+    ``write``); only newline-terminated lines count, mirroring the WAL's
+    own torn-tail rule.
+    """
+    path = Path(workdir) / "ack.log"
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return 0
+    acked = 0
+    for line in raw.split(b"\n")[:-1]:  # last element is torn or empty
+        try:
+            acked = max(acked, int(line))
+        except ValueError:
+            continue  # torn line re-written by a retry; ignore
+    return acked
+
+
+# ---------------------------------------------------------------------------
+# Parent-side case driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CrashCaseReport:
+    """Outcome of one crash point × seed case."""
+
+    point: str
+    seed: int
+    on_hit: int
+    killed: bool = False
+    triggered: bool = False
+    completed: bool = False
+    acked_lsn: int = 0
+    recovered_lsn: int = 0
+    replayed_records: int = 0
+    used_checkpoint: bool = False
+    lost_acked: bool = False
+    state_matches_oracle: bool = False
+    integrity_violations: int = 0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.triggered
+            and not self.lost_acked
+            and self.state_matches_oracle
+            and self.integrity_violations == 0
+        )
+
+
+@dataclass
+class CrashMatrixReport:
+    """Aggregate of a crash point × seed matrix run."""
+
+    cases: list[CrashCaseReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.cases) and all(case.ok for case in self.cases)
+
+    def summary(self) -> str:
+        lines = []
+        for c in self.cases:
+            status = "OK" if c.ok else "FAIL"
+            lines.append(
+                f"{c.point} seed={c.seed} hit={c.on_hit}: {status} "
+                f"(killed={c.killed} acked={c.acked_lsn} "
+                f"recovered={c.recovered_lsn} replayed={c.replayed_records} "
+                f"ckpt={c.used_checkpoint}"
+                + (f" — {c.detail}" if c.detail else "")
+                + ")"
+            )
+        verdict = "OK" if self.ok else "FAILED"
+        return f"crash matrix {verdict}: {len(self.cases)} cases\n" + "\n".join(lines)
+
+
+def _child_env(point: str, on_hit: int) -> dict[str, str]:
+    import repro
+
+    env = dict(os.environ)
+    env[CRASH_POINT_ENV] = point
+    env[CRASH_HITS_ENV] = str(on_hit)
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_root if not existing else f"{src_root}{os.pathsep}{existing}"
+    )
+    return env
+
+
+def default_hit_for(point: str, seed: int) -> int:
+    """Deterministic per-case fatal-hit schedule.
+
+    WAL points are hit on every record, so varying the fatal hit with the
+    seed crashes at different workload depths; checkpoint points fire a
+    couple of times per run, so the first hit is the reliable one.
+    """
+    if point.startswith("wal."):
+        return 23 + 17 * seed
+    return 1
+
+
+def run_crash_case(
+    point: str,
+    seed: int = 0,
+    on_hit: int | None = None,
+    config: CrashWorkloadConfig | None = None,
+    workdir: str | Path | None = None,
+    timeout_s: float = 180.0,
+) -> CrashCaseReport:
+    """One SIGKILL crash-recovery case; see the module docstring."""
+    from ...core.index import ChameleonIndex
+    from .recovery import RecoveryManager
+
+    if point not in KNOWN_CRASH_POINTS:
+        raise ValueError(f"unknown crash point {point!r}")
+    config = config or CrashWorkloadConfig(seed=seed)
+    if config.seed != seed:
+        config = CrashWorkloadConfig(
+            **{**config.__dict__, "seed": seed}
+        )
+    hit = default_hit_for(point, seed) if on_hit is None else int(on_hit)
+    report = CrashCaseReport(point=point, seed=seed, on_hit=hit)
+
+    tmp_ctx: tempfile.TemporaryDirectory[str] | None = None
+    if workdir is None:
+        tmp_ctx = tempfile.TemporaryDirectory(prefix="repro-crash-")
+        workdir = tmp_ctx.name
+    workdir = Path(workdir)
+    try:
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.robustness.durability.crashpoint",
+            "--child",
+            "--workdir",
+            str(workdir),
+            "--seed",
+            str(seed),
+            "--n-keys",
+            str(config.n_keys),
+            "--n-ops",
+            str(config.n_ops),
+            "--write-ratio",
+            str(config.write_ratio),
+            "--checkpoint-every",
+            str(config.checkpoint_every),
+            "--fsync",
+            config.fsync,
+        ]
+        proc = subprocess.run(
+            cmd,
+            env=_child_env(point, hit),
+            capture_output=True,
+            timeout=timeout_s,
+        )
+        report.killed = proc.returncode == -signal.SIGKILL
+        report.completed = proc.returncode == 0
+        report.triggered = report.killed
+        if not report.killed and not report.completed:
+            report.detail = (
+                f"child exited {proc.returncode}: "
+                f"{proc.stderr.decode(errors='replace')[-400:]}"
+            )
+            return report
+
+        report.acked_lsn = read_acked_lsn(workdir)
+        index, recovery = RecoveryManager(
+            workdir, lambda: ChameleonIndex(strategy=config.strategy)
+        ).recover()
+        report.recovered_lsn = recovery.last_lsn
+        report.replayed_records = recovery.replayed_records
+        report.used_checkpoint = recovery.used_checkpoint
+        report.lost_acked = recovery.last_lsn < report.acked_lsn
+
+        expected = oracle_upto(config, recovery.last_lsn)
+        actual = dict(index.items())
+        report.state_matches_oracle = actual == expected
+        if not report.state_matches_oracle:
+            missing = len(set(expected) - set(actual))
+            extra = len(set(actual) - set(expected))
+            report.detail = (
+                f"state mismatch at lsn {recovery.last_lsn}: "
+                f"{missing} missing, {extra} extra keys"
+            )
+        integrity = index.verify_integrity()
+        report.integrity_violations = len(integrity.violations)
+        if recovery.failed_applies:
+            report.detail += f" ({recovery.failed_applies} replay applies failed)"
+            report.state_matches_oracle = False
+        return report
+    finally:
+        if tmp_ctx is not None:
+            tmp_ctx.cleanup()
+
+
+def run_crash_matrix(
+    points: tuple[str, ...] = KNOWN_CRASH_POINTS,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    config: CrashWorkloadConfig | None = None,
+) -> CrashMatrixReport:
+    """Crash-point × seed matrix; every case must recover correctly."""
+    report = CrashMatrixReport()
+    for point in points:
+        for seed in seeds:
+            report.cases.append(
+                run_crash_case(point, seed=seed, config=config)
+            )
+    return report
+
+
+def _child_main(argv: list[str]) -> int:
+    """``python -m repro.robustness.durability.crashpoint --child ...``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="crashpoint-child", add_help=False)
+    parser.add_argument("--child", action="store_true")
+    parser.add_argument("--workdir", required=True)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--n-keys", type=int, default=1500)
+    parser.add_argument("--n-ops", type=int, default=500)
+    parser.add_argument("--write-ratio", type=float, default=0.6)
+    parser.add_argument("--checkpoint-every", type=int, default=150)
+    parser.add_argument("--fsync", default="always")
+    args = parser.parse_args(argv)
+    config = CrashWorkloadConfig(
+        n_keys=args.n_keys,
+        n_ops=args.n_ops,
+        write_ratio=args.write_ratio,
+        checkpoint_every=args.checkpoint_every,
+        fsync=args.fsync,
+        seed=args.seed,
+    )
+    run_crash_child(args.workdir, config)
+    return 0
+
+
+if __name__ == "__main__":
+    # Re-import through the canonical module name: under ``python -m`` this
+    # file runs as ``__main__``, and arming crash points in that duplicate
+    # namespace would leave the instance the WAL consults disarmed.
+    from repro.robustness.durability.crashpoint import _child_main as _main
+
+    sys.exit(_main(sys.argv[1:]))

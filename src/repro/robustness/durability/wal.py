@@ -1,0 +1,519 @@
+"""Segmented, CRC32-framed append-only write-ahead log.
+
+On-disk layout: a directory of segment files named
+``wal-{first_lsn:016d}.seg``. Each segment opens with an 8-byte magic
+(:data:`SEGMENT_MAGIC`) and then holds back-to-back *frames*::
+
+    <IIQB>  crc32  payload_len  lsn  op        (17-byte header)
+    payload                                     (pickled operand tuple)
+
+The CRC covers ``pack('<QB', lsn, op) + payload`` — a frame whose header
+or payload was torn by a crash fails the check and marks the end of the
+recoverable log. ``payload_len`` is sanity-capped so a corrupt length
+field cannot make the scanner swallow the rest of the file as one bogus
+payload.
+
+Records carry monotonically increasing LSNs (starting at 1). Three ops
+exist: INSERT(key, value), DELETE(key), BULK_LOAD(keys, values) — exactly
+the mutations of the :class:`~repro.baselines.interfaces.BaseIndex`
+write API.
+
+Durability knobs:
+
+* ``fsync="always"`` — fsync after every append; the append is the ack.
+* ``fsync="group"`` — fsync every ``group_every`` appends (and on
+  rotation/close); acked-but-unsynced records can be lost to a crash.
+* ``fsync="none"`` — only explicit :meth:`sync` calls fsync.
+
+:attr:`WriteAheadLog.durable_lsn` always tracks the fsynced prefix.
+
+Failure atomicity: if anything raises inside :meth:`append_record` — an OS
+write error, an injected short write, an fsync failure under ``always``
+— the segment is rewound (truncated) to its pre-append length and the
+exception propagates, so the log never retains a frame whose ack the
+caller did not observe. Injected faults (``wal.append``,
+``wal.short_write``, ``wal.fsync`` — see
+:data:`~repro.robustness.faults.KNOWN_FAULT_POINTS`) and crash points
+(``wal.mid_append``, ``wal.mid_fsync``) are woven into this path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator, Sequence
+
+from ...obs import metrics as obs_metrics
+from .. import faults
+from . import crashpoint
+
+SEGMENT_MAGIC = b"RWAL\x00\x00\x00\x01"
+
+_FRAME_HEADER = struct.Struct("<IIQB")  # crc32, payload_len, lsn, op
+_CRC_PREFIX = struct.Struct("<QB")      # lsn, op (covered by the crc)
+
+#: Upper bound on a sane payload; a torn/corrupt length field above this
+#: is treated as end-of-log rather than read as one giant bogus payload.
+MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
+
+OP_INSERT = 1
+OP_DELETE = 2
+OP_BULK_LOAD = 3
+
+OP_NAMES = {OP_INSERT: "insert", OP_DELETE: "delete", OP_BULK_LOAD: "bulk_load"}
+
+FSYNC_POLICIES = ("always", "group", "none")
+
+
+class WALError(Exception):
+    """Raised on invalid WAL usage (bad policy, closed log, bad LSN)."""
+
+
+class TornWriteError(WALError):
+    """Raised when an injected short write tears the frame being appended.
+
+    Exercises the append rollback path: half a frame hits the fd, the
+    error propagates, and :meth:`WriteAheadLog.append_record` truncates the
+    segment back to its pre-append length — the log stays frame-aligned
+    so later appends cannot land after garbage. (Genuinely torn frames
+    *on disk* come from the ``wal.mid_append`` crash point, where the
+    process dies before it can rewind.)
+    """
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One decoded log record."""
+
+    lsn: int
+    op: int
+    payload: tuple[object, ...]
+
+    @property
+    def op_name(self) -> str:
+        return OP_NAMES.get(self.op, f"op{self.op}")
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of scanning the log directory.
+
+    Attributes:
+        records: valid records in LSN order (the recoverable prefix).
+        valid_bytes: per-segment byte offset of the last valid frame end.
+        truncated: True when a torn/corrupt frame (or a later segment
+            after one) was discarded by the scan.
+        detail: human-readable reason for the truncation, if any.
+    """
+
+    records: tuple[WALRecord, ...]
+    valid_bytes: dict[str, int]
+    truncated: bool
+    detail: str = ""
+
+
+def encode_frame(lsn: int, op: int, payload: tuple[object, ...]) -> bytes:
+    """Encode one frame (header + pickled payload)."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    crc = zlib.crc32(_CRC_PREFIX.pack(lsn, op) + body)
+    return _FRAME_HEADER.pack(crc, len(body), lsn, op) + body
+
+
+def _decode_next(buf: bytes, offset: int) -> tuple[WALRecord, int] | None:
+    """Decode the frame at ``offset``; None on a torn/corrupt frame."""
+    end = offset + _FRAME_HEADER.size
+    if end > len(buf):
+        return None
+    crc, payload_len, lsn, op = _FRAME_HEADER.unpack_from(buf, offset)
+    if payload_len > MAX_PAYLOAD_BYTES:
+        return None
+    body_end = end + payload_len
+    if body_end > len(buf):
+        return None
+    body = buf[end:body_end]
+    if zlib.crc32(_CRC_PREFIX.pack(lsn, op) + body) != crc:
+        return None
+    try:
+        payload = pickle.loads(body)
+    except Exception:
+        return None  # crc collision on garbage — treat as corruption
+    if not isinstance(payload, tuple):
+        return None
+    return WALRecord(lsn=lsn, op=op, payload=payload), body_end
+
+
+def _segment_first_lsn(path: Path) -> int | None:
+    """Parse the first-LSN component of a segment filename, if valid."""
+    name = path.name
+    if not (name.startswith("wal-") and name.endswith(".seg")):
+        return None
+    try:
+        return int(name[4:-4])
+    except ValueError:
+        return None
+
+
+def list_segments(directory: str | Path) -> list[Path]:
+    """Segment files in LSN order (ignores foreign files)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    segs = [
+        p for p in directory.iterdir() if _segment_first_lsn(p) is not None
+    ]
+    segs.sort(key=lambda p: _segment_first_lsn(p) or 0)
+    return segs
+
+
+def scan(directory: str | Path) -> ScanResult:
+    """Scan all segments, returning the valid record prefix.
+
+    Never raises on damage: the scan stops at the first torn frame,
+    corrupt CRC, missing/garbled segment magic, or LSN that is not
+    strictly one above its predecessor, and everything after that point
+    (including later segments) is excluded from the result. Read-only —
+    repair happens in :meth:`WriteAheadLog.open` / recovery.
+    """
+    records: list[WALRecord] = []
+    valid_bytes: dict[str, int] = {}
+    truncated = False
+    detail = ""
+    last_lsn = 0
+    for seg in list_segments(directory):
+        if truncated:
+            valid_bytes[seg.name] = 0
+            detail += f"; dropped later segment {seg.name}"
+            continue
+        try:
+            buf = seg.read_bytes()
+        except OSError as exc:
+            truncated = True
+            valid_bytes[seg.name] = 0
+            detail = f"unreadable segment {seg.name}: {exc}"
+            continue
+        if buf[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+            truncated = True
+            valid_bytes[seg.name] = 0
+            detail = f"bad segment magic in {seg.name}"
+            continue
+        offset = len(SEGMENT_MAGIC)
+        if not records:
+            # The oldest surviving segment may start mid-stream (earlier
+            # segments are pruned after a checkpoint); its filename names
+            # its first LSN, which becomes the continuity baseline.
+            last_lsn = (_segment_first_lsn(seg) or 1) - 1
+        while offset < len(buf):
+            decoded = _decode_next(buf, offset)
+            if decoded is None:
+                truncated = True
+                detail = f"torn/corrupt frame in {seg.name} at offset {offset}"
+                break
+            record, next_offset = decoded
+            if record.lsn != last_lsn + 1:
+                truncated = True
+                detail = (
+                    f"LSN discontinuity in {seg.name}: "
+                    f"{record.lsn} after {last_lsn}"
+                )
+                break
+            records.append(record)
+            last_lsn = record.lsn
+            offset = next_offset
+        valid_bytes[seg.name] = offset
+    return ScanResult(
+        records=tuple(records),
+        valid_bytes=valid_bytes,
+        truncated=truncated,
+        detail=detail.lstrip("; "),
+    )
+
+
+class WriteAheadLog:
+    """Append-side handle over a WAL directory.
+
+    Opening scans the existing segments, repairs the tail (truncates the
+    last segment at its final valid frame and deletes any segments after
+    a corruption point), and resumes LSN assignment after the highest
+    surviving record.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: str = "always",
+        segment_max_bytes: int = 4 * 1024 * 1024,
+        group_every: int = 64,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WALError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{', '.join(FSYNC_POLICIES)}"
+            )
+        if segment_max_bytes < 1024:
+            raise WALError("segment_max_bytes must be >= 1024")
+        if group_every < 1:
+            raise WALError("group_every must be >= 1")
+        self.directory = Path(directory)
+        self.fsync_policy = fsync
+        self.segment_max_bytes = int(segment_max_bytes)
+        self.group_every = int(group_every)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+        scan_result = scan(self.directory)
+        self._repair_tail(scan_result)
+        self.last_lsn = (
+            scan_result.records[-1].lsn if scan_result.records else 0
+        )
+        #: Highest LSN known fsynced. Everything surviving a scan was on
+        #: disk when we opened, so the scanned prefix counts as durable.
+        self.durable_lsn = self.last_lsn
+        self._pending_since_sync = 0
+        self._file: IO[bytes] | None = None
+        self._file_fd = -1
+        self._segment_path: Path | None = None
+        self._segment_bytes = 0
+        segments = list_segments(self.directory)
+        if segments:
+            self._open_segment(segments[-1])
+        else:
+            self._start_segment(first_lsn=self.last_lsn + 1)
+
+    # -- segment plumbing ---------------------------------------------------
+
+    def _repair_tail(self, scan_result: ScanResult) -> None:
+        """Truncate the torn tail and drop fully-invalid segments."""
+        if not scan_result.truncated:
+            return
+        for seg in list_segments(self.directory):
+            valid = scan_result.valid_bytes.get(seg.name, 0)
+            if valid <= len(SEGMENT_MAGIC):
+                seg.unlink(missing_ok=True)
+            elif valid < seg.stat().st_size:
+                with open(seg, "r+b") as f:
+                    f.truncate(valid)
+                    f.flush()
+                    os.fsync(f.fileno())
+
+    def _open_segment(self, path: Path) -> None:
+        f = open(path, "ab", buffering=0)
+        self._file = f
+        self._file_fd = f.fileno()
+        self._segment_path = path
+        self._segment_bytes = path.stat().st_size
+
+    def _start_segment(self, first_lsn: int) -> None:
+        path = self.directory / f"wal-{first_lsn:016d}.seg"
+        f = open(path, "ab", buffering=0)
+        if path.stat().st_size == 0:
+            f.write(SEGMENT_MAGIC)
+        self._file = f
+        self._file_fd = f.fileno()
+        self._segment_path = path
+        self._segment_bytes = path.stat().st_size
+        self._fsync_dir()
+
+    def _fsync_dir(self) -> None:
+        """Best-effort fsync of the WAL directory (segment create/delete)."""
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def _rotate(self) -> None:
+        """Close the active segment (syncing pending records) and start new."""
+        self.sync()
+        self._close_file()
+        self._start_segment(first_lsn=self.last_lsn + 1)
+
+    def _close_file(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+            self._file_fd = -1
+
+    # -- appends ------------------------------------------------------------
+
+    def append_record(self, op: int, payload: tuple[object, ...]) -> int:
+        """Append one record; returns its LSN.
+
+        Under ``fsync="always"`` the record is durable when this returns.
+        On any failure the segment is rewound to its pre-append length and
+        the exception propagates — the log never keeps an unacked frame.
+        """
+        if self._file is None:
+            raise WALError("log is closed")
+        counters = None
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("wal.append", counters)
+        if self._segment_bytes >= self.segment_max_bytes:
+            self._rotate()
+        lsn = self.last_lsn + 1
+        frame = encode_frame(lsn, op, payload)
+        start = self._segment_bytes
+        try:
+            short = faults.ACTIVE is not None and faults.ACTIVE.fire(
+                "wal.short_write", counters
+            )
+            if short:
+                os.write(self._file_fd, frame[: max(1, len(frame) // 2)])
+                raise TornWriteError(
+                    f"injected short write tearing lsn {lsn} frame"
+                )
+            if crashpoint.ACTIVE is not None:
+                # Split the write so an armed mid-append crash leaves a
+                # genuinely torn frame in the OS page cache.
+                half = max(1, len(frame) // 2)
+                os.write(self._file_fd, frame[:half])
+                crashpoint.crash_here("wal.mid_append")
+                os.write(self._file_fd, frame[half:])
+            else:
+                os.write(self._file_fd, frame)
+            self._segment_bytes = start + len(frame)
+            self.last_lsn = lsn
+            self._pending_since_sync += 1
+            if self.fsync_policy == "always":
+                self._sync_file()
+            elif (
+                self.fsync_policy == "group"
+                and self._pending_since_sync >= self.group_every
+            ):
+                self._sync_file()
+        except BaseException:
+            self._rewind_to(start, lsn)
+            raise
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.inc("chameleon_wal_records_total")
+            obs_metrics.ACTIVE.inc("chameleon_wal_bytes_total", len(frame))
+        return lsn
+
+    def _rewind_to(self, offset: int, failed_lsn: int) -> None:
+        """Undo a failed append: truncate to the pre-append length."""
+        try:
+            os.ftruncate(self._file_fd, offset)
+        except OSError:
+            # Can't rewind (fd gone?) — poison the handle so no further
+            # appends land after a frame of unknown state.
+            self._close_file()
+            return
+        self._segment_bytes = offset
+        if self.last_lsn == failed_lsn:
+            self.last_lsn = failed_lsn - 1
+            self._pending_since_sync = max(0, self._pending_since_sync - 1)
+
+    def _sync_file(self) -> None:
+        """fsync the active segment and advance ``durable_lsn``."""
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("wal.fsync", None)
+        if crashpoint.ACTIVE is not None:
+            crashpoint.crash_here("wal.mid_fsync")
+        started = time.perf_counter() if obs_metrics.ACTIVE is not None else 0.0
+        os.fsync(self._file_fd)
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.observe(
+                "chameleon_fsync_seconds", time.perf_counter() - started
+            )
+            obs_metrics.ACTIVE.inc("chameleon_wal_fsyncs_total")
+        self.durable_lsn = self.last_lsn
+        self._pending_since_sync = 0
+
+    def sync(self) -> int:
+        """Force-fsync pending records; returns the new durable LSN.
+
+        Unlike an ``always``-mode append failure, a failed explicit sync
+        does not rewind anything: the records stay in the log (they may
+        well be on disk), only ``durable_lsn`` is left unadvanced.
+        """
+        if self._file is None:
+            raise WALError("log is closed")
+        if self._pending_since_sync > 0 or self.durable_lsn < self.last_lsn:
+            self._sync_file()
+        return self.durable_lsn
+
+    # -- maintenance --------------------------------------------------------
+
+    def truncate_upto(self, lsn: int) -> int:
+        """Delete whole segments containing only records with LSN <= lsn.
+
+        Called after a checkpoint: records at or below the checkpoint LSN
+        are redundant. Only entire segments are removed (cheap, and keeps
+        frames aligned); the active segment is never deleted. Returns the
+        number of segments removed.
+        """
+        segments = list_segments(self.directory)
+        removed = 0
+        for i, seg in enumerate(segments):
+            if seg == self._segment_path:
+                break
+            nxt = (
+                _segment_first_lsn(segments[i + 1])
+                if i + 1 < len(segments)
+                else None
+            )
+            # Segment i holds LSNs [first_i, first_{i+1}); removable when
+            # the *next* segment starts at or below lsn+1.
+            if nxt is not None and nxt <= lsn + 1:
+                seg.unlink(missing_ok=True)
+                removed += 1
+            else:
+                break
+        if removed:
+            self._fsync_dir()
+        return removed
+
+    # -- read side ----------------------------------------------------------
+
+    def records(self, after_lsn: int = 0) -> Iterator[WALRecord]:
+        """Valid records with LSN > ``after_lsn``, in order."""
+        for record in scan(self.directory).records:
+            if record.lsn > after_lsn:
+                yield record
+
+    def segment_paths(self) -> Sequence[Path]:
+        return list_segments(self.directory)
+
+    def total_bytes(self) -> int:
+        return sum(p.stat().st_size for p in list_segments(self.directory))
+
+    def close(self) -> None:
+        """Sync (unless policy is ``none``) and close the active segment."""
+        if self._file is None:
+            return
+        if self.fsync_policy != "none":
+            self.sync()
+        self._close_file()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def log_insert(wal: WriteAheadLog, key: float, value: object) -> int:
+    return wal.append_record(OP_INSERT, (key, value))
+
+
+def log_delete(wal: WriteAheadLog, key: float) -> int:
+    return wal.append_record(OP_DELETE, (key,))
+
+
+def log_bulk_load(
+    wal: WriteAheadLog,
+    keys: Sequence[float],
+    values: Sequence[object] | None,
+) -> int:
+    return wal.append_record(
+        OP_BULK_LOAD,
+        (list(keys), None if values is None else list(values)),
+    )

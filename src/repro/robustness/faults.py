@@ -43,6 +43,15 @@ KNOWN_FAULT_POINTS = (
     "interval_lock.retrain",
     "ebh.insert",
     "ebh.expand",
+    # Durability layer (repro.robustness.durability). RAISE at wal.append
+    # aborts the append before any bytes land; SKIP at wal.short_write makes
+    # the WAL write a torn frame prefix and raise TornWriteError; RAISE at
+    # wal.fsync models an fsync error (EIO); RAISE at checkpoint.write
+    # models a checkpoint crashing before the atomic manifest swap.
+    "wal.append",
+    "wal.short_write",
+    "wal.fsync",
+    "checkpoint.write",
 )
 
 

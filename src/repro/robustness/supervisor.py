@@ -25,6 +25,7 @@ import enum
 import random
 import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core.index import ChameleonIndex
 from ..core.interval_lock import IntervalLockManager
@@ -52,6 +53,10 @@ class SupervisorStats:
         recoveries: transitions back to HEALTHY from DEGRADED/HALTED.
         halts: transitions into HALTED.
         watchdog_restarts: dead worker threads replaced by the watchdog.
+        checkpoints_triggered: durability checkpoints requested after
+            sweeps that rebuilt at least one subtree (checkpoint_hook set).
+        checkpoint_failures: checkpoint_hook invocations that raised (the
+            failure is contained; retraining itself is unaffected).
         last_error: repr of the most recent contained exception.
     """
 
@@ -61,6 +66,8 @@ class SupervisorStats:
     recoveries: int = 0
     halts: int = 0
     watchdog_restarts: int = 0
+    checkpoints_triggered: int = 0
+    checkpoint_failures: int = 0
     last_error: str | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -86,6 +93,14 @@ class SupervisedRetrainer:
         halt_cooldown_s: probe cadence while HALTED.
         watchdog_period_s: how often the watchdog checks worker liveness.
         seed: jitter RNG seed.
+        checkpoint_hook: optional callable invoked with the rebuilt-subtree
+            count after every successful sweep that rebuilt at least one
+            subtree — the durability layer passes a closure over
+            :meth:`~repro.robustness.durability.durable.DurableIndex.
+            checkpoint` so rebuild bursts are promptly captured in a
+            snapshot (rebuilds shift much of the index, making the next
+            recovery's replay tail expensive). Exceptions from the hook
+            are contained and counted, never failing the sweep.
     """
 
     def __init__(
@@ -103,6 +118,7 @@ class SupervisedRetrainer:
         halt_cooldown_s: float = 1.0,
         watchdog_period_s: float = 0.25,
         seed: int = 0,
+        checkpoint_hook: Callable[[int], None] | None = None,
     ) -> None:
         self.index = index
         self.lock_manager = lock_manager
@@ -121,6 +137,7 @@ class SupervisedRetrainer:
         self.halt_after = int(halt_after)
         self.halt_cooldown_s = float(halt_cooldown_s)
         self.watchdog_period_s = float(watchdog_period_s)
+        self.checkpoint_hook = checkpoint_hook
         self.stats = SupervisorStats()
         self._health = RetrainerHealth.HEALTHY
         self._rng = random.Random(seed)
@@ -171,7 +188,27 @@ class SupervisedRetrainer:
             self._on_failure(exc)
             return None
         self._on_success()
+        if rebuilt and self.checkpoint_hook is not None:
+            self._run_checkpoint_hook(rebuilt)
         return rebuilt
+
+    def _run_checkpoint_hook(self, rebuilt: int) -> None:
+        """Invoke the durability checkpoint hook with containment."""
+        hook = self.checkpoint_hook
+        if hook is None:
+            return
+        with self.stats._lock:
+            self.stats.checkpoints_triggered += 1
+        try:
+            hook(rebuilt)
+        except Exception as exc:
+            with self.stats._lock:
+                self.stats.checkpoint_failures += 1
+                self.stats.last_error = repr(exc)
+            if obs_trace.ACTIVE is not None:
+                obs_trace.ACTIVE.event(
+                    "supervisor.checkpoint_failed", {"error": repr(exc)}
+                )
 
     def _on_failure(self, exc: Exception) -> None:
         with self.stats._lock:

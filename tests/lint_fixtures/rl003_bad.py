@@ -9,3 +9,12 @@ def hot_path(faults, counters):
 def arm_chaos(injector):
     injector.arm("retrainer.sweeps", "raise", probability=0.5)  # expect[RL003]
     injector.disarm("ebh.inserts")  # expect[RL003]
+
+
+def durable_path(crashpoint):
+    if crashpoint.ACTIVE is not None:
+        crash_here("wal.mid_appendd")  # expect[RL003]
+
+
+def arm_matrix():
+    arm_crash_point("checkpoint.mid_snapshots", on_hit=2)  # expect[RL003]

@@ -14,3 +14,13 @@ def arm_chaos(injector, point):
 
 def unrelated(cannon):
     cannon.fire("not a fault point at all")  # receiver gives no injector hint
+
+
+def durable_path(crashpoint):
+    if crashpoint.ACTIVE is not None:
+        crash_here("wal.mid_append")
+
+
+def arm_matrix(point):
+    arm_crash_point("checkpoint.mid_manifest", on_hit=2)
+    arm_crash_point(point)  # dynamic: validated at runtime

@@ -1,0 +1,317 @@
+"""Tests for the durability layer: WAL, checkpoints, recovery, crash matrix.
+
+The torn-tail fuzz is the core durability contract check: truncate the log
+at *every* byte offset inside the final frame and demand that recovery
+never raises and never loses an operation before the torn one.
+"""
+
+import shutil
+
+import pytest
+
+from repro.baselines import SortedArrayIndex
+from repro.core import ChameleonIndex
+from repro.datasets import face_like
+from repro.robustness.durability import (
+    OP_INSERT,
+    CrashWorkloadConfig,
+    DurableIndex,
+    RecoveryManager,
+    TornWriteError,
+    WriteAheadLog,
+    apply_record,
+    encode_frame,
+    list_segments,
+    list_snapshots,
+    read_manifest,
+    run_crash_case,
+    scan,
+)
+from repro.robustness.faults import FaultInjector, FaultMode, InjectedFault
+
+
+def _durable_workload(directory, n_keys=120, n_ops=30, fsync="always", **kwargs):
+    """Seeded SortedArray workload through a DurableIndex.
+
+    Returns ``(durable, states)`` where ``states[lsn]`` is the expected
+    key->value dict right after the record with that LSN was logged.
+    """
+    keys = [float(k) for k in face_like(n_keys, seed=3)]
+    loaded, pool = keys[: n_keys // 2], keys[n_keys // 2 :]
+    durable = DurableIndex(SortedArrayIndex(), directory, fsync=fsync, **kwargs)
+    durable.bulk_load(loaded)
+    expected = {k: k for k in loaded}
+    states = {durable.last_lsn: dict(expected)}
+    for i in range(n_ops):
+        if i % 3 == 2 and expected:
+            victim = min(expected)
+            assert durable.delete(victim)
+            del expected[victim]
+        else:
+            key = pool[i % len(pool)] + i * 1e-7
+            durable.insert(key)
+            expected[key] = key
+        states[durable.last_lsn] = dict(expected)
+    return durable, states
+
+
+def test_wal_append_scan_roundtrip(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="always") as wal:
+        for i in range(10):
+            lsn = wal.append_record(OP_INSERT, (float(i), float(i)))
+            assert lsn == i + 1
+        assert wal.durable_lsn == 10
+    result = scan(tmp_path)
+    assert not result.truncated
+    assert [r.lsn for r in result.records] == list(range(1, 11))
+    assert [r.payload[0] for r in result.records] == [float(i) for i in range(10)]
+    # Reopen resumes the LSN sequence after the existing tail.
+    with WriteAheadLog(tmp_path, fsync="always") as wal:
+        assert wal.last_lsn == 10
+        assert wal.append_record(OP_INSERT, (10.0, 10.0)) == 11
+
+
+def test_wal_scan_stops_at_corruption(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="always") as wal:
+        for i in range(8):
+            wal.append_record(OP_INSERT, (float(i), float(i)))
+    seg = list_segments(tmp_path)[0]
+    buf = bytearray(seg.read_bytes())
+    clean = scan(tmp_path)
+    # Flip one byte inside the 4th record's frame: everything after it
+    # (including intact later frames) must be discarded.
+    third_end = clean.valid_bytes[seg.name] - sum(
+        len(encode_frame(r.lsn, r.op, r.payload)) for r in clean.records[3:]
+    )
+    buf[third_end + 5] ^= 0xFF
+    seg.write_bytes(bytes(buf))
+    result = scan(tmp_path)
+    assert result.truncated
+    assert [r.lsn for r in result.records] == [1, 2, 3]
+    # A fresh WAL over the damaged directory repairs the tail and resumes.
+    with WriteAheadLog(tmp_path, fsync="always") as wal:
+        assert wal.last_lsn == 3
+        assert wal.append_record(OP_INSERT, (99.0, 99.0)) == 4
+    assert not scan(tmp_path).truncated
+
+
+def test_wal_rotation_and_truncate_upto(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="none", segment_max_bytes=1024) as wal:
+        for i in range(40):
+            wal.append_record(OP_INSERT, (float(i), float(i)))
+        segments = wal.segment_paths()
+        assert len(segments) > 1
+        # Truncating up to the last record of the first segment makes that
+        # whole segment prunable; the active segment always survives.
+        boundary = int(segments[1].name[4:-4]) - 1
+        wal.truncate_upto(boundary)
+        survivors = wal.segment_paths()
+        assert 0 < len(survivors) < len(segments)
+        assert [r.lsn for r in wal.records(after_lsn=boundary)] == list(
+            range(boundary + 1, 41)
+        )
+
+
+def test_torn_tail_fuzz_never_loses_acked_prefix(tmp_path):
+    durable, states = _durable_workload(tmp_path / "base", n_ops=24)
+    durable.close()
+    full_lsn = max(states)
+    seg = list_segments(tmp_path / "base" / "wal")[-1]
+    clean = scan(tmp_path / "base" / "wal")
+    total = clean.valid_bytes[seg.name]
+    last = clean.records[-1]
+    frame_start = total - len(encode_frame(last.lsn, last.op, last.payload))
+
+    # Truncate at every byte offset of the final frame (frame_start =
+    # zero bytes of it survive; total - 1 = all but the last byte).
+    for cut in range(frame_start, total):
+        case_dir = tmp_path / f"cut{cut}"
+        shutil.copytree(tmp_path / "base", case_dir)
+        seg_copy = case_dir / "wal" / seg.name
+        with open(seg_copy, "r+b") as f:
+            f.truncate(cut)
+        index, report = RecoveryManager(case_dir, SortedArrayIndex).recover()
+        assert report.failed_applies == 0
+        assert report.last_lsn == full_lsn - 1, f"cut={cut}"
+        assert dict(index.items()) == states[full_lsn - 1], f"cut={cut}"
+        assert not index.verify_integrity().violations
+
+    # The untruncated directory recovers the full acknowledged state.
+    index, report = RecoveryManager(tmp_path / "base", SortedArrayIndex).recover()
+    assert report.last_lsn == full_lsn
+    assert dict(index.items()) == states[full_lsn]
+
+
+def test_checkpoint_roundtrip_prune_and_tail_replay(tmp_path):
+    durable, states = _durable_workload(
+        tmp_path, n_ops=40, checkpoint_every_records=10, keep_checkpoints=2
+    )
+    durable.close()
+    snapshots = list_snapshots(tmp_path)
+    assert 0 < len(snapshots) <= 2
+    manifest = read_manifest(tmp_path)
+    assert manifest is not None
+    assert manifest.snapshot == snapshots[-1].name
+    index, report = RecoveryManager(tmp_path, SortedArrayIndex).recover()
+    assert report.used_checkpoint
+    assert report.checkpoint_lsn == manifest.last_lsn
+    # Only the tail after the newest checkpoint is replayed.
+    assert report.replayed_records == report.last_lsn - manifest.last_lsn
+    assert dict(index.items()) == states[max(states)]
+
+
+def test_recovery_after_segment_pruning(tmp_path):
+    """Checkpoint truncation prunes whole segments; the surviving log
+    starts mid-stream and recovery must still replay its tail."""
+    durable, states = _durable_workload(
+        tmp_path,
+        n_ops=40,
+        checkpoint_every_records=12,
+        segment_max_bytes=1024,
+    )
+    durable.close()
+    assert len(list_segments(tmp_path / "wal")) >= 1
+    tail = scan(tmp_path / "wal")
+    assert not tail.truncated
+    # Pruning really happened: the log no longer reaches back to LSN 1.
+    assert tail.records and tail.records[0].lsn > 1
+    index, report = RecoveryManager(tmp_path, SortedArrayIndex).recover()
+    assert report.used_checkpoint
+    assert report.failed_applies == 0
+    assert dict(index.items()) == states[max(states)]
+
+
+def test_recovery_survives_missing_manifest(tmp_path):
+    durable, states = _durable_workload(
+        tmp_path, n_ops=25, checkpoint_every_records=10
+    )
+    durable.close()
+    (tmp_path / "MANIFEST").unlink()
+    index, report = RecoveryManager(tmp_path, SortedArrayIndex).recover()
+    assert report.used_checkpoint  # fell back to the snapshot files
+    assert report.failed_applies == 0
+    assert dict(index.items()) == states[max(states)]
+
+
+def test_recovery_with_no_checkpoint_replays_from_empty(tmp_path):
+    durable, states = _durable_workload(tmp_path, n_ops=15)
+    durable.close()
+    index, report = RecoveryManager(tmp_path, SortedArrayIndex).recover()
+    assert not report.used_checkpoint
+    assert report.replayed_records == max(states)
+    assert dict(index.items()) == states[max(states)]
+
+
+def test_double_replay_is_idempotent(tmp_path):
+    durable, states = _durable_workload(tmp_path, n_ops=20)
+    durable.close()
+    index, report = RecoveryManager(tmp_path, SortedArrayIndex).recover()
+    before = dict(index.items())
+    # Replaying the whole log a second time over the recovered index must
+    # be a no-op: inserts hit DuplicateKeyError (swallowed), deletes of
+    # absent keys report False, bulk_load replaces wholesale.
+    replayed = list(scan(tmp_path / "wal").records)
+    assert replayed
+    for record in replayed:
+        apply_record(index, record)
+    assert dict(index.items()) == before == states[max(states)]
+
+
+def _mixed_ops(index, keys, pool):
+    index.bulk_load(keys)
+    results = []
+    for i, key in enumerate(pool):
+        if i % 4 == 3:
+            results.append(index.delete(float(keys[i])))
+        else:
+            index.insert(float(key))
+        results.append(index.lookup(float(keys[(i * 7) % len(keys)])))
+    return results
+
+
+def test_wal_neutrality_counters_bit_identical(tmp_path):
+    """WAL-on and WAL-off runs of one schedule share structural counters.
+
+    The durability wrapper is apply-then-log: every index call it makes is
+    exactly the call the plain run makes (the delete pre-peek restores the
+    counters it touches), so the structural cost model may not move.
+    """
+    keys = [float(k) for k in face_like(400, seed=9)]
+    loaded, pool = keys[:300], keys[300:]
+
+    plain = ChameleonIndex()
+    plain_results = _mixed_ops(plain, loaded, pool)
+
+    wrapped = ChameleonIndex()
+    durable = DurableIndex(wrapped, tmp_path / "dur", fsync="group")
+    durable_results = _mixed_ops(durable, loaded, pool)
+    durable.close()
+
+    assert durable_results == plain_results
+    assert wrapped.counters == plain.counters
+
+
+def test_short_write_fault_rolls_back_and_log_stays_clean(tmp_path):
+    durable, states = _durable_workload(tmp_path, n_ops=5)
+    lsn_before = durable.last_lsn
+    inj = FaultInjector(seed=1)
+    inj.arm("wal.short_write", FaultMode.SKIP, probability=1.0, max_fires=1)
+    with inj.installed():
+        with pytest.raises(TornWriteError):
+            durable.insert(123456.75)
+    # The apply was rolled back and the torn prefix truncated off disk.
+    assert durable.lookup(123456.75) is None
+    assert durable.last_lsn == lsn_before
+    assert dict(durable.items()) == states[lsn_before]
+    # The log is still appendable and the next write is durable.
+    durable.insert(123456.75)
+    durable.close()
+    index, report = RecoveryManager(tmp_path, SortedArrayIndex).recover()
+    assert not report.wal_truncated
+    assert index.lookup(123456.75) == 123456.75
+
+
+def test_fsync_fault_rolls_back_under_always_policy(tmp_path):
+    durable, states = _durable_workload(tmp_path, n_ops=5, fsync="always")
+    lsn_before = durable.last_lsn
+    inj = FaultInjector(seed=1)
+    inj.arm("wal.fsync", FaultMode.RAISE, probability=1.0, max_fires=1)
+    with inj.installed():
+        with pytest.raises(InjectedFault):
+            durable.insert(7777.5)
+    assert durable.lookup(7777.5) is None
+    assert dict(durable.items()) == states[lsn_before]
+    durable.close()
+    index, _ = RecoveryManager(tmp_path, SortedArrayIndex).recover()
+    assert dict(index.items()) == states[lsn_before]
+
+
+def test_delete_rollback_is_not_fault_injected(tmp_path):
+    """A failed append's compensating re-insert must not itself be
+    fault-injectable: with ``ebh.insert`` armed at probability 1.0 the
+    rollback would drop the key from memory while oracle and log keep it
+    (the chaos harness caught exactly this)."""
+    keys = [float(k) for k in face_like(300, seed=2)]
+    durable = DurableIndex(ChameleonIndex(), tmp_path, fsync="always")
+    durable.bulk_load(keys)
+    victim = keys[10]
+    inj = FaultInjector(seed=0)
+    inj.arm("wal.append", FaultMode.RAISE, probability=1.0, max_fires=1)
+    inj.arm("ebh.insert", FaultMode.RAISE, probability=1.0)
+    with inj.installed():
+        with pytest.raises(InjectedFault):
+            durable.delete(victim)
+    assert durable.lookup(victim) == victim
+    assert durable.last_lsn == 1  # only the bulk load ever reached the log
+    durable.close()
+
+
+@pytest.mark.parametrize("point", ["wal.mid_append", "checkpoint.mid_manifest"])
+def test_crash_case_subprocess_recovers_acked_prefix(point, tmp_path):
+    config = CrashWorkloadConfig(
+        n_keys=800, n_ops=120, checkpoint_every=40, fsync="always"
+    )
+    report = run_crash_case(point, seed=0, config=config, workdir=tmp_path)
+    assert report.killed and report.triggered, report
+    assert report.ok, report
+    assert report.recovered_lsn >= report.acked_lsn

@@ -1,9 +1,18 @@
 """Tests for index save/load persistence."""
 
+import pickle
+import struct
+
 import pytest
 
-from repro.baselines import INDEX_REGISTRY, UPDATABLE_INDEXES
+from repro.baselines import (
+    INDEX_REGISTRY,
+    UPDATABLE_INDEXES,
+    PersistenceError,
+    SortedArrayIndex,
+)
 from repro.baselines.btree import BPlusTreeIndex
+from repro.baselines.interfaces import INDEX_FORMAT_VERSION, INDEX_MAGIC
 from repro.core import ChameleonIndex, IntervalLockManager
 from repro.datasets import face_like
 
@@ -57,3 +66,43 @@ def test_restored_index_accepts_updates(name, tmp_path):
         restored.insert(float(k))
     for k in keys[::17]:
         assert restored.lookup(float(k)) == k
+
+
+def test_load_rejects_short_file(tmp_path):
+    path = tmp_path / "short.idx"
+    path.write_bytes(b"RI")
+    with pytest.raises(PersistenceError, match="too short"):
+        SortedArrayIndex.load(path)
+
+
+def test_load_rejects_bad_magic(tmp_path):
+    # A pre-header pickle (or any foreign file) must be rejected before
+    # unpickling, not interpreted as index state.
+    path = tmp_path / "foreign.idx"
+    path.write_bytes(pickle.dumps({"not": "an index"}))
+    with pytest.raises(PersistenceError, match="bad magic"):
+        SortedArrayIndex.load(path)
+
+
+def test_load_rejects_version_mismatch(tmp_path):
+    index = SortedArrayIndex()
+    index.bulk_load([1.0, 2.0, 3.0])
+    path = tmp_path / "versioned.idx"
+    index.save(path)
+    blob = bytearray(path.read_bytes())
+    # Bump the little-endian u16 version field after the 4-byte magic.
+    blob[4:6] = struct.pack("<H", INDEX_FORMAT_VERSION + 1)
+    path.write_bytes(bytes(blob))
+    with pytest.raises(PersistenceError, match="snapshot format"):
+        SortedArrayIndex.load(path)
+
+
+def test_save_is_atomic_no_tmp_left_behind(tmp_path):
+    index = SortedArrayIndex()
+    index.bulk_load([1.0, 2.0, 3.0])
+    path = tmp_path / "atomic.idx"
+    index.save(path)
+    index.save(path)  # overwrite in place goes through the same rename
+    assert [p.name for p in tmp_path.iterdir()] == ["atomic.idx"]
+    header = path.read_bytes()[:4]
+    assert header == INDEX_MAGIC

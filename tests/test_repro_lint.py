@@ -211,7 +211,7 @@ def test_cli_exit_codes_and_flags(tmp_path, capsys):
     )
     out = capsys.readouterr().out
     assert out.startswith("::error")
-    assert json.loads(json_out.read_text())["summary"]["RL003"] == 3
+    assert json.loads(json_out.read_text())["summary"]["RL003"] == 5
 
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
