@@ -19,6 +19,7 @@ for the rule catalogue and suppression syntax.
 from __future__ import annotations
 
 from .context import ModuleContext
+from .coverage import ModuleCoverage, ResolutionCoverage, compute_coverage
 from .engine import LintReport, lint_paths, lint_source
 from .findings import Finding, Severity
 from .registry import Rule, all_rules, get_rule, register_rule
@@ -27,9 +28,12 @@ __all__ = [
     "Finding",
     "LintReport",
     "ModuleContext",
+    "ModuleCoverage",
+    "ResolutionCoverage",
     "Rule",
     "Severity",
     "all_rules",
+    "compute_coverage",
     "get_rule",
     "lint_paths",
     "lint_source",

@@ -3,11 +3,16 @@
 Exit code 0 when no ERROR-severity findings survive suppression, 1
 otherwise. ``--format github`` emits workflow-command annotations for CI;
 ``--json PATH`` additionally writes the machine-readable report.
+``--coverage [PATH]`` writes the call-site resolution-coverage report
+(stdout with no PATH), and ``--min-resolution R`` fails the run when the
+resolution rate drops below the floor — that is the CI gate that keeps
+the analyzer's precision from regressing silently.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -54,6 +59,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse input files across N worker threads",
+    )
+    parser.add_argument(
+        "--coverage",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help=(
+            "write the call-site resolution-coverage JSON report to PATH "
+            "(stdout if PATH is omitted)"
+        ),
+    )
+    parser.add_argument(
+        "--min-resolution",
+        type=float,
+        metavar="RATE",
+        help="fail (exit 1) when the resolution rate is below RATE (0..1)",
+    )
     return parser
 
 
@@ -77,7 +105,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         dropped = {r.strip().upper() for r in args.ignore.split(",") if r.strip()}
         rules = [r for r in rules if r.rule_id not in dropped]
 
-    report = lint_paths(args.paths, rules=rules)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    report = lint_paths(args.paths, rules=rules, jobs=args.jobs)
 
     if args.format == "text":
         print(render_text(report))
@@ -89,7 +121,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.json:
         Path(args.json).write_text(render_json(report) + "\n", encoding="utf-8")
 
-    return report.exit_code()
+    exit_code = report.exit_code()
+    if args.coverage is not None and report.resolution is not None:
+        doc = json.dumps(report.resolution.to_dict(), indent=2) + "\n"
+        if args.coverage == "-":
+            print(doc, end="")
+        else:
+            Path(args.coverage).write_text(doc, encoding="utf-8")
+    if args.min_resolution is not None and report.resolution is not None:
+        rate = report.resolution.rate
+        if rate < args.min_resolution:
+            print(
+                f"resolution rate {rate:.4f} is below the "
+                f"--min-resolution floor {args.min_resolution:.4f} "
+                f"({report.resolution.unresolved} unresolved of "
+                f"{report.resolution.total} call sites)",
+                file=sys.stderr,
+            )
+            exit_code = max(exit_code, 1)
+
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ from .suppress import is_suppressed, parse_suppressions
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .callgraph import CallGraph
+    from .coverage import ResolutionCoverage
     from .interproc import SummaryTable
 
 
@@ -124,6 +125,12 @@ class ProjectContext:
 
             self._summaries = compute_summaries(self.callgraph())
         return self._summaries
+
+    def coverage(self) -> "ResolutionCoverage":
+        """Call-site resolution coverage of this run's call graph."""
+        from .coverage import compute_coverage
+
+        return compute_coverage(self.callgraph())
 
     def is_suppressed(self, rule_id: str, path: str, line: int) -> bool:
         """Suppression lookup routed to the owning module's pragmas."""

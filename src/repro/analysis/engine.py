@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from .context import ModuleContext, ProjectContext
+from .coverage import ResolutionCoverage
 from .findings import Finding, Severity
 from .registry import Rule, all_rules
 
@@ -21,6 +24,10 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
     suppressed: int = 0
+    #: Wall-time per phase (seconds): parse, analyze, rules, total.
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Call-site resolution coverage of the run's call graph.
+    resolution: ResolutionCoverage | None = None
 
     def errors(self) -> list[Finding]:
         return [f for f in self.findings if f.severity is Severity.ERROR]
@@ -35,10 +42,21 @@ class LintReport:
         return 1 if self.errors() else 0
 
     def to_dict(self) -> dict[str, object]:
+        resolution: dict[str, object] | None = None
+        if self.resolution is not None:
+            resolution = {
+                "call_sites": self.resolution.total,
+                "project": self.resolution.project,
+                "external": self.resolution.external,
+                "unresolved": self.resolution.unresolved,
+                "rate": round(self.resolution.rate, 4),
+            }
         return {
-            "version": 1,
+            "version": 2,
             "files_scanned": self.files_scanned,
             "suppressed": self.suppressed,
+            "timings": {k: round(v, 3) for k, v in self.timings.items()},
+            "resolution": resolution,
             "summary": self.by_rule(),
             "findings": [f.to_dict() for f in self.findings],
         }
@@ -123,41 +141,76 @@ def _lint_project(
     modules: list[ModuleContext], rules: Sequence[Rule], report: LintReport
 ) -> None:
     project = ProjectContext(modules=modules)
+    # Build the whole-program analyses eagerly (and exactly once for the
+    # run — every project rule shares this ProjectContext) so the cost is
+    # attributed to the analyze phase, not to whichever rule runs first,
+    # and so the resolution coverage exists even on a rule-less run.
+    t0 = time.perf_counter()
+    project.summaries()
+    report.timings["analyze"] = time.perf_counter() - t0
+    report.resolution = project.coverage()
+
     module_rules = [r for r in rules if not r.project]
     project_rules = [r for r in rules if r.project]
+    t0 = time.perf_counter()
     for ctx in modules:
         _run_module_rules(ctx, module_rules, report)
     _run_project_rules(project, project_rules, report)
+    report.timings["rules"] = time.perf_counter() - t0
     report.findings.sort()
 
 
+def _parse_files(
+    paths: Sequence[Path], report: LintReport, jobs: int
+) -> list[ModuleContext]:
+    """Parse every file, optionally across a thread pool (``--jobs``)."""
+
+    def parse(path: Path) -> ModuleContext | Finding:
+        try:
+            return ModuleContext.from_path(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            return Finding(
+                path=str(path),
+                line=getattr(exc, "lineno", 1) or 1,
+                col=0,
+                rule_id="RL000",
+                message=f"unparseable module: {exc}",
+            )
+
+    if jobs > 1 and len(paths) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(parse, paths))
+    else:
+        results = [parse(path) for path in paths]
+
+    modules: list[ModuleContext] = []
+    for result in results:  # executor.map preserves input order
+        if isinstance(result, Finding):
+            report.findings.append(result)
+        else:
+            modules.append(result)
+    return modules
+
+
 def lint_paths(
-    paths: Sequence[Path | str], rules: Sequence[Rule] | None = None
+    paths: Sequence[Path | str],
+    rules: Sequence[Rule] | None = None,
+    jobs: int = 1,
 ) -> LintReport:
     """Lint every .py file under ``paths`` with ``rules`` (default: all).
 
-    All modules are parsed up front so project rules (``rule.project``)
-    see the whole program — cross-module helper chains included.
+    All modules are parsed up front — across ``jobs`` worker threads when
+    asked — so project rules (``rule.project``) see the whole program,
+    cross-module helper chains included.
     """
     active = list(rules) if rules is not None else all_rules()
     report = LintReport()
-    modules: list[ModuleContext] = []
-    for path in iter_python_files(paths):
-        try:
-            modules.append(ModuleContext.from_path(path))
-        except (SyntaxError, UnicodeDecodeError) as exc:
-            report.findings.append(
-                Finding(
-                    path=str(path),
-                    line=getattr(exc, "lineno", 1) or 1,
-                    col=0,
-                    rule_id="RL000",
-                    message=f"unparseable module: {exc}",
-                )
-            )
-            continue
+    t_start = time.perf_counter()
+    modules = _parse_files(iter_python_files(paths), report, jobs)
+    report.timings["parse"] = time.perf_counter() - t_start
     report.files_scanned = len(modules)
     _lint_project(modules, active, report)
+    report.timings["total"] = time.perf_counter() - t_start
     return report
 
 

@@ -56,8 +56,9 @@ LOCK_METHODS = ("query_lock", "retrain_lock")
 #: Call-name fragments that count as blocking work.
 BLOCKING_FRAGMENTS = ("retrain", "rebuild")
 #: Exact terminal names that count as blocking work. "join" is deliberately
-#: absent: str.join is ubiquitous and harmless.
-BLOCKING_EXACT = ("sleep", "sweep_once", "wait")
+#: absent: str.join is ubiquitous and harmless. "fsync" waits on the disk
+#: and is the single slowest syscall in the durability layer.
+BLOCKING_EXACT = ("sleep", "sweep_once", "wait", "fsync")
 #: Blocking I/O builtins (flagged only as plain-name calls).
 BLOCKING_BUILTINS = ("open", "input")
 
@@ -91,6 +92,11 @@ class FunctionSummary:
     retrain_lock_chain: tuple[str, ...] = ()
     mutates_counters: bool = False
     counter_chain: tuple[str, ...] = ()
+    #: Lock identities this function may acquire, directly or through any
+    #: callee, each with its witness call chain (first element is this
+    #: function, last is the function containing the ``with``). Feeds the
+    #: RL009 lock-order graph.
+    acquires_locks: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
     def chain_text(self) -> str:
         """Human-readable witness, ``f -> g -> h``, bare names only."""
@@ -106,6 +112,11 @@ def blocking_reason_of(call: ast.Call) -> str | None:
     func = call.func
     name = _terminal(func)
     if name is None:
+        return None
+    if is_asyncio_call(func):
+        # asyncio.sleep / asyncio.wait / loop.run_in_executor are the
+        # *cooperative* counterparts — awaiting them is the fix RL010
+        # recommends, so they must never classify as blocking.
         return None
     if isinstance(func, ast.Name) and name in BLOCKING_BUILTINS:
         return f"blocking I/O builtin {name!r}"
@@ -142,7 +153,11 @@ def compute_summaries(graph: CallGraph) -> SummaryTable:
     """Direct-fact scan plus caller-ward fixpoint over ``graph``."""
     table = SummaryTable(graph=graph)
     for qname, info in graph.functions.items():
-        table.summaries[qname] = _direct_facts(qname, info)
+        summary = _direct_facts(qname, info)
+        summary.acquires_locks = {
+            site.lock: (qname,) for site in graph.lock_sites.get(qname, [])
+        }
+        table.summaries[qname] = summary
 
     reverse: dict[str, set[str]] = {}
     for caller, callees in graph.edges.items():
@@ -169,6 +184,7 @@ def compute_summaries(graph: CallGraph) -> SummaryTable:
         fact="mutates_counters",
         chain="counter_chain",
     )
+    _propagate_locks(table, reverse)
     return table
 
 
@@ -215,6 +231,37 @@ def _propagate(
             if fact == "may_block" and caller_summary.blocking_reason is None:
                 caller_summary.blocking_reason = callee_summary.blocking_reason
             worklist.append(caller)
+
+
+def _propagate_locks(table: SummaryTable, reverse: dict[str, set[str]]) -> None:
+    """Caller-ward fixpoint for the per-lock acquisition fact.
+
+    Unlike the boolean facts this merges a *dict* (lock -> witness chain)
+    and a function can be re-queued when a new lock reaches it. The lock
+    protocol's own context managers (functions named ``query_lock`` /
+    ``retrain_lock``) never propagate their internal mutex acquisitions to
+    callers: those mutexes are released before the generator yields, so
+    they are not held across the caller's body and cannot order-deadlock
+    against anything the caller does.
+    """
+    work = [q for q, s in table.summaries.items() if s.acquires_locks]
+    while work:
+        callee = work.pop()
+        info = table.graph.functions.get(callee)
+        if info is not None and info.name in LOCK_METHODS:
+            continue
+        callee_summary = table.summaries[callee]
+        for caller in reverse.get(callee, ()):
+            caller_summary = table.summaries.get(caller)
+            if caller_summary is None:
+                continue
+            changed = False
+            for lock, chain in callee_summary.acquires_locks.items():
+                if lock not in caller_summary.acquires_locks:
+                    caller_summary.acquires_locks[lock] = (caller,) + chain
+                    changed = True
+            if changed:
+                work.append(caller)
 
 
 def _direct_facts(qname: str, info: FunctionInfo) -> FunctionSummary:
@@ -273,6 +320,13 @@ def _direct_facts(qname: str, info: FunctionInfo) -> FunctionSummary:
         summary.blocking_reason = "retrain_lock acquisition"
         summary.blocking_chain = (qname,)
     return summary
+
+
+def is_asyncio_call(func: ast.AST) -> bool:
+    """True for ``asyncio.<...>.<name>(...)`` dotted call targets."""
+    while isinstance(func, ast.Attribute):
+        func = func.value
+    return isinstance(func, ast.Name) and func.id == "asyncio"
 
 
 def _is_lock_call(node: ast.AST) -> bool:

@@ -19,10 +19,15 @@ def render_text(report: LintReport) -> str:
         if counts
         else "clean"
     )
+    tail = ""
+    if report.resolution is not None:
+        tail += f", resolution {report.resolution.rate:.1%}"
+    if "total" in report.timings:
+        tail += f", {report.timings['total']:.2f}s"
     lines.append(
         f"repro-lint: {report.files_scanned} file(s) scanned, "
         f"{len(report.findings)} finding(s) ({summary}), "
-        f"{report.suppressed} suppressed"
+        f"{report.suppressed} suppressed{tail}"
     )
     return "\n".join(lines)
 

@@ -16,4 +16,7 @@ from . import (  # noqa: F401  (imports register the rules)
     rl006_randomness,
     rl007_diagnostics,
     rl008_emissions,
+    rl009_lock_order,
+    rl010_async,
+    rl011_spawn,
 )

@@ -1,0 +1,164 @@
+"""RL010 — no blocking work reachable from an ``async def`` body.
+
+The upcoming async front door (ROADMAP: request coalescing over the batch
+execution layer) runs every coroutine on one event loop. A single
+``time.sleep``, ``os.fsync``, unbounded ``lock.acquire()``, or sync mutex
+``with`` inside a coroutine stalls *every* in-flight request, not just its
+own — the event loop cannot preempt. This rule makes that a lint error
+before the first coroutine lands.
+
+Flagged inside any ``async def`` (nested sync ``def`` bodies excluded —
+they run wherever they are called, which the interprocedural summaries
+already track):
+
+* a direct blocking call (``sleep``/``wait``/``fsync``/retrain/rebuild,
+  blocking I/O builtins) that is **not awaited** — ``asyncio.*`` calls are
+  never flagged, awaited or not, since awaiting them is the fix;
+* ``.acquire()`` on anything without a ``timeout=`` bound;
+* a sync ``with <lock>`` acquisition (an ``async with`` over an asyncio
+  primitive is fine; a bounded ``retrain_lock(..., timeout=...)`` is
+  tolerated as an explicit, bounded trade-off);
+* a non-awaited call whose interprocedural summary may block — reported
+  with the witness chain, same as RL001.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..callgraph import CallGraph, FunctionInfo, FunctionNode
+from ..context import ProjectContext
+from ..findings import Finding
+from ..interproc import (
+    LOCK_METHODS,
+    SummaryTable,
+    blocking_reason_of,
+    is_asyncio_call,
+)
+from ..registry import Rule, register_rule
+
+
+def _iter_own_nodes(fn: FunctionNode) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _awaited_calls(fn: FunctionNode) -> set[int]:
+    return {
+        id(node.value)
+        for node in ast.walk(fn)
+        if isinstance(node, ast.Await) and isinstance(node.value, ast.Call)
+    }
+
+
+def _is_unbounded_acquire(call: ast.Call) -> bool:
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "acquire"
+        and not any(kw.arg == "timeout" for kw in call.keywords)
+        and not call.args  # positional blocking/timeout args count as bounds
+    )
+
+
+@register_rule
+class AsyncSafetyRule(Rule):
+    rule_id = "RL010"
+    name = "async-safety"
+    description = (
+        "no blocking call, unbounded lock acquire, sync lock with-block, "
+        "or fsync may be reachable from an async def body — the event "
+        "loop cannot preempt, so one blocked coroutine stalls all of them"
+    )
+    project = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.callgraph()
+        summaries = project.summaries()
+        for qname, info in graph.functions.items():
+            if not info.is_async:
+                continue
+            yield from self._check_coroutine(qname, info, graph, summaries)
+
+    def _check_coroutine(
+        self,
+        qname: str,
+        info: FunctionInfo,
+        graph: CallGraph,
+        summaries: SummaryTable,
+    ) -> Iterator[Finding]:
+        fn = info.node
+        awaited = _awaited_calls(fn)
+        flagged: set[int] = set()
+        own_calls: set[int] = set()
+
+        for node in _iter_own_nodes(fn):
+            if not isinstance(node, ast.Call) or id(node) in awaited:
+                continue
+            own_calls.add(id(node))
+            if is_asyncio_call(node.func):
+                continue
+            reason = blocking_reason_of(node)
+            if reason is not None:
+                flagged.add(id(node))
+                yield self.finding(
+                    info.ctx,
+                    node,
+                    f"{reason} in async def {info.name!r}: the event loop "
+                    "cannot preempt a blocking call — await the asyncio "
+                    "equivalent or offload via run_in_executor",
+                )
+            elif _is_unbounded_acquire(node):
+                flagged.add(id(node))
+                yield self.finding(
+                    info.ctx,
+                    node,
+                    f"unbounded .acquire() in async def {info.name!r}: a "
+                    "contended sync lock parks the whole event loop — use "
+                    "an asyncio primitive or a timeout= bound",
+                )
+
+        for site in graph.lock_sites.get(qname, ()):
+            if site.is_async_with or site.bounded:
+                continue
+            yield Finding(
+                path=info.ctx.path,
+                line=site.line,
+                col=0,
+                rule_id=self.rule_id,
+                message=(
+                    f"sync lock acquisition ({site.lock!r}) in async def "
+                    f"{info.name!r}: a sync with-block holds the event "
+                    "loop while waiting — use an asyncio lock or bound "
+                    "the acquisition with timeout="
+                ),
+                severity=self.severity,
+            )
+
+        for rc in graph.calls_in.get(qname, ()):
+            call = rc.call
+            if id(call) not in own_calls or id(call) in flagged:
+                continue
+            for callee in sorted(rc.callees):
+                summary = summaries.get(callee)
+                if summary is None or not summary.may_block:
+                    continue
+                callee_info = graph.functions.get(callee)
+                if callee_info is not None and callee_info.name in LOCK_METHODS:
+                    continue  # the with-statement site is flagged above
+                chain = summary.chain_text()
+                reason = summary.blocking_reason or "blocking work"
+                yield self.finding(
+                    info.ctx,
+                    call,
+                    f"call in async def {info.name!r} reaches blocking "
+                    f"work: {chain} ({reason}) — offload via "
+                    "run_in_executor or make the callee async",
+                )
+                break  # one finding per call site

@@ -1,0 +1,202 @@
+"""RL011 — no mutable index/lock state captured across a process spawn.
+
+The sharded multi-process serving tentpole (ROADMAP) will fan work out
+with ``multiprocessing`` / ``ProcessPoolExecutor``. Anything passed to a
+spawned worker is *pickled and copied*: a ``threading.Lock`` either fails
+to pickle or silently stops excluding (each process gets its own), and a
+live index object forks into two divergent copies — updates applied in
+the parent never reach the child, which is precisely the stale-read
+corruption mode concurrent learned-index studies report. Thread spawns
+are exempt: threads share memory, so handing them locks and indexes is
+the point.
+
+Spawn boundaries detected (through import aliases, so ``import
+multiprocessing as mp`` and ``from concurrent.futures import
+ProcessPoolExecutor as Pool`` both count):
+
+* ``multiprocessing.Process(target=..., args=(...))`` — each element of
+  ``args``/``kwargs`` is checked;
+* ``ProcessPoolExecutor(initializer=..., initargs=(...))`` — ditto for
+  ``initargs``;
+* ``<executor>.submit(fn, ...)`` where the receiver was constructed from
+  ``ProcessPoolExecutor(...)`` in the same module — ditto for the
+  arguments after the callable.
+
+An argument is *mutable index/lock state* by the same naming conventions
+the rest of repro-lint uses (receiver names are contracts here): lock-ish
+names (``lock``/``mutex``/``*_lock``/``*_mutex``), index-ish names
+(``index``/``idx``/``*_index``/``*_idx``), manager-ish names
+(``mgr``/``manager``/``*_mgr``/``*_manager``), ``state``/``*_state``,
+and ``self``/any ``self.<attr>`` of those shapes. Pass immutable
+snapshots (arrays, paths, plain tuples) and reconstruct inside the child
+instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..callgraph import is_lockish_name
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, import_aliases, register_rule, terminal_name
+
+_STATE_EXACT = frozenset({"index", "idx", "mgr", "manager", "state", "self"})
+_STATE_SUFFIXES = ("_index", "_idx", "_mgr", "_manager", "_state")
+
+
+def _stateful_name(expr: ast.expr) -> str | None:
+    """The offending identifier if ``expr`` names mutable shared state."""
+    name = terminal_name(expr)
+    if name is None:
+        return None
+    if isinstance(expr, ast.Attribute) and not isinstance(expr.value, ast.Name):
+        # Keep it to one attribute hop (`self.index`, `shard.lock`):
+        # deeper chains are almost always data accessors.
+        return None
+    lowered = name.lower()
+    if is_lockish_name(lowered):
+        return name
+    if lowered in _STATE_EXACT or lowered.endswith(_STATE_SUFFIXES):
+        return name
+    return None
+
+
+def _tuple_args(call: ast.Call, keyword: str) -> list[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == keyword and isinstance(kw.value, (ast.Tuple, ast.List)):
+            return list(kw.value.elts)
+    return []
+
+
+def _scope_nodes(root: ast.AST) -> list[ast.AST]:
+    """Nodes belonging to ``root``'s own scope (nested defs excluded)."""
+    out: list[ast.AST] = []
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+@register_rule
+class SpawnCaptureRule(Rule):
+    rule_id = "RL011"
+    name = "spawn-capture"
+    description = (
+        "mutable index/lock/manager state must not be captured across a "
+        "process-spawn boundary (multiprocessing.Process, "
+        "ProcessPoolExecutor) — the child gets a pickled copy, so locks "
+        "stop excluding and index mutations diverge"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        mp_modules, mp_members = import_aliases(ctx.tree, "multiprocessing")
+        cf_modules, cf_members = import_aliases(ctx.tree, "concurrent.futures")
+        if not (mp_modules or mp_members or cf_modules or cf_members):
+            return
+
+        process_names = {
+            local for local, member in mp_members.items() if member == "Process"
+        }
+        pool_names = {
+            local
+            for local, member in {**mp_members, **cf_members}.items()
+            if member == "ProcessPoolExecutor"
+        }
+        spawn_modules = mp_modules | cf_modules
+
+        def spawn_kind(call: ast.Call) -> str | None:
+            func = call.func
+            if isinstance(func, ast.Name):
+                if func.id in process_names:
+                    return "Process"
+                if func.id in pool_names:
+                    return "ProcessPoolExecutor"
+                return None
+            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                if func.value.id in spawn_modules and func.attr in (
+                    "Process",
+                    "ProcessPoolExecutor",
+                ):
+                    return func.attr
+            return None
+
+        # Walk one scope at a time so a `pool` bound to ProcessPoolExecutor
+        # in one function does not taint a same-named ThreadPoolExecutor
+        # variable elsewhere: `pool.submit` is a spawn boundary only when
+        # *this* scope bound the name to a process pool.
+        scopes: list[ast.AST] = [ctx.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            own = _scope_nodes(scope)
+            pool_vars: set[str] = set()
+            for node in own:
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    if spawn_kind(node.value) == "ProcessPoolExecutor":
+                        for tgt in node.targets:
+                            if isinstance(tgt, ast.Name):
+                                pool_vars.add(tgt.id)
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        if (
+                            isinstance(item.context_expr, ast.Call)
+                            and spawn_kind(item.context_expr)
+                            == "ProcessPoolExecutor"
+                            and isinstance(item.optional_vars, ast.Name)
+                        ):
+                            pool_vars.add(item.optional_vars.id)
+
+            for node in own:
+                if not isinstance(node, ast.Call):
+                    continue
+                kind = spawn_kind(node)
+                if kind == "Process":
+                    yield from self._check_payload(
+                        ctx, node, _tuple_args(node, "args"), "Process args="
+                    )
+                elif kind == "ProcessPoolExecutor":
+                    yield from self._check_payload(
+                        ctx,
+                        node,
+                        _tuple_args(node, "initargs"),
+                        "ProcessPoolExecutor initargs=",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "submit"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in pool_vars
+                ):
+                    yield from self._check_payload(
+                        ctx, node, node.args[1:], "ProcessPoolExecutor.submit"
+                    )
+
+    def _check_payload(
+        self,
+        ctx: ModuleContext,
+        call: ast.Call,
+        payload: list[ast.expr],
+        boundary: str,
+    ) -> Iterator[Finding]:
+        for expr in payload:
+            name = _stateful_name(expr)
+            if name is None:
+                continue
+            yield self.finding(
+                ctx,
+                expr,
+                f"mutable shared state {name!r} captured across a "
+                f"process-spawn boundary ({boundary}): the child gets a "
+                "pickled copy, so the lock stops excluding and index "
+                "mutations diverge — pass an immutable snapshot and "
+                "reconstruct in the child",
+            )

@@ -1,0 +1,34 @@
+"""Known-bad fixture: blocking work hidden behind a project decorator.
+
+The decorated function looks innocent at every call site — the sleep
+lives in the decorator's wrapper, which runs on every call. The call
+graph's decorator edge (``touch -> traced``) routes the wrapper's
+blocking fact to the decorated function. Never imported.
+"""
+
+import functools
+import time
+
+
+def traced(fn):
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        time.sleep(0.001)  # the wrapper taints everything it wraps
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+@traced
+def touch(key):
+    return key
+
+
+class Store:
+    def __init__(self, manager, counters):
+        self.manager = manager
+        self.counters = counters
+
+    def lookup(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            return touch(key)  # expect[RL001]

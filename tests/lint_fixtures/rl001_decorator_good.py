@@ -1,0 +1,30 @@
+"""Known-good fixture: a passthrough decorator does not block.
+
+Same shape as the bad twin, but the wrapper only forwards — no blocking
+fact to propagate along the decorator edge. Never imported.
+"""
+
+import functools
+
+
+def logged(fn):
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+@logged
+def touch(key):
+    return key
+
+
+class Store:
+    def __init__(self, manager, counters):
+        self.manager = manager
+        self.counters = counters
+
+    def lookup(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            return touch(key)

@@ -1,0 +1,51 @@
+"""Known-bad fixture: blocking work reached through callable indirection.
+
+Three higher-order shapes the name-matched graph could not see:
+
+* a callable stored on an attribute by the constructor
+  (``checkpoint_hook`` style) and invoked as ``self.flush_hook()``;
+* the same slot read into a local first (``hook = self.flush_hook``);
+* a callable passed as an argument to a helper that invokes its
+  parameter.
+
+Never imported.
+"""
+
+import time
+
+
+def slow_flush():
+    time.sleep(0.01)
+
+
+def run_hook(hook):
+    hook()
+
+
+class Store:
+    def __init__(self, manager, counters, flush_hook):
+        self.manager = manager
+        self.counters = counters
+        self.flush_hook = flush_hook
+
+    def lookup(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            self.flush_hook()  # expect[RL001]
+            return key
+
+    def lookup_via_local(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            hook = self.flush_hook
+            hook()  # expect[RL001]
+            return key
+
+    def lookup_via_param(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            run_hook(slow_flush)  # expect[RL001]
+            return key
+
+
+def build(manager, counters):
+    # The flow that feeds the slot: without this constructor call the
+    # hook sites have no known target and stay silent.
+    return Store(manager, counters, slow_flush)

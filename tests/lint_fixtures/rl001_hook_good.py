@@ -1,0 +1,41 @@
+"""Known-good fixture: hooks that flow only harmless callables.
+
+Identical call shapes to the bad twin — the slot's only known target is
+counter-free, sleep-free bookkeeping, so no blocking fact reaches the
+query-lock bodies. Never imported.
+"""
+
+
+def note_flush():
+    return 1
+
+
+def run_hook(hook):
+    hook()
+
+
+class Store:
+    def __init__(self, manager, counters, flush_hook):
+        self.manager = manager
+        self.counters = counters
+        self.flush_hook = flush_hook
+
+    def lookup(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            self.flush_hook()
+            return key
+
+    def lookup_via_local(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            hook = self.flush_hook
+            hook()
+            return key
+
+    def lookup_via_param(self, ids, key):
+        with self.manager.query_lock(ids, self.counters):
+            run_hook(note_flush)
+            return key
+
+
+def build(manager, counters):
+    return Store(manager, counters, note_flush)

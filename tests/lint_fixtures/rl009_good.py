@@ -1,0 +1,32 @@
+"""Known-good fixture for RL009: one global lock order, no cycles.
+
+Every path that needs both locks takes ``wal_lock`` before
+``ckpt_lock`` — the lock-order graph is a DAG, including through the
+helper. Never imported.
+"""
+
+import threading
+
+
+class WalStore:
+    def __init__(self):
+        self.wal_lock = threading.Lock()
+        self.ckpt_lock = threading.Lock()
+
+    def _ckpt_section(self):
+        with self.ckpt_lock:
+            return 1
+
+    def append(self, rec):
+        with self.wal_lock:
+            with self.ckpt_lock:
+                return rec
+
+    def checkpoint(self):
+        with self.wal_lock:
+            return self._ckpt_section()
+
+    def ckpt_only(self):
+        # Taking the inner lock alone orders nothing.
+        with self.ckpt_lock:
+            return True

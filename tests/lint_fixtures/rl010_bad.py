@@ -1,0 +1,45 @@
+"""Known-bad fixture for RL010: blocking work inside ``async def`` bodies.
+
+One violation per coroutine: a direct sleep, an fsync, an unbounded
+acquire, a sync lock with-block, and blocking work one call away (the
+interprocedural case). Never imported.
+"""
+
+import asyncio
+import os
+import threading
+import time
+
+
+def slow_refit():
+    time.sleep(0.05)
+
+
+class AsyncFrontDoor:
+    def __init__(self):
+        self._mutex = threading.Lock()
+
+    async def handle(self, key):
+        time.sleep(0.001)  # expect[RL010]
+        return key
+
+    async def flush(self, fd):
+        os.fsync(fd)  # expect[RL010]
+
+    async def guard(self):
+        self._mutex.acquire()  # expect[RL010]
+        try:
+            return 1
+        finally:
+            self._mutex.release()
+
+    async def locked_section(self):
+        with self._mutex:  # expect[RL010]
+            return 2
+
+    async def refit(self):
+        slow_refit()  # expect[RL010]
+
+    async def fine(self, key):
+        await asyncio.sleep(0)
+        return key

@@ -1,0 +1,38 @@
+"""Known-good fixture for RL010: cooperative async patterns.
+
+Awaited asyncio calls, a timeout-bounded acquire, executor offload, and
+blocking work kept in plain sync functions. Never imported.
+"""
+
+import asyncio
+import threading
+import time
+
+
+def slow_refit():
+    time.sleep(0.05)
+
+
+class AsyncFrontDoor:
+    def __init__(self):
+        self._mutex = threading.Lock()
+
+    async def handle(self, key):
+        await asyncio.sleep(0)
+        return key
+
+    async def bounded(self):
+        ok = self._mutex.acquire(timeout=0.1)
+        if ok:
+            self._mutex.release()
+        return ok
+
+    async def offload(self):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, slow_refit)
+
+    def sync_path(self):
+        # Blocking in a sync function is RL001's business (under a query
+        # lock), not RL010's.
+        slow_refit()
+        return 1

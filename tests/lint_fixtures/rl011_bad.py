@@ -1,0 +1,45 @@
+"""Known-bad fixture for RL011: live state shipped across process spawns.
+
+A spawned process pickles its arguments: the child's "lock" excludes
+nothing in the parent and the child's "index" silently diverges. Never
+imported.
+"""
+
+import multiprocessing as mp
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def child(index, lock):
+    with lock:
+        return index
+
+
+def pool_init(state):
+    return state
+
+
+def shard_workers(index, interval_lock):
+    worker = mp.Process(
+        target=child,
+        args=(
+            index,  # expect[RL011]
+            interval_lock,  # expect[RL011]
+        ),
+    )
+    worker.start()
+    return worker
+
+
+def shard_pool(index_mgr):
+    with ProcessPoolExecutor(
+        max_workers=2,
+        initializer=pool_init,
+        initargs=(index_mgr,),  # expect[RL011]
+    ) as pool:
+        pool.submit(
+            child,
+            index_mgr,  # expect[RL011]
+            threading.Lock(),
+        )
+    return pool

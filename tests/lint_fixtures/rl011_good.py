@@ -1,0 +1,37 @@
+"""Known-good fixture for RL011: snapshots across processes, state across
+threads.
+
+Process workers get immutable snapshots and rebuild locally; threads
+share memory, so handing them the live index and its lock is the point,
+not a violation. Never imported.
+"""
+
+import multiprocessing as mp
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def child(keys, values):
+    return len(keys) + len(values)
+
+
+def shard_snapshot(snapshot_keys, snapshot_values):
+    worker = mp.Process(target=child, args=(snapshot_keys, snapshot_values))
+    worker.start()
+    return worker
+
+
+def thread_share(index, interval_lock):
+    worker = threading.Thread(target=child, args=(index, interval_lock))
+    worker.start()
+    return worker
+
+
+def thread_pool(index):
+    with ThreadPoolExecutor() as pool:
+        return pool.submit(child, index, index)
+
+
+def process_pool_snapshot(snapshot):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return pool.submit(child, snapshot, snapshot)

@@ -103,6 +103,261 @@ class TestGraphConstruction:
         assert "lookup" in graph.unresolved["m.f"]
 
 
+class TestTypedReceivers:
+    def test_annotated_param_resolves_generic_name_past_the_cap(self):
+        # The acceptance case: `lookup` is defined by more classes than
+        # the name-match cap allows, but an annotated receiver pins the
+        # owner exactly, so the edge lands on the right class anyway.
+        classes = "\n".join(
+            f"class C{i}:\n    def lookup(self):\n        pass"
+            for i in range(MAX_NAME_CANDIDATES + 2)
+        )
+        ctx = project(
+            ("m.py", f"{classes}\ndef f(x: C3):\n    x.lookup()\n", "m")
+        )
+        assert ctx.callgraph().edges["m.f"] == {"m.C3.lookup"}
+
+    def test_annotated_param_disambiguates_insert(self):
+        ctx = project(
+            (
+                "m.py",
+                "class Btree:\n"
+                "    def insert(self, k):\n"
+                "        pass\n"
+                "class Hash:\n"
+                "    def insert(self, k):\n"
+                "        pass\n"
+                "def g(t: Btree):\n"
+                "    t.insert(1)\n",
+                "m",
+            )
+        )
+        assert ctx.callgraph().edges["m.g"] == {"m.Btree.insert"}
+
+    def test_local_constructor_assignment_types_the_receiver(self):
+        ctx = project(
+            (
+                "m.py",
+                "class Btree:\n"
+                "    def insert(self, k):\n"
+                "        pass\n"
+                "class Hash:\n"
+                "    def insert(self, k):\n"
+                "        pass\n"
+                "def f():\n"
+                "    idx = Btree()\n"
+                "    idx.insert(1)\n",
+                "m",
+            )
+        )
+        assert "m.Btree.insert" in ctx.callgraph().edges["m.f"]
+        assert "m.Hash.insert" not in ctx.callgraph().edges["m.f"]
+
+    def test_return_annotation_propagates_to_local(self):
+        ctx = project(
+            (
+                "m.py",
+                "class Btree:\n"
+                "    def insert(self, k):\n"
+                "        pass\n"
+                "class Hash:\n"
+                "    def insert(self, k):\n"
+                "        pass\n"
+                "def make() -> Btree:\n"
+                "    return Btree()\n"
+                "def f():\n"
+                "    t = make()\n"
+                "    t.insert(1)\n",
+                "m",
+            )
+        )
+        edges = ctx.callgraph().edges["m.f"]
+        assert "m.make" in edges
+        assert "m.Btree.insert" in edges
+        assert "m.Hash.insert" not in edges
+
+    def test_self_attribute_assignment_types_the_receiver(self):
+        ctx = project(
+            (
+                "m.py",
+                "class Btree:\n"
+                "    def insert(self, k):\n"
+                "        pass\n"
+                "class Hash:\n"
+                "    def insert(self, k):\n"
+                "        pass\n"
+                "class Store:\n"
+                "    def __init__(self):\n"
+                "        self.tree = Btree()\n"
+                "    def put(self, k):\n"
+                "        self.tree.insert(k)\n",
+                "m",
+            )
+        )
+        assert ctx.callgraph().edges["m.Store.put"] == {"m.Btree.insert"}
+
+    def test_externally_typed_receiver_classifies_external(self):
+        ctx = project(
+            (
+                "m.py",
+                "import threading\n"
+                "def acquire(lock: threading.Lock):\n"
+                "    lock.acquire()\n",
+                "m",
+            )
+        )
+        graph = ctx.callgraph()
+        (site,) = graph.sites["m"]
+        assert site.kind == "external"
+        assert "m.acquire" not in graph.unresolved
+
+
+class TestHigherOrder:
+    def test_project_decorator_creates_edge(self):
+        ctx = project(
+            (
+                "m.py",
+                "def traced(fn):\n"
+                "    def wrapper(*a, **k):\n"
+                "        return fn(*a, **k)\n"
+                "    return wrapper\n"
+                "@traced\n"
+                "def op():\n"
+                "    pass\n",
+                "m",
+            )
+        )
+        assert "m.traced" in ctx.callgraph().edges["m.op"]
+
+    def test_callable_stored_on_attribute_flows_to_call_site(self):
+        ctx = project(
+            (
+                "m.py",
+                "def slow_flush():\n"
+                "    pass\n"
+                "class Writer:\n"
+                "    def __init__(self, hook):\n"
+                "        self.hook = hook\n"
+                "    def flush(self):\n"
+                "        self.hook()\n"
+                "def build():\n"
+                "    return Writer(slow_flush)\n",
+                "m",
+            )
+        )
+        assert "m.slow_flush" in ctx.callgraph().edges["m.Writer.flush"]
+
+    def test_callable_passed_to_invoking_param_creates_edge(self):
+        ctx = project(
+            (
+                "m.py",
+                "def slow():\n"
+                "    pass\n"
+                "def run_hook(fn):\n"
+                "    fn()\n"
+                "def caller():\n"
+                "    run_hook(slow)\n",
+                "m",
+            )
+        )
+        edges = ctx.callgraph().edges
+        assert "m.slow" in edges["m.run_hook"]
+        assert "m.run_hook" in edges["m.caller"]
+
+    def test_thread_target_is_a_non_invoking_sink(self):
+        ctx = project(
+            (
+                "m.py",
+                "import threading\n"
+                "def slow():\n"
+                "    pass\n"
+                "def spawn():\n"
+                "    threading.Thread(target=slow).start()\n",
+                "m",
+            )
+        )
+        assert "m.slow" not in ctx.callgraph().edges.get("m.spawn", set())
+
+
+class TestLockSites:
+    def test_protocol_lock_site_recorded(self):
+        ctx = project(
+            (
+                "m.py",
+                "def swap(mgr, ids):\n"
+                "    with mgr.retrain_lock(ids):\n"
+                "        pass\n",
+                "m",
+            )
+        )
+        (site,) = ctx.callgraph().lock_sites["m.swap"]
+        assert site.lock == "interval.retrain_lock"
+        assert site.line <= site.end_line
+
+    def test_timeout_keyword_marks_the_site_bounded(self):
+        ctx = project(
+            (
+                "m.py",
+                "def swap(mgr, ids):\n"
+                "    with mgr.query_lock(ids, timeout=0.5):\n"
+                "        pass\n",
+                "m",
+            )
+        )
+        (site,) = ctx.callgraph().lock_sites["m.swap"]
+        assert site.bounded
+
+    def test_typed_mutex_attribute_gets_class_scoped_identity(self):
+        ctx = project(
+            (
+                "m.py",
+                "import threading\n"
+                "class Wal:\n"
+                "    def __init__(self):\n"
+                "        self._mutex = threading.Lock()\n"
+                "    def append(self):\n"
+                "        with self._mutex:\n"
+                "            pass\n",
+                "m",
+            )
+        )
+        (site,) = ctx.callgraph().lock_sites["m.Wal.append"]
+        assert site.lock == "m.Wal._mutex"
+
+
+class TestCoverage:
+    def test_sites_classified_and_rate_computed(self):
+        classes = "\n".join(
+            f"class C{i}:\n    def lookup(self):\n        pass"
+            for i in range(MAX_NAME_CANDIDATES + 1)
+        )
+        ctx = project(
+            (
+                "m.py",
+                "import numpy as np\n"
+                f"{classes}\n"
+                "def helper():\n"
+                "    pass\n"
+                "def f(x):\n"
+                "    helper()\n"
+                "    np.sum([1])\n"
+                "    x.lookup()\n",
+                "m",
+            )
+        )
+        coverage = ctx.coverage()
+        entry = coverage.modules["m"]
+        assert entry.project >= 1
+        assert entry.external >= 1
+        assert entry.unresolved == 1
+        ((line, caller, name),) = entry.unresolved_sites
+        assert (caller, name) == ("m.f", "lookup")
+        assert 0.0 < coverage.rate < 1.0
+        doc = coverage.to_dict()
+        assert doc["schema"] == "repro-lint-coverage/v1"
+        assert doc["totals"]["call_sites"] == entry.total
+
+
 class TestSummaries:
     def test_direct_and_transitive_blocking(self):
         ctx = project(

@@ -53,6 +53,8 @@ def findings_for(path: Path, rule_id: str) -> set[tuple[str, int]]:
     [
         ("RL001", "rl001_bad.py", "rl001_good.py"),
         ("RL001", "rl001_interproc_bad.py", "rl001_interproc_good.py"),
+        ("RL001", "rl001_decorator_bad.py", "rl001_decorator_good.py"),
+        ("RL001", "rl001_hook_bad.py", "rl001_hook_good.py"),
         ("RL002", "rl002_bad.py", "rl002_good.py"),
         ("RL002", "rl002_batch_bad.py", "rl002_batch_good.py"),
         ("RL003", "rl003_bad.py", "rl003_good.py"),
@@ -62,6 +64,9 @@ def findings_for(path: Path, rule_id: str) -> set[tuple[str, int]]:
         ("RL006", "rl006_bad.py", "rl006_good.py"),
         ("RL007", "rl007_bad.py", "rl007_good.py"),
         ("RL008", "core/rl008_bad.py", "core/rl008_good.py"),
+        ("RL009", "rl009_bad.py", "rl009_good.py"),
+        ("RL010", "rl010_bad.py", "rl010_good.py"),
+        ("RL011", "rl011_bad.py", "rl011_good.py"),
     ],
 )
 def test_rule_detects_exactly_the_marked_lines(rule_id, bad, good):
@@ -72,7 +77,7 @@ def test_rule_detects_exactly_the_marked_lines(rule_id, bad, good):
     assert findings_for(FIXTURES / good, rule_id) == set()
 
 
-def test_eight_rules_registered():
+def test_eleven_rules_registered():
     ids = [r.rule_id for r in all_rules()]
     assert ids == [
         "RL001",
@@ -83,6 +88,9 @@ def test_eight_rules_registered():
         "RL006",
         "RL007",
         "RL008",
+        "RL009",
+        "RL010",
+        "RL011",
     ]
     for rule in all_rules():
         assert rule.name and rule.description
@@ -171,9 +179,11 @@ def test_unparseable_file_reports_rl000(tmp_path):
 def test_json_report_schema():
     report = lint_paths([FIXTURES / "rl006_bad.py"])
     payload = json.loads(render_json(report))
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["files_scanned"] == 1
     assert payload["summary"].get("RL006") == 4
+    assert set(payload["timings"]) >= {"parse", "analyze", "rules", "total"}
+    assert 0.0 <= payload["resolution"]["rate"] <= 1.0
     first = payload["findings"][0]
     assert set(first) == {"path", "line", "col", "rule", "severity", "message"}
 
@@ -215,7 +225,63 @@ def test_cli_exit_codes_and_flags(tmp_path, capsys):
 
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    assert out.count("RL0") == 8
+    assert out.count("RL0") == 11
+
+
+def test_cli_coverage_report_and_resolution_gate(tmp_path, capsys):
+    cov_out = tmp_path / "coverage.json"
+    assert lint_main([str(SRC), "--coverage", str(cov_out)]) == 0
+    capsys.readouterr()
+    payload = json.loads(cov_out.read_text())
+    assert payload["schema"] == "repro-lint-coverage/v1"
+    totals = payload["totals"]
+    assert totals["call_sites"] == (
+        totals["project"] + totals["external"] + totals["unresolved"]
+    )
+    assert totals["rate"] >= 0.90  # acceptance floor for src/
+    assert payload["modules"], "per-module breakdown missing"
+    assert "repro.analysis.engine" in payload["modules"]
+    for entry in payload["modules"].values():
+        assert set(entry) >= {"path", "call_sites", "unresolved", "rate"}
+        for site in entry["unresolved_sites"]:
+            assert set(site) == {"line", "caller", "name"}
+
+    # `--coverage` with no path streams the JSON doc to stdout.
+    assert lint_main([str(FIXTURES / "rl006_bad.py"), "--coverage"]) == 1
+    out = capsys.readouterr().out
+    start = out.index("{")
+    assert json.loads(out[start:])["schema"] == "repro-lint-coverage/v1"
+
+
+def test_cli_min_resolution_floor(capsys):
+    # An impossible floor turns an otherwise-clean run into a failure.
+    assert lint_main([str(SRC), "--min-resolution", "1.0"]) >= 1
+    err = capsys.readouterr().err
+    assert "resolution" in err
+
+    assert lint_main([str(SRC), "--min-resolution", "0.90"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_parallel_jobs_match_serial(capsys):
+    assert lint_main([str(FIXTURES), "--jobs", "4"]) == 1
+    parallel_out = capsys.readouterr().out
+    assert lint_main([str(FIXTURES)]) == 1
+    serial_out = capsys.readouterr().out
+    strip = lambda text: [  # noqa: E731 - timings differ run to run
+        line for line in text.splitlines() if not line.startswith("repro-lint:")
+    ]
+    assert strip(parallel_out) == strip(serial_out)
+
+    assert lint_main([str(FIXTURES), "--jobs", "0"]) == 2
+    capsys.readouterr()
+
+
+def test_src_resolution_rate_meets_floor():
+    report = lint_paths([SRC])
+    assert report.resolution is not None
+    assert report.resolution.rate >= 0.90
+    assert report.resolution.total > 1000
 
 
 def test_module_context_from_source_suppressions():
