@@ -19,9 +19,12 @@ from repro.datasets import face_like
 from repro.workloads.operations import OpKind, Operation, run_workload
 
 
+SEED = 5  # one stream for dataset + insert permutation
+
+
 def main() -> None:
-    keys = face_like(40_000, seed=5)
-    rng = np.random.default_rng(5)
+    keys = face_like(40_000, seed=SEED)
+    rng = np.random.default_rng(SEED)
     perm = rng.permutation(keys)
     loaded = np.sort(perm[:10_000])
     stream = perm[10_000:]

@@ -10,9 +10,12 @@ from repro import ChameleonIndex
 from repro.datasets import face_like, lsn_as_pi_fraction, measured_lsn
 
 
+SEED = 7  # dataset and probe stream
+
+
 def main() -> None:
     # 1. A locally skewed dataset (synthetic stand-in for the paper's FACE).
-    keys = face_like(50_000, seed=7)
+    keys = face_like(50_000, seed=SEED)
     print(f"dataset: {len(keys):,} keys, lsn = {lsn_as_pi_fraction(measured_lsn(keys))}")
 
     # 2. Build the full Chameleon (DARE chooses the upper levels, TSMDP
@@ -26,7 +29,7 @@ def main() -> None:
           f"size = {index.size_bytes() / 2**20:.2f} MiB")
 
     # 3. Point lookups.
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(SEED)
     probes = rng.choice(keys, 5)
     for k in probes:
         assert index.lookup(float(k)) == k

@@ -21,8 +21,8 @@ from repro.datasets import lsn_as_pi_fraction, measured_lsn, skew_mixture
 from repro.workloads.operations import OpKind, Operation, run_workload
 
 
-def lookup_cost(index, keys, n=4000) -> float:
-    rng = np.random.default_rng(0)
+def lookup_cost(index, keys, n=4000, seed=0) -> float:
+    rng = np.random.default_rng(seed)
     ops = [Operation(OpKind.LOOKUP, float(k)) for k in rng.choice(keys, n)]
     return run_workload(index, ops).structural_cost_per_op()
 

@@ -22,8 +22,8 @@ from repro.rl import MARLTrainer
 from repro.workloads.operations import OpKind, Operation, run_workload
 
 
-def lookup_cost(index, keys, n=3000) -> float:
-    rng = np.random.default_rng(1)
+def lookup_cost(index, keys, n=3000, seed=1) -> float:
+    rng = np.random.default_rng(seed)
     ops = [Operation(OpKind.LOOKUP, float(k)) for k in rng.choice(keys, n)]
     return run_workload(index, ops).structural_cost_per_op()
 

@@ -19,13 +19,18 @@ for the rule catalogue and suppression syntax.
 from __future__ import annotations
 
 from .context import ModuleContext
+from .contracts import KNOWN_CONTRACTS, declared_contract
 from .coverage import ModuleCoverage, ResolutionCoverage, compute_coverage
+from .effects import EffectSummary, EffectTable, compute_effects
 from .engine import LintReport, lint_paths, lint_source
 from .findings import Finding, Severity
 from .registry import Rule, all_rules, get_rule, register_rule
 
 __all__ = [
+    "EffectSummary",
+    "EffectTable",
     "Finding",
+    "KNOWN_CONTRACTS",
     "LintReport",
     "ModuleContext",
     "ModuleCoverage",
@@ -34,6 +39,8 @@ __all__ = [
     "Severity",
     "all_rules",
     "compute_coverage",
+    "compute_effects",
+    "declared_contract",
     "get_rule",
     "lint_paths",
     "lint_source",

@@ -6,7 +6,12 @@ otherwise. ``--format github`` emits workflow-command annotations for CI;
 ``--coverage [PATH]`` writes the call-site resolution-coverage report
 (stdout with no PATH), and ``--min-resolution R`` fails the run when the
 resolution rate drops below the floor — that is the CI gate that keeps
-the analyzer's precision from regressing silently.
+the analyzer's precision from regressing silently. ``--effects [PATH]``
+writes the interprocedural effect-summary artifact (may-raise sets,
+counter effects, resource findings, contract proof status), and
+``--self-check-fixtures DIR`` verifies every registered rule has at
+least one bad and one good fixture under DIR — the guard against
+silently dead rules.
 """
 
 from __future__ import annotations
@@ -82,11 +87,65 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RATE",
         help="fail (exit 1) when the resolution rate is below RATE (0..1)",
     )
+    parser.add_argument(
+        "--effects",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help=(
+            "write the effect-summary JSON artifact to PATH "
+            "(stdout if PATH is omitted)"
+        ),
+    )
+    parser.add_argument(
+        "--self-check-fixtures",
+        metavar="DIR",
+        help=(
+            "verify every registered rule has at least one bad and one "
+            "good fixture under DIR, then exit"
+        ),
+    )
     return parser
+
+
+def self_check_fixtures(root: Path) -> int:
+    """Assert every RL rule has a ``rlXXX*bad*.py`` / ``rlXXX*good*.py`` pair.
+
+    A rule whose fixtures went missing (or were never written) would pass
+    every CI run vacuously; this check turns that silence into a failure.
+    """
+    if not root.is_dir():
+        print(f"fixture directory not found: {root}", file=sys.stderr)
+        return 2
+    missing: list[str] = []
+    for rule in all_rules():
+        rid = rule.rule_id.lower()
+        bad = sorted(root.rglob(f"{rid}*bad*.py"))
+        good = sorted(root.rglob(f"{rid}*good*.py"))
+        status = "ok"
+        if not bad or not good:
+            status = "MISSING " + "/".join(
+                kind for kind, found in (("bad", bad), ("good", good)) if not found
+            )
+            missing.append(rule.rule_id)
+        print(
+            f"{rule.rule_id}: {len(bad)} bad, {len(good)} good fixture(s) "
+            f"[{status}]"
+        )
+    if missing:
+        print(
+            f"rules without a full fixture pair: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.self_check_fixtures:
+        return self_check_fixtures(Path(args.self_check_fixtures))
 
     rules = all_rules()
     if args.list_rules:
@@ -128,6 +187,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(doc, end="")
         else:
             Path(args.coverage).write_text(doc, encoding="utf-8")
+    if args.effects is not None and report.effects is not None:
+        doc = json.dumps(report.effects.to_dict(), indent=2) + "\n"
+        if args.effects == "-":
+            print(doc, end="")
+        else:
+            Path(args.effects).write_text(doc, encoding="utf-8")
     if args.min_resolution is not None and report.resolution is not None:
         rate = report.resolution.rate
         if rate < args.min_resolution:

@@ -12,6 +12,7 @@ from .suppress import is_suppressed, parse_suppressions
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .callgraph import CallGraph
     from .coverage import ResolutionCoverage
+    from .effects import EffectTable
     from .interproc import SummaryTable
 
 
@@ -105,6 +106,7 @@ class ProjectContext:
     _by_path: dict[str, ModuleContext] = field(default_factory=dict, repr=False)
     _callgraph: "CallGraph | None" = field(default=None, repr=False)
     _summaries: "SummaryTable | None" = field(default=None, repr=False)
+    _effects: "EffectTable | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self._by_path = {m.path: m for m in self.modules}
@@ -125,6 +127,14 @@ class ProjectContext:
 
             self._summaries = compute_summaries(self.callgraph())
         return self._summaries
+
+    def effects(self) -> "EffectTable":
+        """Interprocedural effect summaries (may-raise / counters / resources)."""
+        if self._effects is None:
+            from .effects import compute_effects
+
+            self._effects = compute_effects(self.callgraph())
+        return self._effects
 
     def coverage(self) -> "ResolutionCoverage":
         """Call-site resolution coverage of this run's call graph."""

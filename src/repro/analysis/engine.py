@@ -10,6 +10,7 @@ from typing import Iterable, Sequence
 
 from .context import ModuleContext, ProjectContext
 from .coverage import ResolutionCoverage
+from .effects import EffectTable
 from .findings import Finding, Severity
 from .registry import Rule, all_rules
 
@@ -28,6 +29,8 @@ class LintReport:
     timings: dict[str, float] = field(default_factory=dict)
     #: Call-site resolution coverage of the run's call graph.
     resolution: ResolutionCoverage | None = None
+    #: Interprocedural effect summaries (drives the ``--effects`` artifact).
+    effects: EffectTable | None = None
 
     def errors(self) -> list[Finding]:
         return [f for f in self.findings if f.severity is Severity.ERROR]
@@ -51,12 +54,27 @@ class LintReport:
                 "unresolved": self.resolution.unresolved,
                 "rate": round(self.resolution.rate, 4),
             }
+        effects: dict[str, object] | None = None
+        if self.effects is not None:
+            summaries = self.effects.effects.values()
+            effects = {
+                "functions_analyzed": len(self.effects.effects),
+                "may_raise": sum(1 for s in summaries if s.raises),
+                "counter_mutating": sum(
+                    1 for s in self.effects.effects.values() if s.counter_mutates
+                ),
+                "resource_findings": sum(
+                    len(s.resources) for s in self.effects.effects.values()
+                ),
+                "declared_contracts": len(self.effects.declared),
+            }
         return {
-            "version": 2,
+            "version": 3,
             "files_scanned": self.files_scanned,
             "suppressed": self.suppressed,
             "timings": {k: round(v, 3) for k, v in self.timings.items()},
             "resolution": resolution,
+            "effects": effects,
             "summary": self.by_rule(),
             "findings": [f.to_dict() for f in self.findings],
         }
@@ -147,6 +165,7 @@ def _lint_project(
     # and so the resolution coverage exists even on a rule-less run.
     t0 = time.perf_counter()
     project.summaries()
+    report.effects = project.effects()
     report.timings["analyze"] = time.perf_counter() - t0
     report.resolution = project.coverage()
 
@@ -177,9 +196,24 @@ def _parse_files(
                 message=f"unparseable module: {exc}",
             )
 
+    def parse_threaded(path: Path) -> ModuleContext | Finding | None:
+        try:
+            return parse(path)
+        except (RecursionError, SystemError):
+            # CPython 3.11's compile() recursion accounting is not
+            # reliably thread-safe and can raise a spurious SystemError
+            # ("AST constructor recursion depth mismatch") under
+            # concurrent parses; None marks the file for the serial
+            # second pass below.
+            return None
+
     if jobs > 1 and len(paths) > 1:
         with ThreadPoolExecutor(max_workers=jobs) as pool:
-            results = list(pool.map(parse, paths))
+            threaded = list(pool.map(parse_threaded, paths))
+        results = [
+            got if got is not None else parse(path)
+            for got, path in zip(threaded, paths)
+        ]
     else:
         results = [parse(path) for path in paths]
 

@@ -19,4 +19,7 @@ from . import (  # noqa: F401  (imports register the rules)
     rl009_lock_order,
     rl010_async,
     rl011_spawn,
+    rl012_no_raise,
+    rl013_counter_neutral,
+    rl014_resources,
 )

@@ -1,0 +1,55 @@
+"""RL012 — declared no-raise surfaces must have an empty may-raise set.
+
+The durability layer's crash-safety story rests on a handful of
+functions that promise to *never raise on damaged state*:
+``wal.scan()`` turns torn frames into a truncated result,
+``RecoveryManager.recover()`` demotes unreadable snapshots to fallbacks,
+the :class:`DurableIndex` rollback guard must not itself be injectable,
+and ``verify_integrity()`` reports violations instead of throwing. An
+exception escaping any of them converts tolerated damage into a crashed
+process — precisely the failure "Are Updatable Learned Indexes Ready?"
+observes on rarely-exercised error paths, and one example-based tests
+can only sample.
+
+This rule checks the promise against the interprocedural may-raise
+summaries of :mod:`repro.analysis.effects`: for every function declared
+``no_raise`` (via ``@declared_contract("no_raise")`` or the curated
+table in :mod:`repro.analysis.contracts`), the escaping may-raise set
+must be empty. Each finding carries a witness chain naming the raising
+site and the unguarded call path to it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..context import ProjectContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+
+@register_rule
+class NoRaiseRule(Rule):
+    rule_id = "RL012"
+    name = "no-raise-surfaces"
+    description = (
+        "functions declared no_raise must have an empty escaping "
+        "may-raise set (witnessed interprocedurally)"
+    )
+    project = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        table = project.effects()
+        for qname, info in table.declared_functions("no_raise"):
+            summary = table.effect_of(qname)
+            if summary is None:
+                continue
+            for exc in sorted(summary.raises):
+                fact = summary.raises[exc]
+                yield self.finding(
+                    info.ctx,
+                    info.node,
+                    f"'{info.name}' is declared no_raise but may raise "
+                    f"{exc}: {fact.origin} at {fact.site} "
+                    f"(path {fact.chain_text()})",
+                )

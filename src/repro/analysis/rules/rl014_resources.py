@@ -1,0 +1,83 @@
+"""RL014 — acquired resources must reach a release on every path.
+
+The durability layer opens segment files, temp files, and directory
+fds on hot paths that also *fail* on hot paths (torn writes, injected
+fsync errors, crash points); the bench harness opens artifact files in
+long-running processes. An fd acquired between a failure point and its
+release leaks exactly when things go wrong — the scenario the chaos
+matrix exists for — and leaks are invisible to example-based tests
+until the process runs out of descriptors.
+
+For every ``open()`` / ``os.open()`` / ``mkstemp()`` / ``mmap()`` /
+lock ``.acquire()`` site in scope, the resource-pairing analysis of
+:mod:`repro.analysis.effects` requires one of: acquisition via
+``with``; a release inside a ``finally`` (or catch-all handler paired
+with a normal-path release) covering the acquisition; ownership
+transfer (returned, yielded, or stored on an object); or no *provably
+raising* operation between acquisition and release — "provably
+raising" judged against the converged may-raise facts, so a straight-
+line ``open → read → close`` with nothing that can throw in between is
+fine, while the same shape with an unguarded ``stat()`` in the gap is
+a finding naming the raising site.
+
+Scope: the durability and bench packages (where leaks meet failure
+injection), anything under a ``durability``/``bench``/``benchmarks``
+path, and any function opting in via
+``@declared_contract("releases_resources")``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..context import ProjectContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+#: Dotted-module prefixes always in scope.
+SCOPED_MODULE_PREFIXES = ("repro.robustness.durability", "repro.bench")
+
+#: Path components that put a loose file / extra tree in scope.
+SCOPED_PATH_PARTS = frozenset({"durability", "bench", "benchmarks"})
+
+
+def _in_scope(module: str, path_parts: tuple[str, ...]) -> bool:
+    if any(module.startswith(p) for p in SCOPED_MODULE_PREFIXES):
+        return True
+    return any(part in SCOPED_PATH_PARTS for part in path_parts)
+
+
+@register_rule
+class ResourceReleaseRule(Rule):
+    rule_id = "RL014"
+    name = "resource-release-pairing"
+    description = (
+        "every fd/temp-file/mmap/lock acquired in durability/ or bench/ "
+        "must reach a release on all paths, exception paths included"
+    )
+    project = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        table = project.effects()
+        declared = {
+            qname for qname, _ in table.declared_functions("releases_resources")
+        }
+        for qname in sorted(table.effects):
+            summary = table.effects[qname]
+            if not summary.resources:
+                continue
+            info = table.graph.functions.get(qname)
+            if info is None:
+                continue
+            if qname not in declared and not _in_scope(
+                info.module, info.ctx.path_parts()
+            ):
+                continue
+            for fact in summary.resources:
+                yield Finding(
+                    path=info.ctx.path,
+                    line=fact.line,
+                    col=fact.col,
+                    rule_id=self.rule_id,
+                    message=f"in '{info.name}': {fact.reason}",
+                )

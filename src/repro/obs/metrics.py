@@ -25,7 +25,7 @@ from typing import Any, Iterable, Sequence
 METRICS_ENV = "REPRO_METRICS"
 
 #: Fallback histogram buckets (powers of two — probe/depth shaped).
-DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+DEFAULT_BUCKETS: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 #: Canonical histograms: name -> (bucket upper bounds, help text).
 KNOWN_HISTOGRAMS: dict[str, tuple[tuple[float, ...], str]] = {
@@ -111,9 +111,14 @@ class HistogramMetric:
     ) -> None:
         self.name = name
         self.help_text = help_text
-        self.bounds: tuple[float, ...] = tuple(sorted(float(b) for b in bounds))
-        if not self.bounds:
-            raise ValueError("histogram needs at least one bucket bound")
+        # Observability must never crash the host process: unusable
+        # bounds (empty, or not coercible to float) degrade to the
+        # default buckets instead of raising out of an observe() call.
+        try:
+            cleaned = tuple(sorted(float(b) for b in bounds))
+        except (TypeError, ValueError):
+            cleaned = ()
+        self.bounds: tuple[float, ...] = cleaned or DEFAULT_BUCKETS
         self.bucket_hits = [0] * (len(self.bounds) + 1)  # +Inf last
         self.total = 0.0
         self.n_observed = 0

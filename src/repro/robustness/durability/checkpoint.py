@@ -70,11 +70,19 @@ def snapshot_lsn(path: Path) -> int | None:
 
 
 def list_snapshots(directory: str | Path) -> list[Path]:
-    """Snapshot files, oldest (lowest LSN) first."""
+    """Snapshot files, oldest (lowest LSN) first.
+
+    Empty on a missing *or unreadable* directory: recovery promises to
+    never raise on damaged state, and mangled directory permissions are
+    damaged state.
+    """
     directory = Path(directory)
-    if not directory.is_dir():
+    try:
+        if not directory.is_dir():
+            return []
+        snaps = [p for p in directory.iterdir() if snapshot_lsn(p) is not None]
+    except OSError:
         return []
-    snaps = [p for p in directory.iterdir() if snapshot_lsn(p) is not None]
     snaps.sort(key=lambda p: snapshot_lsn(p) or 0)
     return snaps
 

@@ -37,6 +37,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from ...analysis.contracts import declared_contract
 from ...baselines.counters import Counters
 from ...baselines.interfaces import BaseIndex, Key, Value
 from .. import faults
@@ -45,6 +46,7 @@ from .recovery import RecoveryManager, RecoveryReport
 from .wal import WriteAheadLog, log_bulk_load, log_delete, log_insert
 
 
+@declared_contract("no_raise")
 @contextmanager
 def _rollback_guard() -> Iterator[None]:
     """Suppress fault injection around a compensating index write.
@@ -199,6 +201,7 @@ class DurableIndex:
     def delete_batch(self, keys: "Sequence[Key]") -> list[bool]:
         return [self.delete(float(k)) for k in keys]
 
+    @declared_contract("counter_neutral")
     def _peek(self, key: float) -> Value | None:
         """Counter-neutral lookup (rollback needs the old value)."""
         before = self.index.counters.snapshot()

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from ...analysis.contracts import declared_contract
 from ...baselines.interfaces import BaseIndex, DuplicateKeyError
 from ...obs import metrics as obs_metrics
 from ...obs import trace as obs_trace
@@ -134,14 +135,22 @@ class RecoveryManager:
                 index = BaseIndex.load(snap)
             except Exception as exc:
                 report.notes.append(f"snapshot {snap.name} unusable: {exc}")
+                if obs_trace.ACTIVE is not None:
+                    # A demoted snapshot is tolerated damage, not silence:
+                    # every fallback decision lands in the trace.
+                    obs_trace.event(
+                        "durability.snapshot_demoted",
+                        {"snapshot": snap.name, "error": str(exc)},
+                    )
                 continue
             report.used_checkpoint = True
             report.checkpoint_path = str(snap)
             lsn = snapshot_lsn(snap)
-            report.checkpoint_lsn = int(lsn) if lsn is not None else 0
+            report.checkpoint_lsn = lsn if lsn is not None else 0
             return index
         return None
 
+    @declared_contract("no_raise")
     def recover(self) -> tuple[BaseIndex, RecoveryReport]:
         """Run the full recovery; returns ``(index, report)``.
 

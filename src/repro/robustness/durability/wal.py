@@ -48,7 +48,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Iterator, Sequence
 
+from ...analysis.contracts import declared_contract
 from ...obs import metrics as obs_metrics
+from ...obs import trace as obs_trace
 from .. import faults
 from . import crashpoint
 
@@ -159,17 +161,26 @@ def _segment_first_lsn(path: Path) -> int | None:
 
 
 def list_segments(directory: str | Path) -> list[Path]:
-    """Segment files in LSN order (ignores foreign files)."""
+    """Segment files in LSN order (ignores foreign files).
+
+    Returns an empty list when the directory is missing *or unreadable*:
+    ``scan`` promises to never raise on damage, and a directory whose
+    permissions were mangled is damage like any other.
+    """
     directory = Path(directory)
-    if not directory.is_dir():
+    try:
+        if not directory.is_dir():
+            return []
+        segs = [
+            p for p in directory.iterdir() if _segment_first_lsn(p) is not None
+        ]
+    except OSError:
         return []
-    segs = [
-        p for p in directory.iterdir() if _segment_first_lsn(p) is not None
-    ]
     segs.sort(key=lambda p: _segment_first_lsn(p) or 0)
     return segs
 
 
+@declared_contract("no_raise")
 def scan(directory: str | Path) -> ScanResult:
     """Scan all segments, returning the valid record prefix.
 
@@ -225,6 +236,13 @@ def scan(directory: str | Path) -> ScanResult:
             last_lsn = record.lsn
             offset = next_offset
         valid_bytes[seg.name] = offset
+    if truncated and obs_trace.ACTIVE is not None:
+        # Silent damage-tolerance is still damage: surface every
+        # truncation decision to the trace so operators can see it.
+        obs_trace.event(
+            "durability.scan_truncated",
+            {"detail": detail.lstrip("; "), "recovered_records": len(records)},
+        )
     return ScanResult(
         records=tuple(records),
         valid_bytes=valid_bytes,
@@ -309,12 +327,19 @@ class WriteAheadLog:
     def _start_segment(self, first_lsn: int) -> None:
         path = self.directory / f"wal-{first_lsn:016d}.seg"
         f = open(path, "ab", buffering=0)
-        if path.stat().st_size == 0:
-            f.write(SEGMENT_MAGIC)
+        try:
+            if path.stat().st_size == 0:
+                f.write(SEGMENT_MAGIC)
+            size = path.stat().st_size
+        except BaseException:
+            # A stat/write failure here (disk full, segment yanked) must
+            # not leak the freshly opened fd on its way out.
+            f.close()
+            raise
         self._file = f
         self._file_fd = f.fileno()
         self._segment_path = path
-        self._segment_bytes = path.stat().st_size
+        self._segment_bytes = size
         self._fsync_dir()
 
     def _fsync_dir(self) -> None:

@@ -1,0 +1,41 @@
+"""Known-bad fixture for RL014 (resource-release pairing). Never imported.
+
+Lives under ``durability/`` because RL014 is path-scoped to the
+durability and bench trees (plus ``releases_resources``-declared
+functions anywhere).
+"""
+
+import os
+import tempfile
+
+
+def leak_on_error(path):
+    f = open(path, "rb")  # expect[RL014]
+    data = f.read()
+    n = int(data)  # ValueError here leaks f: close() is not in a finally
+    f.close()
+    return n
+
+
+def never_released(path):
+    fd = os.open(path, os.O_RDONLY)  # expect[RL014]
+    buf = os.read(fd, 16)
+    return len(buf)
+
+
+def fire_and_forget(path):
+    open(path, "a")  # expect[RL014]
+
+
+def tmp_leak(prefix):
+    fd, name = tempfile.mkstemp(prefix=prefix)  # expect[RL014]
+    os.write(fd, b"header")  # OSError here leaks both fd and file
+    os.close(fd)
+    return name
+
+
+def lock_leak(side_lock, path):
+    side_lock.acquire()  # expect[RL014]
+    data = open(path).read()  # OSError here leaves the lock held
+    side_lock.release()
+    return data

@@ -1,0 +1,59 @@
+"""Known-good fixture for RL014 (resource-release pairing). Never imported."""
+
+import os
+import tempfile
+
+
+class Holder:
+    def __init__(self, path):
+        f = open(path, "ab")
+        self._file = f  # ownership transferred to the instance
+
+
+def with_managed(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def finally_release(path):
+    f = open(path, "rb")
+    try:
+        data = f.read()
+        return int(data)
+    finally:
+        f.close()
+
+
+def catchall_release(path):
+    f = open(path, "wb")
+    try:
+        f.write(b"x")
+        f.flush()
+    except Exception:
+        f.close()
+        raise
+    f.close()
+    return True
+
+
+def immediate_handoff(path):
+    fd = os.open(path, os.O_RDONLY)
+    return fd  # the caller owns it now
+
+
+def tmp_finally(prefix):
+    fd, name = tempfile.mkstemp(prefix=prefix)
+    try:
+        os.write(fd, b"header")
+    finally:
+        os.close(fd)
+        os.unlink(name)
+    return name
+
+
+def lock_finally(side_lock, path):
+    side_lock.acquire()
+    try:
+        return str(path)
+    finally:
+        side_lock.release()

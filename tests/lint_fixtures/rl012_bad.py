@@ -1,0 +1,35 @@
+"""Known-bad fixture for RL012 (no-raise surfaces). Never imported."""
+
+from repro.analysis.contracts import declared_contract
+
+
+class WalkError(Exception):
+    pass
+
+
+def _parse(text):
+    if not text:
+        raise WalkError("empty")
+    return int(text)
+
+
+@declared_contract("no_raise")
+def direct_raise(flag):  # expect[RL012]
+    if flag:
+        raise RuntimeError("boom")
+    return flag
+
+
+@declared_contract("no_raise")
+def propagated(text):  # expect[RL012]
+    # WalkError and int()'s ValueError both escape through _parse.
+    return _parse(text)
+
+
+@declared_contract("no_raise")
+def wrong_handler(path):  # expect[RL012]
+    try:
+        # open() raises OSError; a ValueError handler does not catch it.
+        return open(path).read()
+    except ValueError:
+        return ""

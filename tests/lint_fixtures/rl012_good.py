@@ -1,0 +1,51 @@
+"""Known-good fixture for RL012 (no-raise surfaces). Never imported."""
+
+from contextlib import suppress
+
+from repro.analysis.contracts import declared_contract
+
+
+def _risky(text):
+    return int(text)
+
+
+@declared_contract("no_raise")
+def fully_handled(text):
+    try:
+        return _risky(text)
+    except Exception:
+        return 0
+
+
+@declared_contract("no_raise")
+def suppressed_io(path):
+    with suppress(OSError):
+        return open(path).read()
+    return ""
+
+
+@declared_contract("no_raise")
+def subclass_caught(flag):
+    try:
+        if flag:
+            raise FileNotFoundError("gone")  # an OSError subclass
+        return 1
+    except OSError:
+        return 0
+
+
+@declared_contract("no_raise")
+def reraise_contained(text):
+    try:
+        try:
+            return _risky(text)
+        except ValueError:
+            raise  # re-raises ValueError only; the outer handler has it
+    except ValueError:
+        return 0
+
+
+@declared_contract("no_raise")
+def abstract_surface():
+    # NotImplementedError is excluded by design: dispatch resolves it away.
+    raise NotImplementedError

@@ -1,0 +1,31 @@
+"""Known-bad fixture for RL013 (counter-neutral effects). Never imported."""
+
+from repro.analysis.contracts import declared_contract
+
+
+class Probe:
+    def __init__(self, counters):
+        self.counters = counters
+
+    def _touch(self, key):
+        self.counters.comparisons += 1
+        return key
+
+    @declared_contract("counter_neutral")
+    def direct_mutation(self):  # expect[RL013]
+        self.counters.node_hops += 1
+        return True
+
+    @declared_contract("counter_neutral")
+    def transitive_mutation(self, keys):  # expect[RL013]
+        # Mutates through _touch() with no snapshot/restore bracket.
+        total = 0.0
+        for k in keys:
+            total += self._touch(k)
+        return total
+
+    def verify_cheap(self):  # expect[RL013]
+        # Curated surface: verify_* is counter-neutral by decree, no
+        # decorator needed.
+        self.counters.comparisons += 1
+        return True

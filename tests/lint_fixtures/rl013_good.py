@@ -1,0 +1,42 @@
+"""Known-good fixture for RL013 (counter-neutral effects). Never imported."""
+
+from repro.analysis.contracts import declared_contract
+
+
+class Probe:
+    def __init__(self, counters):
+        self.counters = counters
+
+    def _touch(self, key):
+        self.counters.comparisons += 1
+        return key
+
+    @declared_contract("counter_neutral")
+    def bracketed_direct(self):
+        before = self.counters.snapshot()
+        try:
+            self.counters.node_hops += 1
+            return True
+        finally:
+            self.counters.restore(before)
+
+    @declared_contract("counter_neutral")
+    def bracketed_transitive(self, keys):
+        # A bracketed call to a mutating helper has zero *net* effect.
+        before = self.counters.snapshot()
+        try:
+            return [self._touch(k) for k in keys]
+        finally:
+            self.counters.restore(before)
+
+    @declared_contract("counter_neutral")
+    def pure(self, keys):
+        return len(keys)
+
+    def verify_bracketed(self):
+        before = self.counters.snapshot()
+        try:
+            self.counters.comparisons += 1
+            return True
+        finally:
+            self.counters.restore(before)

@@ -315,3 +315,59 @@ def test_crash_case_subprocess_recovers_acked_prefix(point, tmp_path):
     assert report.killed and report.triggered, report
     assert report.ok, report
     assert report.recovered_lsn >= report.acked_lsn
+
+
+# -- effect-analysis regression fixes (RL012/RL014) ---------------------------
+
+
+def test_listing_helpers_tolerate_damaged_directory(tmp_path, monkeypatch):
+    """``scan``/``recover`` promise never to raise; an unreadable listing
+    is damaged state, not an excuse (RL012 regression)."""
+    from pathlib import Path
+
+    blocker = tmp_path / "durdir"
+    blocker.write_text("not a directory")
+    assert list_segments(blocker) == []
+    assert list_snapshots(blocker) == []
+    result = scan(blocker)
+    assert not result.records
+
+    real_dir = tmp_path / "d"
+    real_dir.mkdir()
+
+    def denied(self):
+        raise PermissionError("denied")
+
+    monkeypatch.setattr(Path, "iterdir", denied)
+    assert list_segments(real_dir) == []
+    assert list_snapshots(real_dir) == []
+
+
+def test_start_segment_failure_does_not_leak_fd(tmp_path, monkeypatch):
+    """A stat failure between open and ownership transfer must close the
+    freshly opened segment fd (RL014 regression)."""
+    import builtins
+    from pathlib import Path
+
+    opened = []
+    real_open = builtins.open
+
+    def recording_open(file, *args, **kwargs):
+        f = real_open(file, *args, **kwargs)
+        if str(file).endswith(".seg"):
+            opened.append(f)
+        return f
+
+    real_stat = Path.stat
+
+    def exploding_stat(self, **kwargs):
+        if self.suffix == ".seg":
+            raise OSError("disk gone")
+        return real_stat(self, **kwargs)
+
+    monkeypatch.setattr(builtins, "open", recording_open)
+    monkeypatch.setattr(Path, "stat", exploding_stat)
+    with pytest.raises(OSError):
+        WriteAheadLog(tmp_path / "wal")
+    assert opened, "segment file was never opened"
+    assert all(f.closed for f in opened)

@@ -507,3 +507,65 @@ class TestLogger:
         )
         # Emission without caller configuration must not raise or print.
         get_logger("test").warning("quiet by default")
+
+
+# -- durability observability -------------------------------------------------
+
+
+class TestDurabilityObservability:
+    """Tolerated damage must land in the trace, and the events must not
+    perturb recovery itself (the obs neutrality contract)."""
+
+    def _damaged_dir(self, tmp_path):
+        from repro.baselines import SortedArrayIndex
+        from repro.robustness.durability import DurableIndex, list_snapshots
+
+        d = tmp_path / "dur"
+        with DurableIndex(SortedArrayIndex(), d, fsync="always") as durable:
+            durable.bulk_load([1.0, 2.0, 3.0])
+            durable.checkpoint()
+            durable.insert(4.0)
+            durable.insert(5.0)
+        # Corrupt the snapshot (forces demotion) and tear the WAL tail
+        # (forces a truncated scan).
+        list_snapshots(d)[-1].write_bytes(b"garbage")
+        seg = sorted((d / "wal").glob("wal-*.seg"))[-1]
+        seg.write_bytes(seg.read_bytes()[:-3])
+        return d
+
+    def test_damage_events_fire_and_recovery_is_unperturbed(self, tmp_path):
+        from repro.baselines import SortedArrayIndex
+        from repro.robustness.durability import RecoveryManager
+
+        d = self._damaged_dir(tmp_path)
+        rec = obs.TraceRecorder()
+        reg = obs.MetricsRegistry()
+        with obs.armed(recorder=rec, registry=reg):
+            index, report = RecoveryManager(d, SortedArrayIndex).recover()
+
+        (demoted,) = by_name(rec, "durability.snapshot_demoted")
+        assert attrs_of(demoted)["snapshot"].startswith("checkpoint-")
+        assert attrs_of(demoted)["error"]
+        (truncated,) = by_name(rec, "durability.scan_truncated")
+        assert attrs_of(truncated)["detail"]
+        assert attrs_of(truncated)["recovered_records"] >= 0
+        assert report.wal_truncated and not report.used_checkpoint
+
+        # Disarmed recovery of the same directory: identical outcome —
+        # the events observe the damage, they do not change the result.
+        with obs.disarmed():
+            base_index, base_report = RecoveryManager(
+                d, SortedArrayIndex
+            ).recover()
+        assert dict(base_index.items()) == dict(index.items())
+        assert base_report.replayed_records == report.replayed_records
+        assert base_report.failed_applies == report.failed_applies
+        assert base_report.wal_detail == report.wal_detail
+        assert base_index.counters == index.counters
+
+    def test_scan_truncated_event_silent_when_disarmed(self, tmp_path):
+        from repro.robustness.durability import scan
+
+        d = self._damaged_dir(tmp_path)
+        result = scan(d / "wal")  # disarmed: must not raise, no sink
+        assert result.truncated
