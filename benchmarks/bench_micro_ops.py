@@ -57,7 +57,7 @@ def test_lookup_batch_throughput(benchmark, name, face_keys):
     """Batch-API lookup over 1024-key vectors (PR-4 batch layer).
 
     Indexes without a vectorised override run the scalar-loop default, so
-    this row doubles as a conformance check; the BENCH_PR6.json baseline
+    this row doubles as a conformance check; the BENCH_PR9.json baseline
     records the batch-vs-scalar speedups these rounds correspond to.
     """
     index = INDEX_REGISTRY[name]()
@@ -67,6 +67,54 @@ def test_lookup_batch_throughput(benchmark, name, face_keys):
     index.lookup_batch(queries)  # warm any plan/cache builds
 
     benchmark(lambda: index.lookup_batch(queries))
+
+
+@pytest.mark.parametrize("name", sorted(UPDATABLE_INDEXES))
+def test_insert_batch_throughput(benchmark, name, face_keys):
+    """Batch-API insert of 1024 fresh keys, then batch delete to reset.
+
+    Only the ``insert_batch`` call is timed (the delete runs between
+    rounds); the BENCH_PR9.json ``write_path`` section records the
+    batch-vs-scalar write speedups these rounds correspond to.
+    """
+    index = INDEX_REGISTRY[name]()
+    rng = np.random.default_rng(RNG_SEED)
+    perm = rng.permutation(face_keys)
+    index.bulk_load(np.sort(perm[: N_KEYS // 2]))
+    batch = np.sort(perm[N_KEYS // 2 : N_KEYS // 2 + 1024])
+    index.lookup_batch(batch)  # warm any plan/cache builds
+
+    def insert_batch():
+        index.insert_batch(batch)
+
+    def reset():
+        index.delete_batch(batch)
+        return (), {}
+
+    benchmark.pedantic(insert_batch, setup=reset, rounds=30)
+
+
+@pytest.mark.parametrize("name", sorted(UPDATABLE_INDEXES))
+def test_delete_batch_throughput(benchmark, name, face_keys):
+    """Batch-API delete of 1024 present keys (re-inserted between rounds)."""
+    index = INDEX_REGISTRY[name]()
+    index.bulk_load(face_keys)
+    rng = np.random.default_rng(RNG_SEED)
+    batch = np.sort(rng.choice(face_keys, 1024, replace=False))
+    index.lookup_batch(batch)  # warm any plan/cache builds
+    state = {"first": True}
+
+    def delete_batch():
+        index.delete_batch(batch)
+
+    def reset():
+        if state["first"]:
+            state["first"] = False
+        else:
+            index.insert_batch(batch)
+        return (), {}
+
+    benchmark.pedantic(delete_batch, setup=reset, rounds=30)
 
 
 @pytest.mark.parametrize("name", sorted(INDEX_REGISTRY))

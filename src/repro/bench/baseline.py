@@ -1,6 +1,6 @@
 """Machine-readable performance baseline for the batch-execution layer.
 
-Produces ``BENCH_PR6.json`` (schema ``repro-perf-baseline/v3``): for each
+Produces ``BENCH_PR9.json`` (schema ``repro-perf-baseline/v4``): for each
 index, the scalar-loop and batch-API lookup throughput on the same query
 stream, the speedup, and a structural-counter equivalence verdict. Since
 v2 the document also carries an ``obs_overhead`` section: the same seeded
@@ -13,6 +13,12 @@ same seeded mixed workload with writes routed through a WAL-backed
 ``group`` and ``always`` fsync policies, pinning the write-overhead
 ratios, the WAL counter-neutrality contract, and a crash-recovery timing
 (restore + full replay, normalised to seconds per 100k logged records).
+v4 adds a ``write_path`` section (and a per-index ``vectorized`` flag):
+the churn workload — delete ``n/5`` loaded keys then insert ``n/10``
+fresh keys, issued scalar-loop vs through the gathered batch executors —
+pinning the batch write speedups, the write counter-equivalence contract,
+final-structure equality, and the bulk-WAL overhead of routing the same
+batches through a DurableIndex (one CRC frame + fsync per batch).
 The file is committed so later PRs can diff their numbers against a
 pinned reference instead of a prose claim; docs/benchmarking.md documents
 the format and the refresh procedure.
@@ -20,7 +26,10 @@ the format and the refresh procedure.
 Wall-clock numbers are machine-dependent — the committed file records the
 *shape* (batch >= scalar, counters equal, disarmed obs allocation-free,
 WAL-on counters bit-identical to WAL-off, recovery loss-free), which is
-what CI's bench-smoke job asserts at small scale.
+what CI's bench-smoke job asserts at small scale. Write timings use a
+min-of-``reps`` estimator with alternating scalar/batch builds and an
+untimed warm-up, which is robust to the CPU contention that single runs
+are exposed to.
 """
 
 from __future__ import annotations
@@ -49,7 +58,7 @@ from ..workloads.mixed import read_write_workload, split_load_and_pool
 from ..workloads.operations import OpKind
 from .harness import BenchScale
 
-SCHEMA = "repro-perf-baseline/v3"
+SCHEMA = "repro-perf-baseline/v4"
 
 #: Default lineup: every index with a genuinely vectorised batch override
 #: plus one scalar-default control (B+Tree) proving API conformance.
@@ -115,6 +124,8 @@ def _measure_one(
         "scalar_ops_per_sec": round(scalar_tput, 1),
         "batch_ops_per_sec": round(batch_tput, 1),
         "speedup": round(batch_tput / scalar_tput, 3) if scalar_tput else 0.0,
+        "vectorized": type(batch_ix).lookup_batch
+        is not BaseIndex.lookup_batch,
         "results_equal": scalar_out == batch_out,
         "counters_equal": scalar_delta == batch_delta,
         "scalar_counters": {k: v for k, v in scalar_delta.items() if v},
@@ -330,14 +341,155 @@ def measure_durability(
     }
 
 
+def measure_write_path(
+    ctor: Callable[[], BaseIndex],
+    keys: np.ndarray,
+    batch_size: int = 1024,
+    reps: int = 3,
+    seed: int = 1,
+) -> dict[str, Any]:
+    """Batch vs scalar write throughput on the churn workload.
+
+    The workload (deterministic in ``seed``) deletes ``n/5`` of the
+    loaded keys, then inserts ``n/10`` fresh uniform keys, issued in
+    ``batch_size`` chunks — the asymmetric churn shape real
+    update-heavy streams have (deletions free leaf slots before the
+    insert wave lands). Timing alternates freshly built scalar and
+    batch indexes ``reps`` times, warms each side untimed (scalar
+    lookups / one ``lookup_batch``, which also amortises the gather
+    plan build), and takes the minimum per side — the noise-robust
+    estimator for contended machines. A separate untimed rep pins the
+    correctness contract: bit-identical structural Counters and equal
+    final key/value contents versus the scalar stream. Finally the same
+    batch schedule runs through a WAL-``always`` DurableIndex, pinning
+    the bulk-logging overhead (one CRC frame + fsync per batch) and WAL
+    counter-neutrality.
+    """
+    from ..robustness.durability.durable import DurableIndex
+
+    n = int(keys.size)
+    m_del = n // 5
+    m_ins = n // 10
+    rng = np.random.default_rng(seed)
+    ins = np.unique(rng.uniform(keys.min(), keys.max(), m_ins))[:m_ins]
+    rng.shuffle(ins)
+    dels = rng.choice(keys, m_del, replace=False)
+    warm = keys[:batch_size].copy()
+
+    def build() -> BaseIndex:
+        index = ctor()
+        index.bulk_load(keys)
+        return index
+
+    def batch_writes(target: Any) -> None:
+        for i in range(0, m_del, batch_size):
+            target.delete_batch(dels[i : i + batch_size])
+        for i in range(0, m_ins, batch_size):
+            target.insert_batch(ins[i : i + batch_size])
+
+    scalar_del: list[float] = []
+    scalar_ins: list[float] = []
+    batch_del: list[float] = []
+    batch_ins: list[float] = []
+    for _ in range(max(1, reps)):
+        a = build()
+        for k in warm.tolist():
+            a.lookup(k)
+        t0 = time.perf_counter()
+        for k in dels.tolist():
+            a.delete(k)
+        scalar_del.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for k in ins.tolist():
+            a.insert(k)
+        scalar_ins.append(time.perf_counter() - t0)
+
+        b = build()
+        b.lookup_batch(warm)
+        t0 = time.perf_counter()
+        for i in range(0, m_del, batch_size):
+            b.delete_batch(dels[i : i + batch_size])
+        batch_del.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for i in range(0, m_ins, batch_size):
+            b.insert_batch(ins[i : i + batch_size])
+        batch_ins.append(time.perf_counter() - t0)
+
+    # Correctness rep (untimed): counter equivalence + final structure.
+    a = build()
+    for k in warm.tolist():
+        a.lookup(k)
+    before = a.counters.snapshot()
+    for k in dels.tolist():
+        a.delete(k)
+    for k in ins.tolist():
+        a.insert(k)
+    scalar_delta = a.counters.diff(before)
+
+    b = build()
+    b.lookup_batch(warm)
+    before = b.counters.snapshot()
+    batch_writes(b)
+    batch_delta = b.counters.diff(before)
+    counters_equal = scalar_delta == batch_delta
+    structure_equal = sorted(a.items()) == sorted(b.items())
+
+    # Bulk-WAL overhead: the identical batch schedule, logged (one
+    # CRC-framed record and one fsync per applied batch).
+    with tempfile.TemporaryDirectory(prefix="repro-bench-writewal-") as d:
+        wrapped = build()
+        durable = DurableIndex(wrapped, d, fsync="always")
+        durable.lookup_batch(warm)
+        before = wrapped.counters.snapshot()
+        t0 = time.perf_counter()
+        batch_writes(durable)
+        wal_secs = time.perf_counter() - t0
+        wal_delta = wrapped.counters.diff(before)
+        durable.close()
+    wal_off_secs = min(batch_del) + min(batch_ins)
+
+    def _row(m: int, scalar_secs: float, batch_secs: float) -> dict[str, Any]:
+        scalar_tput = m / scalar_secs if scalar_secs > 0 else 0.0
+        batch_tput = m / batch_secs if batch_secs > 0 else 0.0
+        return {
+            "n_ops": int(m),
+            "scalar_ops_per_sec": round(scalar_tput, 1),
+            "batch_ops_per_sec": round(batch_tput, 1),
+            "speedup": (
+                round(batch_tput / scalar_tput, 3) if scalar_tput else 0.0
+            ),
+        }
+
+    return {
+        "index": "Chameleon",
+        "n_deletes": int(m_del),
+        "n_inserts": int(m_ins),
+        "batch_size": int(batch_size),
+        "reps": int(max(1, reps)),
+        "delete": _row(m_del, min(scalar_del), min(batch_del)),
+        "insert": _row(m_ins, min(scalar_ins), min(batch_ins)),
+        "counters_equal": bool(counters_equal),
+        "final_structure_equal": bool(structure_equal),
+        "scalar_counters": {k: v for k, v in scalar_delta.items() if v},
+        "batch_counters": {k: v for k, v in batch_delta.items() if v},
+        "wal_fsync": "always",
+        "wal_batch_seconds": round(wal_secs, 6),
+        "wal_overhead_ratio": (
+            round(wal_secs / wal_off_secs, 3) if wal_off_secs > 0 else 0.0
+        ),
+        "wal_counters_equal": wal_delta == batch_delta,
+    }
+
+
 def run_perf_baseline(
     scale: BenchScale | None = None,
     dataset: str = "UDEN",
     batch_size: int = 1024,
     indexes: Sequence[str] = DEFAULT_INDEXES,
-    out_path: str | Path | None = "BENCH_PR6.json",
+    out_path: str | Path | None = "BENCH_PR9.json",
     obs_ops: int = 5_000,
     durability_ops: int = 5_000,
+    write_reps: int = 3,
 ) -> dict[str, Any]:
     """Measure scalar vs batch lookups and emit the baseline document.
 
@@ -353,6 +505,8 @@ def run_perf_baseline(
             (0 skips it).
         durability_ops: mixed-workload ops for the ``durability`` section
             (0 skips it).
+        write_reps: alternating timing reps for the ``write_path``
+            section (0 skips it).
 
     Returns:
         The baseline document (also written to ``out_path``).
@@ -404,6 +558,18 @@ def run_perf_baseline(
             f"recovery {durability['recovery_seconds_per_100k_records']:.3f}"
             f" s/100k records, recovered_equal={durability['recovered_equal']}"
         )
+    if write_reps > 0:
+        write_path = measure_write_path(
+            ctors["Chameleon"], keys, batch_size=batch_size, reps=write_reps
+        )
+        doc["write_path"] = write_path
+        print(
+            f"write path: delete {write_path['delete']['speedup']:.2f}x / "
+            f"insert {write_path['insert']['speedup']:.2f}x batch-vs-scalar, "
+            f"counters_equal={write_path['counters_equal']}, "
+            f"structure_equal={write_path['final_structure_equal']}, "
+            f"bulk-WAL overhead {write_path['wal_overhead_ratio']:.2f}x"
+        )
     if out_path is not None:
         Path(out_path).write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {out_path}")
@@ -413,14 +579,14 @@ def run_perf_baseline(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.baseline",
-        description="Emit the batch-vs-scalar perf baseline (BENCH_PR6.json).",
+        description="Emit the batch-vs-scalar perf baseline (BENCH_PR9.json).",
     )
     parser.add_argument("--n-keys", type=int, default=100_000)
     parser.add_argument("--n-queries", type=int, default=100_000)
     parser.add_argument("--dataset", default="UDEN")
     parser.add_argument("--batch-size", type=int, default=1024)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--out", default="BENCH_PR6.json")
+    parser.add_argument("--out", default="BENCH_PR9.json")
     parser.add_argument(
         "--obs-ops", type=int, default=5_000,
         help="mixed-workload ops for the obs_overhead section (0 = skip)",
@@ -428,6 +594,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--durability-ops", type=int, default=5_000,
         help="mixed-workload ops for the durability section (0 = skip)",
+    )
+    parser.add_argument(
+        "--write-reps", type=int, default=3,
+        help="timing reps for the write_path section (0 = skip)",
     )
     parser.add_argument(
         "--indexes", nargs="*", default=list(DEFAULT_INDEXES),
@@ -445,6 +615,7 @@ def main(argv: list[str] | None = None) -> int:
         out_path=args.out,
         obs_ops=args.obs_ops,
         durability_ops=args.durability_ops,
+        write_reps=args.write_reps,
     )
     return 0
 

@@ -40,6 +40,12 @@ from ..obs import trace as obs_trace
 #: a wall-clock decision.
 _BATCH_MIN = 8
 
+#: Fused rehashes at or below this live-key count run the re-placement on
+#: plain lists instead of ndarray gathers/scatters — numpy's fixed per-call
+#: overhead dominates at load-trigger leaf sizes. Purely a wall-clock
+#: switch; both paths are counter- and layout-identical.
+_REHASH_SMALL_N = 160
+
 
 class ErrorBoundedHash:
     """One EBH leaf: hash-addressed key/value slots with bounded offset.
@@ -282,6 +288,82 @@ class ErrorBoundedHash:
         out[hit] = self._values[slots[hit]]
         return list(out)
 
+    def insert_batch(
+        self,
+        keys: "np.ndarray | Sequence[float]",
+        values: "Sequence[Any] | None" = None,
+    ) -> None:
+        """Vectorised :meth:`insert` over a key vector, in stream order.
+
+        One Eq. 2 vectorisation computes every home slot; maximal runs of
+        collision-free keys (home slot empty, no earlier batch key sharing
+        it) are placed with one scatter, and only the colliding residue
+        falls back to the scalar probe loop — so probe totals, conflict
+        degree, and the final slot array are bit-identical to inserting
+        one key at a time. ``values=None`` stores each key as its own
+        value, matching the index convention.
+
+        Batches containing duplicates (of stored keys or within the batch)
+        and batches that would overflow run the scalar loop wholesale so
+        the raise lands after exactly the preceding keys, as the scalar
+        stream would.
+        """
+        karr = np.ascontiguousarray(keys, dtype=np.float64)
+        m = karr.size
+        if values is not None and len(values) != m:
+            raise ValueError(
+                f"keys and values length mismatch: {m} != {len(values)}"
+            )
+        if m == 0:
+            return
+        if (
+            m < _BATCH_MIN
+            or self.n_keys + m > self.capacity
+            or np.unique(karr).size < m
+            or self._find_batch(karr)[0].any()
+        ):
+            for i, k in enumerate(karr.tolist()):
+                self.insert(k, k if values is None else values[i])
+            return
+        homes_all = self._raw_home_slots(karr)
+        store = self._keys
+        pos = 0
+        while pos < m:
+            homes = homes_all[pos:]
+            cap = self.capacity
+            limit = self._window_limit()
+            w = 1 + 2 * limit - (1 if (2 * limit == cap and limit > 0) else 0)
+            free = np.isnan(store[homes])
+            # Only the first key aimed at each home slot is collision-free;
+            # later ones must probe (and may raise the conflict degree).
+            first = np.zeros(homes.size, dtype=bool)
+            first[np.unique(homes, return_index=True)[1]] = True
+            good = free & first
+            n_good = int(good.size if good.all() else np.argmin(good))
+            if n_good:
+                seg = homes[:n_good]
+                store[seg] = karr[pos : pos + n_good]
+                if values is None:
+                    # Scalar inserts store the python float key itself;
+                    # match that type, not np.float64.
+                    vals_np = self._values
+                    for j, s in enumerate(seg.tolist()):
+                        vals_np[s] = float(karr[pos + j])
+                else:
+                    # Element-wise object writes: sequence-typed values must
+                    # land as single slots, never broadcast by numpy.
+                    vals_np = self._values
+                    for j, s in enumerate(seg.tolist()):
+                        vals_np[s] = values[pos + j]
+                self.n_keys += n_good
+                self.counters.model_evals += n_good
+                self.counters.slot_probes += n_good * w
+                pos += n_good
+            if pos < m:
+                k = float(karr[pos])
+                self.insert(k, k if values is None else values[pos])
+                pos += 1
+
     def delete_batch(self, keys: "np.ndarray | Sequence[float]") -> list[bool]:
         """Vectorised :meth:`delete` over a key vector.
 
@@ -334,7 +416,8 @@ class ErrorBoundedHash:
         return list(zip(self._keys[ordered].tolist(), self._values[ordered].tolist()))
 
     def rehash(self, new_capacity: int, low_key: float | None = None,
-               high_key: float | None = None, refit: bool = False) -> None:
+               high_key: float | None = None, refit: bool = False,
+               fused: bool = False) -> None:
         """Rebuild in place at a new capacity (and optionally new interval).
 
         No sorting is required — this is the property Fig. 14 credits for
@@ -345,16 +428,48 @@ class ErrorBoundedHash:
             low_key/high_key: explicit new model interval.
             refit: when True, refit the model interval to the live keys'
                 span (keeps the hash flat as inserts drift the key range).
+            fused: when True, re-place the live pairs with one vectorised
+                Eq. 2 evaluation and a lightweight occupancy simulation of
+                the scalar probe loop instead of per-pair :meth:`insert`
+                calls. Counter totals, the conflict degree, and the final
+                slot layout are bit-identical either way; the batch write
+                path uses this to keep rehash off its critical path.
         """
         if new_capacity < self.n_keys:
             raise ValueError("new capacity below live key count")
-        pairs = list(self.items())
-        if refit and len(pairs) >= 2:
-            live_keys = [k for k, _ in pairs]
-            k_min, k_max = min(live_keys), max(live_keys)
-            if k_max > k_min:
-                low_key = k_min
-                high_key = k_max + (k_max - k_min) / len(pairs)
+        # Typical load-trigger rehashes move a few dozen keys; below
+        # _REHASH_SMALL_N the fused path skips every intermediate ndarray
+        # (gather, home vector, scatter) and runs the same simulation on
+        # plain lists — numpy's fixed per-call overhead dominates at that
+        # size. Both branches are bit-identical in counters and layout.
+        small = fused and self.n_keys <= _REHASH_SMALL_N
+        if small:
+            kl = self._keys.tolist()
+            vl = self._values.tolist()
+            live_keys: list[float] = []
+            live_vals: list[Any] = []
+            for i, k in enumerate(kl):
+                if k == k:
+                    live_keys.append(k)
+                    live_vals.append(vl[i])
+            n_live = len(live_keys)
+            if refit and n_live >= 2:
+                k_min = min(live_keys)
+                k_max = max(live_keys)
+                if k_max > k_min:
+                    low_key = k_min
+                    high_key = k_max + (k_max - k_min) / n_live
+        else:
+            live = self._live_slots()
+            live_key_arr = self._keys[live]
+            live_values = self._values[live]
+            n_live = int(live.size)
+            if refit and n_live >= 2:
+                k_min = float(live_key_arr.min())
+                k_max = float(live_key_arr.max())
+                if k_max > k_min:
+                    low_key = k_min
+                    high_key = k_max + (k_max - k_min) / n_live
         self.capacity = int(new_capacity)
         if low_key is not None:
             self.low_key = float(low_key)
@@ -365,15 +480,124 @@ class ErrorBoundedHash:
         self.n_keys = 0
         self.conflict_degree = 0
         self.counters.retrains += 1
-        self.counters.retrain_keys += len(pairs)
+        self.counters.retrain_keys += n_live
         if obs_trace.ACTIVE is not None:
             obs_trace.ACTIVE.event(
-                "ebh.rehash", {"capacity": self.capacity, "n_keys": len(pairs)}
+                "ebh.rehash", {"capacity": self.capacity, "n_keys": n_live}
             )
         if obs_metrics.ACTIVE is not None:
             obs_metrics.ACTIVE.inc("chameleon_leaf_rehash_total")
-        for k, v in pairs:
-            self.insert(k, v)
+        if not fused:
+            for k, v in zip(live_key_arr.tolist(), live_values.tolist()):
+                self.insert(k, v)
+            return
+        if n_live == 0:
+            return
+        # Fused re-placement: one Eq. 2 pass for the home slots, then a
+        # pure-Python occupancy simulation of the scalar outward scan (the
+        # array is freshly empty, so slot contents reduce to an
+        # occupied/free bit) — same probe totals, same cd evolution, same
+        # final slot per key.
+        cap = self.capacity
+        occupied = bytearray(cap)
+        cd = 0
+        total_probes = 0
+        if small:
+            span = self.high_key - self.low_key
+            alpha = self.alpha
+            low = self.low_key
+            keys_arr = self._keys
+            vals_arr = self._values
+            half = cap // 2
+            for i in range(n_live):
+                k = live_keys[i]
+                if span <= 0.0:
+                    home = 0
+                else:
+                    home = int(math.floor(alpha * (cap * (k - low) / span))) % cap
+                # The table is freshly empty, so the scalar scan reduces to
+                # "first free slot in candidate order"; once it is found the
+                # remaining offsets up to cd only add probes, which have the
+                # closed form 2*(cd - f) (minus one when offset cap/2, a
+                # single-candidate rung, falls inside the tail).
+                probes = 0
+                free_slot = -1
+                free_offset = 0
+                for offset in range(half + 1):
+                    plus = home + offset
+                    if plus >= cap:
+                        plus -= cap
+                    probes += 1
+                    if not occupied[plus]:
+                        free_slot, free_offset = plus, offset
+                        if offset and offset + offset != cap:
+                            probes += 1
+                        break
+                    if offset and offset + offset != cap:
+                        minus = home - offset
+                        if minus < 0:
+                            minus += cap
+                        probes += 1
+                        if not occupied[minus]:
+                            free_slot, free_offset = minus, offset
+                            break
+                if free_offset < cd:
+                    probes += 2 * (cd - free_offset)
+                    if cd + cd == cap:
+                        probes -= 1
+                total_probes += probes
+                occupied[free_slot] = 1
+                keys_arr[free_slot] = k
+                vals_arr[free_slot] = live_vals[i]
+                if free_offset > cd:
+                    cd = free_offset
+            self.n_keys = n_live
+            self.conflict_degree = cd
+            self.counters.model_evals += n_live
+            self.counters.slot_probes += total_probes
+            return
+        homes = self._raw_home_slots(live_key_arr)
+        slots_out = np.empty(n_live, dtype=np.int64)
+        half = cap // 2
+        for i, home in enumerate(homes.tolist()):
+            # Same first-free scan + closed-form tail probes as the small
+            # branch above — the empty-table simplification is identical.
+            probes = 0
+            free_slot = -1
+            free_offset = 0
+            for offset in range(half + 1):
+                plus = home + offset
+                if plus >= cap:
+                    plus -= cap
+                probes += 1
+                if not occupied[plus]:
+                    free_slot, free_offset = plus, offset
+                    if offset and offset + offset != cap:
+                        probes += 1
+                    break
+                if offset and offset + offset != cap:
+                    minus = home - offset
+                    if minus < 0:
+                        minus += cap
+                    probes += 1
+                    if not occupied[minus]:
+                        free_slot, free_offset = minus, offset
+                        break
+            if free_offset < cd:
+                probes += 2 * (cd - free_offset)
+                if cd + cd == cap:
+                    probes -= 1
+            total_probes += probes
+            occupied[free_slot] = 1
+            slots_out[i] = free_slot
+            if free_offset > cd:
+                cd = free_offset
+        self._keys[slots_out] = live_key_arr
+        self._values[slots_out] = live_values
+        self.n_keys = n_live
+        self.conflict_degree = cd
+        self.counters.model_evals += n_live
+        self.counters.slot_probes += total_probes
 
     # -- statistics -------------------------------------------------------------
 

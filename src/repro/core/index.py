@@ -41,6 +41,11 @@ LEAF_GROWTH = 1.5
 #: purely a wall-clock decision.
 _FUSED_MIN = 32
 
+#: Leaf-visit callback for the grouped batch walks: receives the leaf, the
+#: positions of its keys in the batch, and the leaf's (parent, rank) slot —
+#: ``(None, 0)`` when the root itself is the leaf.
+_BatchVisit = Callable[[LeafNode, np.ndarray, "InnerNode | None", int], None]
+
 
 class ChameleonIndex(BaseIndex):
     """Updatable learned index with EBH leaves and MARL-built structure.
@@ -149,7 +154,30 @@ class ChameleonIndex(BaseIndex):
         if faults.ACTIVE is not None:
             faults.ACTIVE.fire("ebh.insert", self.counters)
         leaf, path, _ = self._descend(key)
+        self._insert_at_leaf(key, value, leaf, path)
+
+    def _insert_at_leaf(
+        self,
+        key: Key,
+        value: Value,
+        leaf: LeafNode,
+        path: list[tuple[InnerNode, int]],
+        fused_maintenance: bool = False,
+    ) -> tuple[LeafNode, bool, bool]:
+        """Post-descent half of the scalar insert (shared with batch paths).
+
+        Runs the load-trigger maintenance and the EBH insert for a key whose
+        descent has already been counted. ``path`` only needs the final
+        ``(parent, rank)`` slot (what :meth:`_split_leaf` consumes); a
+        successful split re-descends from the root exactly as the scalar
+        stream does. ``fused_maintenance`` routes a triggered rehash through
+        the counter-identical fused re-placement so batch callers keep it
+        off their critical path. Returns ``(landed_leaf, split, rehashed)``
+        so batch executors can invalidate their plan state.
+        """
         ebh = leaf.ebh
+        split_done = False
+        rehash_done = False
         if (ebh.n_keys + 1) / ebh.capacity > self.config.max_leaf_load:
             # Structural maintenance happens only at load-trigger points,
             # so its cost amortises over the inserts in between. A split is
@@ -158,6 +186,7 @@ class ChameleonIndex(BaseIndex):
             # leaf simply grows its Theorem 1 capacity in place.
             if ebh.n_keys + 1 > self.config.leaf_split_keys:
                 if self._split_leaf(leaf, path):
+                    split_done = True
                     leaf, path, _ = self._descend(key)
                     ebh = leaf.ebh
             if (ebh.n_keys + 1) / ebh.capacity > self.config.max_leaf_load:
@@ -166,11 +195,17 @@ class ChameleonIndex(BaseIndex):
                 if faults.ACTIVE is not None:
                     faults.ACTIVE.fire("ebh.expand", self.counters)
                 grown = max(ebh.n_keys + 1, int(ebh.n_keys * LEAF_GROWTH) + 1)
-                ebh.rehash(self.config.theorem1_capacity(grown), refit=True)
+                ebh.rehash(
+                    self.config.theorem1_capacity(grown),
+                    refit=True,
+                    fused=fused_maintenance,
+                )
+                rehash_done = True
         ebh.insert(key, value)
         leaf.update_count += 1
         self._n += 1
         self.updates_since_build += 1
+        return leaf, split_done, rehash_done
 
     def delete(self, key: Key) -> bool:
         if self._root is None:
@@ -234,13 +269,19 @@ class ChameleonIndex(BaseIndex):
         keys: "Sequence[Key] | np.ndarray",
         values: "Sequence[Value] | None" = None,
     ) -> None:
-        """Insert a key vector with per-interval lock amortisation.
+        """Insert a key vector with fused placement and exact accounting.
 
-        Inserts stay scalar per key — splits and rehashes depend on the
-        sequential load trajectory, so vectorising them would change the
-        modelled cost — but under a lock manager the batch groups keys by
-        h-th-level interval and acquires each interval's lock once.
-        Within a group, keys land in their original stream order.
+        Without a lock manager, large batches run through the flattened
+        plan: one gathered descent groups keys by leaf, collision-free keys
+        scatter into their home slots in bulk, and only the colliding or
+        load-triggering residue replays the scalar trigger logic — splits
+        and rehashes still fire at exactly the sequential load trajectory's
+        points, so counters stay bit-identical to the one-at-a-time stream.
+        Under a lock manager, keys are grouped by h-th-level interval (one
+        lock acquisition per interval) and placed per leaf with the fused
+        EBH insert. Within a leaf, keys land in their original stream
+        order; on a duplicate key the batch raises with exactly the
+        preceding keys landed.
         """
         if self._root is None:
             raise EmptyIndexError("bulk_load before inserting")
@@ -253,16 +294,38 @@ class ChameleonIndex(BaseIndex):
                     f"keys and values length mismatch: {karr.size} != {len(vals)}"
                 )
         with obs_trace.span("index.insert_batch").put("n", int(karr.size)):
+            # Fault injection fires ebh.insert / ebh.expand per key in a
+            # seeded order the fused paths cannot replicate, so chaos runs
+            # keep the scalar stream.
+            if faults.ACTIVE is not None:
+                if self.lock_manager is None:
+                    for i, k in enumerate(karr.tolist()):
+                        self._insert_locked(k, k if vals is None else vals[i])
+                    return
+                for ids, _, idx in self._group_upper(karr, np.arange(karr.size)):
+                    with self.lock_manager.query_lock(ids, self.counters):
+                        self.lock_manager.assert_interval_locked(
+                            ids, where="insert_batch"
+                        )
+                        for i in idx.tolist():
+                            k = float(karr[i])
+                            self._insert_locked(k, k if vals is None else vals[i])
+                return
             if self.lock_manager is None:
+                if karr.size >= _FUSED_MIN:
+                    self._current_plan().insert(self, karr, vals)
+                    return
                 for i, k in enumerate(karr.tolist()):
                     self._insert_locked(k, k if vals is None else vals[i])
                 return
             for ids, _, idx in self._group_upper(karr, np.arange(karr.size)):
                 with self.lock_manager.query_lock(ids, self.counters):
                     self.lock_manager.assert_interval_locked(ids, where="insert_batch")
-                    for i in idx.tolist():
-                        k = float(karr[i])
-                        self._insert_locked(k, k if vals is None else vals[i])
+                    # _insert_locked descends from the root; the grouped
+                    # path replicates that accounting for hop equivalence.
+                    self._descend_batch(
+                        self._root, karr, idx, self._insert_leaf_group(karr, vals)
+                    )
 
     def delete_batch(self, keys: "Sequence[Key] | np.ndarray") -> list[bool]:
         """Grouped vectorised delete; flags aligned positionally with ``keys``.
@@ -280,6 +343,10 @@ class ChameleonIndex(BaseIndex):
         out = [False] * m
         with obs_trace.span("index.delete_batch").put("n", m):
             if self.lock_manager is None:
+                if m >= _FUSED_MIN and np.unique(karr).size == m:
+                    # Duplicate keys fall back to the grouped walk: the
+                    # second occurrence must observe the first one's clear.
+                    return self._current_plan().delete(self, karr)
                 self._descend_batch(
                     self._root, karr, np.arange(m), self._batch_leaf_delete(karr, out)
                 )
@@ -296,8 +363,13 @@ class ChameleonIndex(BaseIndex):
 
     def _batch_leaf_lookup(
         self, karr: np.ndarray, out: list[Value | None]
-    ) -> "Callable[[LeafNode, np.ndarray], None]":
-        def visit(leaf: LeafNode, idx: np.ndarray) -> None:
+    ) -> "_BatchVisit":
+        def visit(
+            leaf: LeafNode,
+            idx: np.ndarray,
+            parent: InnerNode | None,
+            rank: int,
+        ) -> None:
             results = leaf.ebh.lookup_batch(karr[idx])
             for i, v in zip(idx.tolist(), results):
                 out[i] = v
@@ -306,8 +378,13 @@ class ChameleonIndex(BaseIndex):
 
     def _batch_leaf_delete(
         self, karr: np.ndarray, out: list[bool]
-    ) -> "Callable[[LeafNode, np.ndarray], None]":
-        def visit(leaf: LeafNode, idx: np.ndarray) -> None:
+    ) -> "_BatchVisit":
+        def visit(
+            leaf: LeafNode,
+            idx: np.ndarray,
+            parent: InnerNode | None,
+            rank: int,
+        ) -> None:
             flags = leaf.ebh.delete_batch(karr[idx])
             removed = 0
             for i, flag in zip(idx.tolist(), flags):
@@ -320,24 +397,101 @@ class ChameleonIndex(BaseIndex):
 
         return visit
 
+    def _insert_leaf_group(
+        self, karr: np.ndarray, vals: "list[Value] | None"
+    ) -> "_BatchVisit":
+        """Per-leaf fused insert for the grouped (lock-manager) batch path.
+
+        Within a leaf, stream order is preserved: maximal load-safe runs go
+        through the fused EBH insert, and every load-trigger key replays
+        the scalar maintenance (split attempt, fused rehash) via
+        :meth:`_insert_at_leaf`. A successful split re-descends the
+        remaining keys from the root one at a time — exactly the scalar
+        accounting — because the grouped routing is stale after the swap.
+        """
+
+        def visit(
+            leaf: LeafNode,
+            idx: np.ndarray,
+            parent: InnerNode | None,
+            rank: int,
+        ) -> None:
+            path = [] if parent is None else [(parent, rank)]
+            idx_list = idx.tolist()
+            total = len(idx_list)
+            load = self.config.max_leaf_load
+            pos = 0
+            while pos < total:
+                ebh = leaf.ebh
+                cap = ebh.capacity
+                n0 = ebh.n_keys
+                # Largest t with (n0 + t) / cap <= load, under the scalar
+                # stream's exact float comparison (±1 ulp corrections).
+                b = int(load * cap) - n0
+                if (n0 + b + 1) / cap <= load:
+                    b += 1
+                while b > 0 and (n0 + b) / cap > load:
+                    b -= 1
+                take = min(max(b, 0), total - pos)
+                if take > 0:
+                    sub = idx_list[pos : pos + take]
+                    before = ebh.n_keys
+                    try:
+                        if vals is None:
+                            ebh.insert_batch(karr[sub])
+                        else:
+                            ebh.insert_batch(karr[sub], [vals[i] for i in sub])
+                    finally:
+                        landed = ebh.n_keys - before
+                        if landed:
+                            leaf.update_count += landed
+                            self._n += landed
+                            self.updates_since_build += landed
+                    pos += take
+                if pos < total:
+                    i = idx_list[pos]
+                    k = float(karr[i])
+                    v = k if vals is None else vals[i]
+                    leaf, split_done, _ = self._insert_at_leaf(
+                        k, v, leaf, path, fused_maintenance=True
+                    )
+                    pos += 1
+                    if split_done:
+                        # Topology changed under this group: the remaining
+                        # keys re-descend from the root, as the scalar
+                        # stream would after the swap.
+                        for j in idx_list[pos:]:
+                            kj = float(karr[j])
+                            self._insert_locked(
+                                kj, kj if vals is None else vals[j]
+                            )
+                        return
+                    path = [] if parent is None else [(parent, rank)]
+
+        return visit
+
     def _descend_batch(
         self,
         start: Node,
         karr: np.ndarray,
         idx: np.ndarray,
-        visit: "Callable[[LeafNode, np.ndarray], None]",
+        visit: "_BatchVisit",
     ) -> None:
         """Route ``karr[idx]`` down from ``start``; call ``visit`` per leaf.
 
         Structural accounting matches the scalar walk: one node hop and one
         model evaluation per key per inner node on its path, with ``None``
         children materialised on demand exactly as :meth:`_descend` does.
+        Each visit also receives the leaf's ``(parent, rank)`` slot (None
+        for a root leaf) so write visitors can split in place.
         """
-        stack: list[tuple[Node, np.ndarray]] = [(start, idx)]
+        stack: list[tuple[Node, np.ndarray, InnerNode | None, int]] = [
+            (start, idx, None, 0)
+        ]
         while stack:
-            node, sub = stack.pop()
+            node, sub, parent, rank = stack.pop()
             if isinstance(node, LeafNode):
-                visit(node, sub)
+                visit(node, sub, parent, rank)
                 continue
             self.counters.node_hops += int(sub.size)
             ranks = node.route_batch(karr[sub])
@@ -345,15 +499,15 @@ class ChameleonIndex(BaseIndex):
             sorted_ranks = ranks[order]
             cuts = np.flatnonzero(np.diff(sorted_ranks)) + 1
             for group in np.split(order, cuts):
-                rank = int(ranks[group[0]])
-                child = node.children[rank]
+                child_rank = int(ranks[group[0]])
+                child = node.children[child_rank]
                 if child is None:
-                    low, high = node.child_interval(rank)
+                    low, high = node.child_interval(child_rank)
                     child = make_leaf(
                         np.empty(0), [], low, high, self.config, self.counters
                     )
-                    node.children[rank] = child
-                stack.append((child, sub[group]))
+                    node.children[child_rank] = child
+                stack.append((child, sub[group], node, child_rank))
 
     def _group_upper(
         self, karr: np.ndarray, idx: np.ndarray

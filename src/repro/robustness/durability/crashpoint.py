@@ -143,6 +143,11 @@ class CrashWorkloadConfig:
     fsync: str = "always"
     strategy: str = "ChaB"
     seed: int = 0
+    #: > 0 switches the child to the batched write workload: ``n_ops``
+    #: alternating ``delete_batch``/``insert_batch`` calls of this many
+    #: keys, each acked as ONE bulk WAL record — the mode that proves a
+    #: crash inside a bulk append loses whole batches, never parts.
+    batch_size: int = 0
 
 
 def _workload_parts(
@@ -162,6 +167,40 @@ def _workload_parts(
     return [float(k) for k in loaded], list(ops)
 
 
+def _batch_stream(
+    config: CrashWorkloadConfig,
+) -> tuple[list[float], list[tuple[str, list[float]]]]:
+    """(loaded keys, batch op stream) for a batched crash workload.
+
+    Alternates ``delete`` batches drawn from the loaded keys with
+    ``insert`` batches drawn from the unloaded pool, so every delete
+    batch removes only present keys and every insert batch is fresh and
+    in-batch unique — each call produces exactly one bulk WAL record,
+    which keeps the LSN→batch mapping derivable on the parent side.
+    """
+    from ...datasets import face_like
+    from ...workloads.mixed import split_load_and_pool
+
+    keys = face_like(config.n_keys, seed=config.seed)
+    loaded_arr, pool_arr = split_load_and_pool(
+        keys, config.load_fraction, seed=config.seed
+    )
+    loaded = [float(k) for k in loaded_arr]
+    taken = set(loaded)
+    pool = [float(k) for k in pool_arr if float(k) not in taken]
+    size = config.batch_size
+    stream: list[tuple[str, list[float]]] = []
+    di = ii = 0
+    for n in range(config.n_ops):
+        if n % 2 == 0 and di + size <= len(loaded):
+            stream.append(("delete", loaded[di : di + size]))
+            di += size
+        elif ii + size <= len(pool):
+            stream.append(("insert", pool[ii : ii + size]))
+            ii += size
+    return loaded, stream
+
+
 def oracle_upto(
     config: CrashWorkloadConfig, upto_lsn: int
 ) -> dict[float, float]:
@@ -175,12 +214,32 @@ def oracle_upto(
     """
     from ...workloads.operations import OpKind
 
-    loaded, ops = _workload_parts(config)
-    state: dict[float, float] = {}
-    lsn = 1  # the bulk-load record
     if upto_lsn < 1:
+        return {}
+    if config.batch_size > 0:
+        loaded, stream = _batch_stream(config)
+        state = {k: k for k in loaded}
+        lsn = 1  # the bulk-load record
+        for kind, batch in stream:
+            # One LSN per *effective* batch, mirroring DurableIndex: a
+            # delete batch logs (and counts) only when something was
+            # removed, an insert batch always mutates here by stream
+            # construction (every key fresh).
+            if kind == "delete" and not any(k in state for k in batch):
+                continue
+            lsn += 1
+            if lsn > upto_lsn:
+                break
+            if kind == "delete":
+                for k in batch:
+                    state.pop(k, None)
+            else:
+                for k in batch:
+                    state[k] = k
         return state
+    loaded, ops = _workload_parts(config)
     state = {k: k for k in loaded}
+    lsn = 1  # the bulk-load record
     for op in ops:
         kind = op.kind
         key = float(op.key)
@@ -201,6 +260,21 @@ def max_oracle_lsn(config: CrashWorkloadConfig) -> int:
     """Highest LSN the workload produces when it runs to completion."""
     from ...workloads.operations import OpKind
 
+    if config.batch_size > 0:
+        loaded, stream = _batch_stream(config)
+        state = {k: k for k in loaded}
+        lsn = 1
+        for kind, batch in stream:
+            if kind == "delete" and not any(k in state for k in batch):
+                continue
+            lsn += 1
+            if kind == "delete":
+                for k in batch:
+                    state.pop(k, None)
+            else:
+                for k in batch:
+                    state[k] = k
+        return lsn
     loaded, ops = _workload_parts(config)
     state = {k: k for k in loaded}
     lsn = 1
@@ -247,6 +321,19 @@ def run_crash_child(workdir: str | Path, config: CrashWorkloadConfig) -> None:
         os.fsync(ack_fd)
 
     try:
+        if config.batch_size > 0:
+            loaded_b, stream = _batch_stream(config)
+            durable.bulk_load(loaded_b)
+            ack(durable.last_lsn)
+            for kind, batch in stream:
+                if kind == "delete":
+                    if any(durable.delete_batch(batch)):
+                        ack(durable.last_lsn)
+                else:
+                    durable.insert_batch(batch)
+                    ack(durable.last_lsn)
+            durable.close()
+            return
         durable.bulk_load(loaded)
         ack(durable.last_lsn)
         for op in ops:
@@ -422,6 +509,8 @@ def run_crash_case(
             str(config.checkpoint_every),
             "--fsync",
             config.fsync,
+            "--batch-size",
+            str(config.batch_size),
         ]
         proc = subprocess.run(
             cmd,
@@ -497,6 +586,7 @@ def _child_main(argv: list[str]) -> int:
     parser.add_argument("--write-ratio", type=float, default=0.6)
     parser.add_argument("--checkpoint-every", type=int, default=150)
     parser.add_argument("--fsync", default="always")
+    parser.add_argument("--batch-size", type=int, default=0)
     args = parser.parse_args(argv)
     config = CrashWorkloadConfig(
         n_keys=args.n_keys,
@@ -505,6 +595,7 @@ def _child_main(argv: list[str]) -> int:
         checkpoint_every=args.checkpoint_every,
         fsync=args.fsync,
         seed=args.seed,
+        batch_size=args.batch_size,
     )
     run_crash_child(args.workdir, config)
     return 0

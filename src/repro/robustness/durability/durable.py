@@ -43,7 +43,14 @@ from ...baselines.interfaces import BaseIndex, Key, Value
 from .. import faults
 from .checkpoint import CheckpointManager
 from .recovery import RecoveryManager, RecoveryReport
-from .wal import WriteAheadLog, log_bulk_load, log_delete, log_insert
+from .wal import (
+    WriteAheadLog,
+    log_bulk_load,
+    log_delete,
+    log_delete_batch,
+    log_insert,
+    log_insert_batch,
+)
 
 
 @declared_contract("no_raise")
@@ -185,21 +192,92 @@ class DurableIndex:
         keys: "Sequence[Key]",
         values: "Sequence[Value] | None" = None,
     ) -> None:
-        """Scalar-loop batch insert (each op individually logged/acked)."""
-        if values is None:
-            for k in keys:
-                self.insert(float(k))
-        else:
-            if len(values) != len(keys):
-                raise ValueError(
-                    f"keys and values length mismatch: "
-                    f"{len(keys)} != {len(values)}"
-                )
-            for k, v in zip(keys, values):
-                self.insert(float(k), v)
+        """Batch insert: one bulk WAL record when no key can raise.
+
+        A counter-neutral peek certifies the batch (unique keys, none
+        present); certified batches run the index's vectorised
+        ``insert_batch`` and log one INSERT_BATCH frame — one append, one
+        fsync under ``always`` — with batch-level rollback: if the apply
+        dies mid-batch or the append fails, every key the batch placed is
+        removed before the error propagates, so memory and log never
+        diverge. Uncertified batches (an in-batch duplicate, a key already
+        present) fall back to the per-op loop, which preserves the scalar
+        stream's exact semantics: a mid-batch ``DuplicateKeyError`` leaves
+        every earlier key applied *and* individually logged.
+        """
+        key_list = [float(k) for k in keys]
+        if values is not None and len(values) != len(key_list):
+            raise ValueError(
+                f"keys and values length mismatch: "
+                f"{len(keys)} != {len(values)}"
+            )
+        if not key_list:
+            return
+        value_list = None if values is None else list(values)
+        certified = len(set(key_list)) == len(key_list) and not any(
+            v is not None for v in self._peek_batch(key_list)
+        )
+        if not certified:
+            if value_list is None:
+                for k in key_list:
+                    self.insert(k)
+            else:
+                for k, v in zip(key_list, value_list):
+                    self.insert(k, v)
+            return
+        try:
+            self.index.insert_batch(key_list, value_list)
+        except BaseException:
+            # Mid-apply failure (an injected fault): drop whatever prefix
+            # landed — every batch key was certified fresh, so a plain
+            # delete sweep restores the pre-batch state.
+            with _rollback_guard():
+                for k in key_list:
+                    self.index.delete(k)
+            raise
+        try:
+            log_insert_batch(self.wal, key_list, value_list)
+        except BaseException:
+            with _rollback_guard():
+                for k in key_list:
+                    self.index.delete(k)  # roll back the whole batch
+            raise
+        self._after_logged_record()
 
     def delete_batch(self, keys: "Sequence[Key]") -> list[bool]:
-        return [self.delete(float(k)) for k in keys]
+        """Batch delete; one bulk WAL record covering the removed keys.
+
+        The peek capturing rollback values is counter-neutral, the apply
+        is the index's vectorised ``delete_batch``, and the single
+        DELETE_BATCH frame logs only the keys that were actually present.
+        A mid-apply or append failure reinserts every key the batch had
+        removed (with its peeked value) before propagating.
+        """
+        key_list = [float(k) for k in keys]
+        if not key_list:
+            return []
+        old_values = self._peek_batch(key_list)
+        try:
+            out = self.index.delete_batch(key_list)
+        except BaseException:
+            with _rollback_guard():
+                for k, v in zip(key_list, old_values):
+                    if v is not None and self._peek(k) is None:
+                        self.index.insert(k, v)
+            raise
+        removed = [k for k, present in zip(key_list, out) if present]
+        if not removed:
+            return out
+        try:
+            log_delete_batch(self.wal, removed)
+        except BaseException:
+            with _rollback_guard():
+                for k, present, v in zip(key_list, out, old_values):
+                    if present:
+                        self.index.insert(k, v)  # roll back the batch
+            raise
+        self._after_logged_record()
+        return out
 
     @declared_contract("counter_neutral")
     def _peek(self, key: float) -> Value | None:
@@ -207,6 +285,15 @@ class DurableIndex:
         before = self.index.counters.snapshot()
         try:
             return self.index.lookup(key)
+        finally:
+            self.index.counters.restore(before)
+
+    @declared_contract("counter_neutral")
+    def _peek_batch(self, keys: "Sequence[float]") -> list[Value | None]:
+        """Counter-neutral batch lookup (certification + rollback values)."""
+        before = self.index.counters.snapshot()
+        try:
+            return self.index.lookup_batch(keys)
         finally:
             self.index.counters.restore(before)
 

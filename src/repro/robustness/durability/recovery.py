@@ -89,6 +89,24 @@ def apply_record(index: BaseIndex, record: wal_mod.WALRecord) -> bool:
         keys, values = record.payload
         index.bulk_load(keys, values)  # type: ignore[arg-type]
         return True
+    if record.op == wal_mod.OP_INSERT_BATCH:
+        keys, values = record.payload
+        mutated = False
+        for i, key in enumerate(keys):  # type: ignore[arg-type]
+            try:
+                index.insert(
+                    float(key), None if values is None else values[i]
+                )
+            except DuplicateKeyError:
+                continue
+            mutated = True
+        return mutated
+    if record.op == wal_mod.OP_DELETE_BATCH:
+        (keys,) = record.payload
+        mutated = False
+        for key in keys:  # type: ignore[attr-defined]
+            mutated |= index.delete(float(key))
+        return mutated
     raise wal_mod.WALError(f"unknown WAL op {record.op} at lsn {record.lsn}")
 
 

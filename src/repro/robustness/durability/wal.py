@@ -13,10 +13,13 @@ recoverable log. ``payload_len`` is sanity-capped so a corrupt length
 field cannot make the scanner swallow the rest of the file as one bogus
 payload.
 
-Records carry monotonically increasing LSNs (starting at 1). Three ops
-exist: INSERT(key, value), DELETE(key), BULK_LOAD(keys, values) — exactly
-the mutations of the :class:`~repro.baselines.interfaces.BaseIndex`
-write API.
+Records carry monotonically increasing LSNs (starting at 1). Five ops
+exist: INSERT(key, value), DELETE(key), BULK_LOAD(keys, values), plus the
+bulk forms INSERT_BATCH(keys, values) and DELETE_BATCH(keys) — one frame
+per applied batch, so a vectorised write path pays one append (and one
+fsync under ``always``) per batch instead of per key. Together they cover
+exactly the mutations of the
+:class:`~repro.baselines.interfaces.BaseIndex` write API.
 
 Durability knobs:
 
@@ -66,8 +69,16 @@ MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
 OP_INSERT = 1
 OP_DELETE = 2
 OP_BULK_LOAD = 3
+OP_INSERT_BATCH = 4
+OP_DELETE_BATCH = 5
 
-OP_NAMES = {OP_INSERT: "insert", OP_DELETE: "delete", OP_BULK_LOAD: "bulk_load"}
+OP_NAMES = {
+    OP_INSERT: "insert",
+    OP_DELETE: "delete",
+    OP_BULK_LOAD: "bulk_load",
+    OP_INSERT_BATCH: "insert_batch",
+    OP_DELETE_BATCH: "delete_batch",
+}
 
 FSYNC_POLICIES = ("always", "group", "none")
 
@@ -542,3 +553,20 @@ def log_bulk_load(
         OP_BULK_LOAD,
         (list(keys), None if values is None else list(values)),
     )
+
+
+def log_insert_batch(
+    wal: WriteAheadLog,
+    keys: Sequence[float],
+    values: Sequence[object] | None,
+) -> int:
+    """One CRC-framed record covering a whole applied insert batch."""
+    return wal.append_record(
+        OP_INSERT_BATCH,
+        (list(keys), None if values is None else list(values)),
+    )
+
+
+def log_delete_batch(wal: WriteAheadLog, keys: Sequence[float]) -> int:
+    """One CRC-framed record covering a batch's *removed* keys only."""
+    return wal.append_record(OP_DELETE_BATCH, (list(keys),))

@@ -1,0 +1,45 @@
+"""Known-bad fixture for RL013 on the fused batch-insert shape.
+
+Models the gathered write path: a planner pre-locates slots for a whole
+key batch (a peek that probes the slot store), then the commit lane
+charges the closed-form probe counts itself. The peek helpers are
+declared ``counter_neutral`` — these variants mutate the counters with
+no snapshot/restore bracket, exactly the drift the contract exists to
+catch (peeking twice would then double-charge the cost model). Never
+imported.
+"""
+
+from repro.analysis.contracts import declared_contract
+
+
+class FusedInsertPlan:
+    def __init__(self, counters, store):
+        self.counters = counters
+        self.store = store
+
+    def _probe(self, slot):
+        self.counters.slot_probes += 1
+        return self.store[slot]
+
+    @declared_contract("counter_neutral")
+    def raw_locate(self, keys):  # expect[RL013]
+        # The gather charges slot_probes directly; the commit lane will
+        # charge the same probes again via the closed form.
+        slots = []
+        for key in keys:
+            self.counters.slot_probes += 1
+            slots.append(hash(key) % len(self.store))
+        return slots
+
+    @declared_contract("counter_neutral")
+    def peek_candidates(self, keys):  # expect[RL013]
+        # Transitive mutation through the probing helper, unbracketed.
+        return [self._probe(hash(k) % len(self.store)) for k in keys]
+
+    @declared_contract("counter_neutral")
+    def certify_batch(self, keys):  # expect[RL013]
+        before = self.counters.snapshot()
+        hits = [self._probe(hash(k) % len(self.store)) for k in keys]
+        # Snapshot taken but never restored: net effect is still visible.
+        del before
+        return all(h is None for h in hits)

@@ -1,0 +1,49 @@
+"""Known-good fixture for RL013 on the fused batch-insert shape.
+
+The counter-neutral peeks either stay genuinely counter-free (pure
+geometry, no Counter writes — the commit lane charges closed-form probe
+counts afterwards, outside the contract) or bracket their probing with
+snapshot/restore so the net effect is zero. Never imported.
+"""
+
+from repro.analysis.contracts import declared_contract
+
+
+class FusedInsertPlan:
+    def __init__(self, counters, store):
+        self.counters = counters
+        self.store = store
+
+    def _probe(self, slot):
+        self.counters.slot_probes += 1
+        return self.store[slot]
+
+    @declared_contract("counter_neutral")
+    def raw_locate(self, keys):
+        # Counter-free gather: pure slot geometry, nothing charged here —
+        # the commit lane charges the scalar stream's closed forms itself.
+        return [hash(key) % len(self.store) for key in keys]
+
+    @declared_contract("counter_neutral")
+    def peek_candidates(self, keys):
+        before = self.counters.snapshot()
+        try:
+            return [self._probe(hash(k) % len(self.store)) for k in keys]
+        finally:
+            self.counters.restore(before)
+
+    @declared_contract("counter_neutral")
+    def certify_batch(self, keys):
+        before = self.counters.snapshot()
+        try:
+            hits = [self._probe(hash(k) % len(self.store)) for k in keys]
+            return all(h is None for h in hits)
+        finally:
+            self.counters.restore(before)
+
+    def commit(self, keys, slots):
+        # The commit lane is *not* counter-neutral and says so by not
+        # declaring the contract: it charges the closed-form probe cost.
+        for key, slot in zip(keys, slots):
+            self.counters.slot_probes += 1
+            self.store[slot] = key

@@ -162,6 +162,98 @@ class TestChameleonBatchEquivalence:
         assert len(a) == len(b)
         assert sorted(a.items()) == sorted(b.items())
 
+    def test_duplicate_in_batch_leaves_exact_scalar_prefix(self):
+        """A mid-batch duplicate raises with exactly the preceding keys
+        landed — the same state, counters, and exception the scalar loop
+        would leave at the same stream position."""
+        from repro.baselines.interfaces import DuplicateKeyError
+
+        keys = load_dataset("UDEN", 2000, seed=6)
+        rng = np.random.default_rng(23)
+        fresh = np.unique(rng.uniform(keys.min(), keys.max(), 200))
+        batch = np.concatenate(
+            [fresh[:120], [float(keys[50])], fresh[120:]]  # dup mid-stream
+        )
+        a, b = _chameleon(keys), _chameleon(keys)
+        before = a.counters.snapshot()
+        with pytest.raises(DuplicateKeyError):
+            for k in batch.tolist():
+                a.insert(k)
+        scalar_delta = a.counters.diff(before)
+        before = b.counters.snapshot()
+        with pytest.raises(DuplicateKeyError):
+            b.insert_batch(batch)
+        assert b.counters.diff(before) == scalar_delta
+        assert len(a) == len(b)
+        assert sorted(a.items()) == sorted(b.items())
+        # An in-batch repeat (second occurrence of a fresh key) aborts
+        # the same way: the first occurrence lands, the repeat raises.
+        a2, b2 = _chameleon(keys), _chameleon(keys)
+        repeat = np.concatenate([fresh[:40], fresh[39:41], fresh[41:60]])
+        before = a2.counters.snapshot()
+        with pytest.raises(DuplicateKeyError):
+            for k in repeat.tolist():
+                a2.insert(k)
+        scalar_delta = a2.counters.diff(before)
+        before = b2.counters.snapshot()
+        with pytest.raises(DuplicateKeyError):
+            b2.insert_batch(repeat)
+        assert b2.counters.diff(before) == scalar_delta
+        assert sorted(a2.items()) == sorted(b2.items())
+
+    def test_collision_heavy_batch_rehashes_mid_batch(self):
+        """A batch dense enough to breach tau mid-flight triggers the
+        in-situ rehash at exactly the scalar trajectory's point."""
+        keys = load_dataset("UDEN", 3000, seed=14)
+        lo, hi = float(keys.min()), float(keys.max())
+        span = hi - lo
+        rng = np.random.default_rng(41)
+        # Everything lands in one narrow sliver of one leaf: successive
+        # keys collide on the same EBH home slots and drive the conflict
+        # degree through the trigger threshold while the batch is mid-air.
+        dense = np.unique(
+            rng.uniform(lo + 0.37 * span, lo + 0.372 * span, 400)
+        )
+        a, b = _chameleon(keys), _chameleon(keys)
+        before = a.counters.snapshot()
+        for k in dense.tolist():
+            a.insert(k)
+        scalar_delta = a.counters.diff(before)
+        assert scalar_delta["retrains"] > 0  # the scenario really rehashed
+        before = b.counters.snapshot()
+        b.insert_batch(dense)
+        assert b.counters.diff(before) == scalar_delta
+        assert sorted(a.items()) == sorted(b.items())
+        assert b.verify_integrity().ok
+
+    def test_split_triggering_batch_matches_scalar(self):
+        """Batches that drive a leaf past ``leaf_split_keys`` with locally
+        skewed density split at the same points as the scalar stream, with
+        identical split/retrain accounting. (A flat-density cluster would
+        not do: the TSMDP refinement guards prefer growing the hash, so
+        the insert wave must be skewed for the split branch to fire.)"""
+        keys = load_dataset("UDEN", 2000, seed=18)
+        lo, hi = float(keys.min()), float(keys.max())
+        span = hi - lo
+        rng = np.random.default_rng(43)
+        center = lo + 0.3 * span
+        heavy = np.unique(
+            center + 0.01 * span * rng.lognormal(0.0, 2.0, 900) / 200.0
+        )
+        a, b = _chameleon(keys), _chameleon(keys)
+        before = a.counters.snapshot()
+        for k in heavy.tolist():
+            a.insert(k)
+        scalar_delta = a.counters.diff(before)
+        assert scalar_delta["splits"] > 0  # the scenario really split
+        before = b.counters.snapshot()
+        for i in range(0, heavy.size, 512):
+            b.insert_batch(heavy[i : i + 512])
+        assert b.counters.diff(before) == scalar_delta
+        assert len(a) == len(b)
+        assert sorted(a.items()) == sorted(b.items())
+        assert b.verify_integrity().ok
+
     def test_empty_and_tiny_batches(self):
         keys = load_dataset("UDEN", 500, seed=8)
         ix = _chameleon(keys)
@@ -208,6 +300,37 @@ class TestChameleonLockPath:
         assert 0 < batch_locks < scalar_locks
         # Zero lock-protocol violations under the armed race detector.
         assert a.lock_manager.race_report() == []
+        assert b.lock_manager is not None
+        assert b.lock_manager.race_report() == []
+
+    def test_grouped_insert_locks_once_per_interval(self, monkeypatch):
+        """Batch inserts under a lock manager acquire one write lock per
+        touched h-level interval, not one per key — and everything but the
+        lock traffic matches the scalar stream exactly."""
+        monkeypatch.setenv("REPRO_LOCK_ASSERTS", "1")
+        keys = load_dataset("FACE", 2500, seed=7)
+        rng = np.random.default_rng(19)
+        inserts = np.unique(rng.uniform(keys.min(), keys.max(), 600))
+
+        a, b = _chameleon(keys, lock=True), _chameleon(keys, lock=True)
+        before = a.counters.snapshot()
+        for k in inserts.tolist():
+            a.insert(k)
+        scalar_delta = a.counters.diff(before)
+
+        before = b.counters.snapshot()
+        b.insert_batch(inserts)
+        batch_delta = b.counters.diff(before)
+
+        scalar_locks = scalar_delta.pop("lock_acquisitions")
+        batch_locks = batch_delta.pop("lock_acquisitions")
+        scalar_delta.pop("lock_waits", None)
+        batch_delta.pop("lock_waits", None)
+        assert batch_delta == scalar_delta
+        # Scalar: one acquisition per key. Grouped: one per interval.
+        assert scalar_locks == inserts.size
+        assert 0 < batch_locks < scalar_locks
+        assert sorted(a.items()) == sorted(b.items())
         assert b.lock_manager is not None
         assert b.lock_manager.race_report() == []
 

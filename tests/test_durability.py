@@ -317,6 +317,93 @@ def test_crash_case_subprocess_recovers_acked_prefix(point, tmp_path):
     assert report.recovered_lsn >= report.acked_lsn
 
 
+def test_crash_case_batch_writes_recover_on_batch_boundary(tmp_path):
+    """SIGKILL inside a *bulk* WAL append: the torn batch frame truncates
+    at scan time and recovery lands exactly on the previous batch
+    boundary, which is the acked prefix (a batch acks as one record).
+
+    ``on_hit`` is explicit: the batch workload logs ~13 records total,
+    well under ``default_hit_for``'s scalar-scale pick.
+    """
+    config = CrashWorkloadConfig(
+        n_keys=800, n_ops=12, checkpoint_every=6, fsync="always", batch_size=48
+    )
+    report = run_crash_case(
+        "wal.mid_append", seed=0, on_hit=5, config=config, workdir=tmp_path
+    )
+    assert report.killed and report.triggered, report
+    assert report.ok, report
+    assert report.recovered_lsn == report.acked_lsn == 4
+
+
+def test_wal_neutrality_batch_writes_counters_bit_identical(tmp_path):
+    """WAL-on and WAL-off batch writes share structural counters exactly.
+
+    The durable batch lanes only add counter-neutral peeks around the
+    index's own ``insert_batch``/``delete_batch`` calls, so a batched
+    schedule must leave bit-identical Counters — and one bulk WAL record
+    per applied batch, replaying to the same final structure.
+    """
+    keys = sorted({float(k) for k in face_like(900, seed=5)})
+    loaded, fresh = keys[:600], keys[600:]
+
+    def batch_schedule(index):
+        index.bulk_load(loaded)
+        out = [index.delete_batch(loaded[100:196])]
+        index.insert_batch(fresh[:96])
+        # Mix present, just-inserted, and absent keys in one delete batch.
+        out.append(index.delete_batch(loaded[300:340] + fresh[:8] + [-1.0]))
+        index.insert_batch(fresh[96:160], [k + 0.5 for k in fresh[96:160]])
+        return out
+
+    plain = ChameleonIndex()
+    plain_out = batch_schedule(plain)
+
+    wrapped = ChameleonIndex()
+    durable = DurableIndex(wrapped, tmp_path / "dur", fsync="always")
+    durable_out = batch_schedule(durable)
+    durable.close()
+
+    assert durable_out == plain_out
+    assert wrapped.counters == plain.counters
+    assert sorted(durable.items()) == sorted(plain.items())
+    # One frame per applied batch: bulk load + 2 deletes + 2 inserts.
+    assert durable.last_lsn == 5
+    index, report = RecoveryManager(tmp_path / "dur", ChameleonIndex).recover()
+    assert report.failed_applies == 0
+    assert sorted(index.items()) == sorted(plain.items())
+
+
+def test_batch_append_failure_rolls_back_whole_batch(tmp_path):
+    """A failed bulk append compensates the *entire* batch before raising:
+    memory returns to the pre-batch state and the log gains no record."""
+    keys = sorted({float(k) for k in face_like(400, seed=7)})
+    loaded, fresh = keys[:300], keys[300:]
+    durable = DurableIndex(ChameleonIndex(), tmp_path, fsync="always")
+    durable.bulk_load(loaded)
+    before_items = sorted(durable.items())
+    lsn_before = durable.last_lsn
+
+    inj = FaultInjector(seed=0)
+    inj.arm("wal.append", FaultMode.RAISE, probability=1.0, max_fires=1)
+    with inj.installed():
+        with pytest.raises(InjectedFault):
+            durable.insert_batch(fresh[:64])
+    assert sorted(durable.items()) == before_items
+    assert durable.last_lsn == lsn_before
+
+    inj = FaultInjector(seed=0)
+    inj.arm("wal.append", FaultMode.RAISE, probability=1.0, max_fires=1)
+    with inj.installed():
+        with pytest.raises(InjectedFault):
+            durable.delete_batch(loaded[:64])
+    assert sorted(durable.items()) == before_items
+    assert durable.last_lsn == lsn_before
+    durable.close()
+    index, _ = RecoveryManager(tmp_path, ChameleonIndex).recover()
+    assert sorted(index.items()) == before_items
+
+
 # -- effect-analysis regression fixes (RL012/RL014) ---------------------------
 
 

@@ -69,6 +69,11 @@ def findings_for(path: Path, rule_id: str) -> set[tuple[str, int]]:
         ("RL011", "rl011_bad.py", "rl011_good.py"),
         ("RL012", "rl012_bad.py", "rl012_good.py"),
         ("RL013", "rl013_bad.py", "rl013_good.py"),
+        (
+            "RL013",
+            "core/rl013_fused_insert_bad.py",
+            "core/rl013_fused_insert_good.py",
+        ),
         ("RL014", "durability/rl014_bad.py", "durability/rl014_good.py"),
     ],
 )
