@@ -23,11 +23,28 @@ def test_chaos_survives_fault_storm(benchmark):
     assert report.sweeps_run >= 12
 
 
-def main() -> None:
-    report = run_chaos(ChaosConfig(fault_probability=0.15, seed=0))
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Seeded chaos run; exits 1 on any violated property."
+    )
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        help="arm the flight recorder; anomaly post-mortem bundles land here",
+    )
+    args = parser.parse_args(argv)
+    report = run_chaos(
+        ChaosConfig(
+            fault_probability=0.15, seed=0, flight_dir=args.flight_dir
+        )
+    )
     print(report.summary())
     for event in report.events:
         print(f"  {event}")
+    for bundle in report.flight_bundles:
+        print(f"  flight bundle: {bundle}")
     if not report.ok:
         raise SystemExit(1)
 

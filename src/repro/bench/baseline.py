@@ -1,6 +1,6 @@
 """Machine-readable performance baseline for the batch-execution layer.
 
-Produces ``BENCH_PR9.json`` (schema ``repro-perf-baseline/v4``): for each
+Produces ``BENCH_PR10.json`` (schema ``repro-perf-baseline/v5``): for each
 index, the scalar-loop and batch-API lookup throughput on the same query
 stream, the speedup, and a structural-counter equivalence verdict. Since
 v2 the document also carries an ``obs_overhead`` section: the same seeded
@@ -19,8 +19,16 @@ fresh keys, issued scalar-loop vs through the gathered batch executors —
 pinning the batch write speedups, the write counter-equivalence contract,
 final-structure equality, and the bulk-WAL overhead of routing the same
 batches through a DurableIndex (one CRC frame + fsync per batch).
+v5 adds a ``telemetry_overhead`` section: the same seeded mixed workload
+with the full continuous-telemetry stack armed — metrics registry,
+background :class:`~repro.obs.timeline.TimelineSampler`, SLO latency
+windows, and a flight recorder — versus everything disarmed, pinning the
+wall-clock ratio, the counter/result neutrality contract, and the
+zero-allocation property of the *disarmed* flight-trigger guard
+(tracemalloc bytes/op, same micro-bench shape as the null span path).
 The file is committed so later PRs can diff their numbers against a
-pinned reference instead of a prose claim; docs/benchmarking.md documents
+pinned reference instead of a prose claim (``python -m repro.bench.diff``
+attributes any regression per metric); docs/benchmarking.md documents
 the format and the refresh procedure.
 
 Wall-clock numbers are machine-dependent — the committed file records the
@@ -53,12 +61,13 @@ from ..core.index import ChameleonIndex
 from ..core.interval_lock import IntervalLockManager
 from ..core.retrainer import RetrainingThread
 from ..datasets import load as load_dataset
+from ..obs import flight as obs_flight
 from ..obs import trace as obs_trace
 from ..workloads.mixed import read_write_workload, split_load_and_pool
 from ..workloads.operations import OpKind
 from .harness import BenchScale
 
-SCHEMA = "repro-perf-baseline/v4"
+SCHEMA = "repro-perf-baseline/v5"
 
 #: Default lineup: every index with a genuinely vectorised batch override
 #: plus one scalar-default control (B+Tree) proving API conformance.
@@ -227,6 +236,86 @@ def measure_obs_overhead(
         "results_equal": disarmed_results == armed_results,
         "trace_events": len(recorder),
         "null_alloc_bytes_per_op": round(_null_alloc_bytes_per_op(), 4),
+    }
+
+
+def _flight_disarmed_bytes_per_op(iterations: int = 50_000) -> float:
+    """Bytes allocated per disarmed flight tick+trigger pair (should be ~0).
+
+    The disarmed flight path must match the null span path: one module
+    attribute load and a pointer comparison, no allocation. Wired call
+    sites additionally guard on ``ACTIVE`` before building their detail
+    dicts, so this loop (module helpers, no detail) is exactly the cost
+    the hot path pays when the recorder is off.
+    """
+    with obs.disarmed():
+        for _ in range(1_000):  # warm-up: interning, bytecode caches
+            obs_flight.tick()
+            obs_flight.trigger("bench.null")
+        steps = range(iterations)
+        tracemalloc.start()
+        before, _peak = tracemalloc.get_traced_memory()
+        for _ in steps:
+            obs_flight.tick()
+            obs_flight.trigger("bench.null")
+        after, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return max(0, after - before) / iterations
+
+
+def measure_telemetry_overhead(
+    keys: np.ndarray, n_ops: int = 5_000, seed: int = 0
+) -> dict[str, Any]:
+    """Disarmed vs. full-telemetry cost of the continuous stack (v5 row).
+
+    The armed run carries everything PR-10 added on top of trace+metrics:
+    a background :class:`~repro.obs.timeline.TimelineSampler` hammering
+    the registry at 5 ms, the SLO latency windows observing every public
+    index op, and a flight recorder armed into a scratch directory. The
+    contract mirrors RL007: structural Counters and lookup results must
+    be bit-identical to the disarmed run — telemetry is measurement, not
+    measured — and the *disarmed* flight guard must not allocate.
+    """
+    with obs.disarmed():
+        disarmed_secs, disarmed_counters, disarmed_results = _run_obs_workload(
+            keys, n_ops, seed
+        )
+    recorder = obs.TraceRecorder()
+    registry = obs.MetricsRegistry()
+    sampler = obs.TimelineSampler(registry=registry, interval_s=0.005)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-flight-") as d:
+        with obs.armed(recorder=recorder, registry=registry):
+            flight_rec = obs.arm_flight(d)
+            slo_tracker = obs.arm_slo()
+            sampler.start()
+            try:
+                armed_secs, armed_counters, armed_results = _run_obs_workload(
+                    keys, n_ops, seed
+                )
+            finally:
+                sampler.stop()
+                obs.disarm_slo()
+                obs.disarm_flight()
+        flight_bundles = len(flight_rec.bundles)
+    slo_lookup = slo_tracker.snapshot().get("lookup", {})
+    return {
+        "n_ops": int(n_ops),
+        "disarmed_seconds": round(disarmed_secs, 6),
+        "armed_seconds": round(armed_secs, 6),
+        "overhead_ratio": (
+            round(armed_secs / disarmed_secs, 3) if disarmed_secs > 0 else 0.0
+        ),
+        "counters_equal": disarmed_counters == armed_counters,
+        "results_equal": disarmed_results == armed_results,
+        "timeline_interval_s": sampler.interval_s,
+        "timeline_samples": int(sampler.samples),
+        "timeline_dropped": int(sampler.dropped),
+        "timeline_errors": len(sampler.errors),
+        "slo_lookup_p99_seconds": slo_lookup.get("p99_seconds"),
+        "flight_bundles": int(flight_bundles),
+        "flight_disarmed_bytes_per_op": round(
+            _flight_disarmed_bytes_per_op(), 4
+        ),
     }
 
 
@@ -486,10 +575,11 @@ def run_perf_baseline(
     dataset: str = "UDEN",
     batch_size: int = 1024,
     indexes: Sequence[str] = DEFAULT_INDEXES,
-    out_path: str | Path | None = "BENCH_PR9.json",
+    out_path: str | Path | None = "BENCH_PR10.json",
     obs_ops: int = 5_000,
     durability_ops: int = 5_000,
     write_reps: int = 3,
+    telemetry_ops: int = 5_000,
 ) -> dict[str, Any]:
     """Measure scalar vs batch lookups and emit the baseline document.
 
@@ -506,6 +596,8 @@ def run_perf_baseline(
         durability_ops: mixed-workload ops for the ``durability`` section
             (0 skips it).
         write_reps: alternating timing reps for the ``write_path``
+            section (0 skips it).
+        telemetry_ops: mixed-workload ops for the ``telemetry_overhead``
             section (0 skips it).
 
     Returns:
@@ -546,6 +638,18 @@ def run_perf_baseline(
             f"counters_equal={overhead['counters_equal']}, "
             f"null path {overhead['null_alloc_bytes_per_op']:.2f} B/op"
         )
+    if telemetry_ops > 0:
+        telemetry = measure_telemetry_overhead(
+            keys, n_ops=telemetry_ops, seed=scale.seed
+        )
+        doc["telemetry_overhead"] = telemetry
+        print(
+            f"telemetry: {telemetry['overhead_ratio']:.2f}x armed/disarmed "
+            f"({telemetry['timeline_samples']} timeline frames), "
+            f"counters_equal={telemetry['counters_equal']}, "
+            f"flight guard "
+            f"{telemetry['flight_disarmed_bytes_per_op']:.2f} B/op"
+        )
     if durability_ops > 0:
         durability = measure_durability(
             keys, n_ops=durability_ops, seed=scale.seed
@@ -579,14 +683,14 @@ def run_perf_baseline(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.baseline",
-        description="Emit the batch-vs-scalar perf baseline (BENCH_PR9.json).",
+        description="Emit the batch-vs-scalar perf baseline (BENCH_PR10.json).",
     )
     parser.add_argument("--n-keys", type=int, default=100_000)
     parser.add_argument("--n-queries", type=int, default=100_000)
     parser.add_argument("--dataset", default="UDEN")
     parser.add_argument("--batch-size", type=int, default=1024)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--out", default="BENCH_PR9.json")
+    parser.add_argument("--out", default="BENCH_PR10.json")
     parser.add_argument(
         "--obs-ops", type=int, default=5_000,
         help="mixed-workload ops for the obs_overhead section (0 = skip)",
@@ -598,6 +702,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--write-reps", type=int, default=3,
         help="timing reps for the write_path section (0 = skip)",
+    )
+    parser.add_argument(
+        "--telemetry-ops", type=int, default=5_000,
+        help="mixed-workload ops for the telemetry_overhead section (0 = skip)",
     )
     parser.add_argument(
         "--indexes", nargs="*", default=list(DEFAULT_INDEXES),
@@ -616,6 +724,7 @@ def main(argv: list[str] | None = None) -> int:
         obs_ops=args.obs_ops,
         durability_ops=args.durability_ops,
         write_reps=args.write_reps,
+        telemetry_ops=args.telemetry_ops,
     )
     return 0
 

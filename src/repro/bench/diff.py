@@ -1,0 +1,415 @@
+"""Schema-aware diff of two BENCH_*.json perf baselines.
+
+``python -m repro.bench.diff OLD.json NEW.json`` compares any two
+baseline documents (any schema >= v2; sections are intersected, so a v4
+file diffs cleanly against a v5 one) and attributes every change to a
+metric with a *kind*:
+
+* **bool** — equivalence/contract flags (``counters_equal``,
+  ``recovered_equal``, ...). A ``True -> False`` flip is a regression and
+  always gates the exit code, even across scales: contracts do not get
+  noisier with dataset size.
+* **ratio** — dimensionless speedups/overheads (``speedup``,
+  ``overhead_ratio``). Gated with a relative tolerance, but only when
+  the two runs are *comparable* (same dataset/scale/seed); a 20k smoke
+  run against the committed 100k baseline reports ratios as
+  informational instead of failing CI on scale effects.
+* **bound** — absolute ceilings that hold at any scale
+  (``null_alloc_bytes_per_op`` < 1): crossing the ceiling gates.
+* **fsync** — WAL/fsync overhead ratios. Entirely filesystem-dependent
+  (tmpfs CI runners vs real disks), so — per the benchmarking doc's
+  caveat — drift is reported in the bad direction but never gates; the
+  durability *booleans* are the floors.
+* **throughput** — ops/sec figures; machine-dependent, never gating
+  (the committed hard floors in the CI gate stay authoritative).
+* **info** — everything else (wall-clock seconds, counts, metadata).
+
+Exit code 0 when no gating regression (a self-diff is always 0),
+1 otherwise. ``--md`` writes a markdown attribution report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Sequence
+
+#: Default relative tolerance for gating ratio metrics (they carry timer
+#: noise even at fixed scale; the CI hard floors catch big cliffs).
+DEFAULT_REL_TOLERANCE = 0.25
+
+#: Top-level keys that describe the run, not its outcome.
+_HEADER_KEYS = (
+    "schema",
+    "dataset",
+    "n_keys",
+    "n_queries",
+    "batch_size",
+    "seed",
+    "python",
+    "machine",
+)
+
+#: Header keys that must match for numeric metrics to be comparable.
+_COMPARABLE_KEYS = ("dataset", "n_keys", "n_queries", "batch_size", "seed")
+
+#: (dotted-path pattern, kind, direction) — first match wins. Direction
+#: is the *good* direction: "higher" (speedups) or "lower" (overheads).
+_RULES: tuple[tuple[str, str, str | None], ...] = (
+    ("results.*.speedup", "ratio", "higher"),
+    ("results.*.vectorized", "bool", None),
+    ("*.counters_equal", "bool", None),
+    ("*.counters_equal_*", "bool", None),
+    ("*.results_equal", "bool", None),
+    ("durability.recovered_equal", "bool", None),
+    ("durability.integrity_ok", "bool", None),
+    ("write_path.final_structure_equal", "bool", None),
+    ("write_path.wal_counters_equal", "bool", None),
+    ("*.null_alloc_bytes_per_op", "bound", "lower"),
+    ("*.flight_disarmed_bytes_per_op", "bound", "lower"),
+    ("obs_overhead.overhead_ratio", "ratio", "lower"),
+    ("telemetry_overhead.overhead_ratio", "ratio", "lower"),
+    ("durability.overhead_ratio_*", "fsync", "lower"),
+    ("write_path.wal_overhead_ratio", "fsync", "lower"),
+    ("write_path.*.speedup", "ratio", "higher"),
+    ("*_ops_per_sec", "throughput", "higher"),
+    ("*.*_ops_per_sec", "throughput", "higher"),
+)
+
+#: Absolute ceiling for "bound" metrics (matches the CI gate).
+_BOUND_CEILING = 1.0
+
+
+@dataclass
+class MetricDelta:
+    """One attributed metric change between two baselines."""
+
+    path: str
+    kind: str
+    direction: str | None
+    old: Any
+    new: Any
+    status: str  # ok | improved | regressed | info | added | removed
+    gating: bool
+    note: str = ""
+
+    @property
+    def rel_change(self) -> float | None:
+        if (
+            isinstance(self.old, (int, float))
+            and isinstance(self.new, (int, float))
+            and not isinstance(self.old, bool)
+            and not isinstance(self.new, bool)
+            and self.old
+        ):
+            return (self.new - self.old) / abs(self.old)
+        return None
+
+
+@dataclass
+class BaselineDiff:
+    """Full diff of two baseline documents."""
+
+    old_header: dict[str, Any]
+    new_header: dict[str, Any]
+    comparable: bool
+    rel_tolerance: float
+    deltas: list[MetricDelta] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.status == "regressed" and d.gating]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions() else 0
+
+    def to_json_doc(self) -> dict[str, Any]:
+        return {
+            "schema": "repro-bench-diff/v1",
+            "old": self.old_header,
+            "new": self.new_header,
+            "comparable": self.comparable,
+            "rel_tolerance": self.rel_tolerance,
+            "gating_regressions": len(self.regressions()),
+            "notes": self.notes,
+            "deltas": [
+                {
+                    "path": d.path,
+                    "kind": d.kind,
+                    "direction": d.direction,
+                    "old": d.old,
+                    "new": d.new,
+                    "rel_change": d.rel_change,
+                    "status": d.status,
+                    "gating": d.gating,
+                    "note": d.note,
+                }
+                for d in self.deltas
+            ],
+        }
+
+    def to_markdown(self) -> str:
+        lines = ["# Baseline diff", ""]
+        lines.append(
+            f"| | old | new |\n|---|---|---|\n"
+            + "\n".join(
+                f"| {key} | {self.old_header.get(key)} | {self.new_header.get(key)} |"
+                for key in _HEADER_KEYS
+            )
+        )
+        lines.append("")
+        scale = "comparable scale" if self.comparable else (
+            "different scale/config — numeric metrics reported as informational, "
+            "only contract booleans and absolute bounds gate"
+        )
+        regressions = self.regressions()
+        verdict = "PASS" if not regressions else f"FAIL ({len(regressions)} gating regressions)"
+        lines.append(f"**{verdict}** — {scale}, ratio tolerance ±{self.rel_tolerance:.0%}.")
+        lines.append("")
+        for note in self.notes:
+            lines.append(f"> {note}")
+        if self.notes:
+            lines.append("")
+        if regressions:
+            lines.append("## Gating regressions")
+            lines.append("")
+            for d in regressions:
+                lines.append(f"- `{d.path}`: {d.old!r} -> {d.new!r} ({d.note})")
+            lines.append("")
+        changed = [
+            d
+            for d in self.deltas
+            if d.status != "ok" and not (d.status == "regressed" and d.gating)
+        ]
+        lines.append("## All changes")
+        lines.append("")
+        if changed:
+            lines.append("| metric | kind | old | new | change | status |")
+            lines.append("|---|---|---|---|---|---|")
+            for d in changed:
+                rel = d.rel_change
+                rel_text = "" if rel is None else f"{rel:+.1%}"
+                lines.append(
+                    f"| `{d.path}` | {d.kind} | {_fmt(d.old)} | {_fmt(d.new)} "
+                    f"| {rel_text} | {d.status} |"
+                )
+        else:
+            lines.append("No changes outside tolerance.")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _flatten(node: Any, prefix: str = "") -> dict[str, Any]:
+    """Dotted-path -> scalar leaf map over the baseline's sections."""
+    out: dict[str, Any] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(_flatten(value, path))
+    elif isinstance(node, list):
+        out[prefix] = json.dumps(node)
+    else:
+        out[prefix] = node
+    return out
+
+
+def _classify(path: str, old: Any, new: Any) -> tuple[str, str | None]:
+    for pattern, kind, direction in _RULES:
+        if fnmatchcase(path, pattern):
+            return kind, direction
+    if isinstance(old, bool) or isinstance(new, bool):
+        return "bool", None
+    return "info", None
+
+
+def diff_baselines(
+    old_doc: dict[str, Any],
+    new_doc: dict[str, Any],
+    rel_tolerance: float = DEFAULT_REL_TOLERANCE,
+) -> BaselineDiff:
+    """Attribute every metric change between two baseline documents."""
+    old_header = {k: old_doc.get(k) for k in _HEADER_KEYS}
+    new_header = {k: new_doc.get(k) for k in _HEADER_KEYS}
+    comparable = all(
+        old_header.get(k) == new_header.get(k) for k in _COMPARABLE_KEYS
+    )
+    diff = BaselineDiff(
+        old_header=old_header,
+        new_header=new_header,
+        comparable=comparable,
+        rel_tolerance=rel_tolerance,
+    )
+    if old_header["schema"] != new_header["schema"]:
+        diff.notes.append(
+            f"schema changed: {old_header['schema']} -> {new_header['schema']}; "
+            "sections are intersected"
+        )
+    if old_header["machine"] != new_header["machine"] or (
+        old_header["python"] != new_header["python"]
+    ):
+        diff.notes.append(
+            "different machine/python — wall-clock figures are not directly "
+            "comparable"
+        )
+
+    old_flat = _flatten({k: v for k, v in old_doc.items() if k not in _HEADER_KEYS})
+    new_flat = _flatten({k: v for k, v in new_doc.items() if k not in _HEADER_KEYS})
+
+    for path in sorted(old_flat.keys() | new_flat.keys()):
+        in_old, in_new = path in old_flat, path in new_flat
+        old = old_flat.get(path)
+        new = new_flat.get(path)
+        kind, direction = _classify(path, old, new)
+        if not in_old or not in_new:
+            diff.deltas.append(
+                MetricDelta(
+                    path=path,
+                    kind=kind,
+                    direction=direction,
+                    old=old,
+                    new=new,
+                    status="removed" if in_old else "added",
+                    gating=False,
+                    note="present in only one baseline (schema evolution)",
+                )
+            )
+            continue
+        diff.deltas.append(
+            _compare(path, kind, direction, old, new, comparable, rel_tolerance)
+        )
+    return diff
+
+
+def _compare(
+    path: str,
+    kind: str,
+    direction: str | None,
+    old: Any,
+    new: Any,
+    comparable: bool,
+    rel_tolerance: float,
+) -> MetricDelta:
+    delta = MetricDelta(
+        path=path, kind=kind, direction=direction, old=old, new=new,
+        status="ok", gating=False,
+    )
+    if kind == "bool":
+        if bool(old) and not bool(new):
+            delta.status = "regressed"
+            delta.gating = True
+            delta.note = "contract flag flipped True -> False"
+        elif not bool(old) and bool(new):
+            delta.status = "improved"
+        return delta
+    if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+        if old != new:
+            delta.status = "info"
+            delta.note = "non-numeric change"
+        return delta
+    if kind == "bound":
+        if new >= _BOUND_CEILING > old:
+            delta.status = "regressed"
+            delta.gating = True
+            delta.note = f"crossed the absolute ceiling {_BOUND_CEILING}"
+        elif new != old:
+            delta.status = "info"
+        return delta
+    if kind == "fsync":
+        if new > old * (1.0 + rel_tolerance):
+            delta.status = "regressed"
+            delta.note = "fsync cost is filesystem-dependent; never gates"
+        elif new < old * (1.0 - rel_tolerance):
+            delta.status = "improved"
+        return delta
+    if kind == "ratio":
+        if direction == "higher" and new < old * (1.0 - rel_tolerance):
+            delta.status = "regressed"
+            delta.gating = comparable
+            delta.note = (
+                f"dropped beyond tolerance ({_fmt(old)} -> {_fmt(new)})"
+                if comparable
+                else "dropped beyond tolerance, but runs are not scale-comparable"
+            )
+        elif direction == "lower" and new > old * (1.0 + rel_tolerance):
+            delta.status = "regressed"
+            delta.gating = comparable
+            delta.note = (
+                f"grew beyond tolerance ({_fmt(old)} -> {_fmt(new)})"
+                if comparable
+                else "grew beyond tolerance, but runs are not scale-comparable"
+            )
+        elif direction == "higher" and new > old * (1.0 + rel_tolerance):
+            delta.status = "improved"
+        elif direction == "lower" and new < old * (1.0 - rel_tolerance):
+            delta.status = "improved"
+        return delta
+    # throughput / info: attributed, never gating.
+    if new != old:
+        rel = delta.rel_change
+        if kind == "throughput" and rel is not None and abs(rel) > rel_tolerance:
+            delta.status = "improved" if rel > 0 else "regressed"
+            delta.note = "throughput is machine-dependent; never gates"
+        elif rel is None or abs(rel) > rel_tolerance:
+            delta.status = "info"
+    return delta
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.diff",
+        description="Diff two BENCH_*.json perf baselines with regression attribution.",
+    )
+    parser.add_argument("old", help="baseline to compare against (e.g. BENCH_PR9.json)")
+    parser.add_argument("new", help="fresh baseline to judge")
+    parser.add_argument(
+        "--rel-tolerance",
+        type=float,
+        default=DEFAULT_REL_TOLERANCE,
+        help="relative tolerance for gating ratio metrics (default %(default)s)",
+    )
+    parser.add_argument("--md", help="write a markdown attribution report here")
+    parser.add_argument("--json", dest="json_out", help="write the full diff as JSON here")
+    args = parser.parse_args(argv)
+
+    old_doc = json.loads(Path(args.old).read_text())
+    new_doc = json.loads(Path(args.new).read_text())
+    diff = diff_baselines(old_doc, new_doc, rel_tolerance=args.rel_tolerance)
+
+    if args.md:
+        Path(args.md).write_text(diff.to_markdown())
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(diff.to_json_doc(), indent=2) + "\n")
+
+    changed = [d for d in diff.deltas if d.status != "ok"]
+    print(
+        f"baseline diff: {args.old} -> {args.new} "
+        f"({'comparable' if diff.comparable else 'cross-scale'}; "
+        f"{len(diff.deltas)} metrics, {len(changed)} changed)"
+    )
+    for note in diff.notes:
+        print(f"  note: {note}")
+    for d in changed:
+        rel = d.rel_change
+        rel_text = "" if rel is None else f" ({rel:+.1%})"
+        gate = " [GATING]" if d.gating and d.status == "regressed" else ""
+        print(f"  {d.status:>9}{gate} {d.path}: {_fmt(d.old)} -> {_fmt(d.new)}{rel_text}")
+    regressions = diff.regressions()
+    if regressions:
+        print(f"FAIL: {len(regressions)} gating regression(s)")
+    else:
+        print("PASS: no gating regressions")
+    return diff.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

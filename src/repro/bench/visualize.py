@@ -110,7 +110,47 @@ def segmentation_view(index: Any, width: int = 64) -> str:
     )
 
 
-def leaf_heatmap(index: Any, width: int = 64, by: str = "update_count") -> str:
+def _check_heat_field(records: Sequence[dict[str, Any]], by: str) -> None:
+    if by not in records[0]:
+        raise ValueError(
+            f"unknown heat field {by!r}; one of "
+            f"{', '.join(sorted(records[0]))}"
+        )
+
+
+def _heat_columns(
+    records: Sequence[dict[str, Any]],
+    width: int,
+    by: str,
+    lo: float,
+    hi: float,
+) -> list[float]:
+    """Per-column max of ``by`` over every leaf interval touching it."""
+    span = (hi - lo) or 1.0
+    heat = [0.0] * width
+    for r in records:
+        value = float(r[by])
+        first = int((r["low_key"] - lo) / span * (width - 1))
+        last = int((r["high_key"] - lo) / span * (width - 1))
+        for col in range(max(first, 0), min(last, width - 1) + 1):
+            heat[col] = max(heat[col], value)
+    return heat
+
+
+def _shade(heat: Sequence[float], peak: float) -> str:
+    peak = peak or 1.0
+    return "".join(
+        _SHADES[min(len(_SHADES) - 1, int(h / peak * (len(_SHADES) - 1)))]
+        for h in heat
+    )
+
+
+def leaf_heatmap(
+    index: Any = None,
+    width: int = 64,
+    by: str = "update_count",
+    records: Sequence[dict[str, Any]] | None = None,
+) -> str:
     """Per-leaf heat over the key space — where the update pressure lands.
 
     Each key-space column is shaded by the *hottest* leaf whose interval
@@ -120,41 +160,78 @@ def leaf_heatmap(index: Any, width: int = 64, by: str = "update_count") -> str:
     records of :func:`repro.obs.structure.sample_index`.
 
     Args:
-        index: a built ChameleonIndex (anything exposing a ``_root`` tree).
+        index: a built ChameleonIndex (anything exposing a ``_root`` tree);
+            may be omitted when ``records`` is given.
         width: columns.
         by: record field to shade by — ``update_count`` (default),
             ``load_factor``, ``n_keys``, or ``overflow_chain``.
+        records: pre-sampled structure records (e.g. from a flight
+            bundle's ``structure.json`` or a timeline leaf frame). When
+            given, the index is *not* re-sampled — callers holding a
+            snapshot render exactly that snapshot.
     """
-    records = sample_index(index, registry=None)
+    if records is None:
+        if index is None:
+            raise ValueError("leaf_heatmap needs an index or records")
+        records = sample_index(index, registry=None)
     if not records:
         return "(index is empty)"
-    if by not in records[0]:
-        raise ValueError(
-            f"unknown heat field {by!r}; one of "
-            f"{', '.join(sorted(records[0]))}"
-        )
+    _check_heat_field(records, by)
     _log.debug("leaf_heatmap: %d leaves, field %s", len(records), by)
     lo = min(r["low_key"] for r in records)
     hi = max(r["high_key"] for r in records)
-    span = (hi - lo) or 1.0
-    heat = [0.0] * width
-    for r in records:
-        value = float(r[by])
-        first = int((r["low_key"] - lo) / span * (width - 1))
-        last = int((r["high_key"] - lo) / span * (width - 1))
-        for col in range(max(first, 0), min(last, width - 1) + 1):
-            heat[col] = max(heat[col], value)
-    peak = max(heat) or 1.0
-    strip = "".join(
-        _SHADES[min(len(_SHADES) - 1, int(h / peak * (len(_SHADES) - 1)))]
-        for h in heat
-    )
+    heat = _heat_columns(records, width, by, lo, hi)
+    strip = _shade(heat, max(heat))
     values = [float(r[by]) for r in records]
     return (
         f"leaf {by} |{strip}|\n"
         f"{len(records):,} leaves; {by} min/median/max = "
         f"{min(values):.3g}/{float(np.median(values)):.3g}/{max(values):.3g}"
     )
+
+
+def leaf_heatmap_timeline(
+    leaf_frames: Sequence[tuple[int, list[dict[str, Any]]]],
+    width: int = 64,
+    by: str = "update_count",
+    max_rows: int = 24,
+) -> str:
+    """Hotspot drift over time: one heat strip per timeline leaf snapshot.
+
+    Renders the ``(t_rel_ns, records)`` frames of
+    :meth:`repro.obs.timeline.TimelineSampler.leaf_frames` as stacked
+    key-space strips sharing one key range and one heat scale, so a dark
+    band *moving* down the page is a hotspot migrating across the key
+    space — the local-skew drift the retrainer chases. Frames beyond
+    ``max_rows`` are evenly subsampled (first and last always kept).
+
+    Args:
+        leaf_frames: timeline leaf snapshots, oldest first.
+        width: columns per strip.
+        by: record field to shade by (as in :func:`leaf_heatmap`).
+        max_rows: strip-count budget.
+    """
+    frames = [(t, records) for t, records in leaf_frames if records]
+    if not frames:
+        return "(no leaf snapshots)"
+    _check_heat_field(frames[0][1], by)
+    if len(frames) > max_rows:
+        step = (len(frames) - 1) / (max_rows - 1)
+        frames = [frames[round(i * step)] for i in range(max_rows)]
+    lo = min(r["low_key"] for _, records in frames for r in records)
+    hi = max(r["high_key"] for _, records in frames for r in records)
+    heats = [
+        (t, _heat_columns(records, width, by, lo, hi)) for t, records in frames
+    ]
+    peak = max(max(heat) for _, heat in heats)
+    lines = [
+        f"{t / 1e6:>10.1f}ms |{_shade(heat, peak)}|" for t, heat in heats
+    ]
+    lines.append(
+        f"leaf {by} over [{lo:.4g}, {hi:.4g}], "
+        f"{len(heats)} frames, peak={peak:.3g}"
+    )
+    return "\n".join(lines)
 
 
 def latency_trace(latencies_ns: Sequence[float], width: int = 64) -> str:

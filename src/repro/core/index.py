@@ -10,6 +10,7 @@ TSMDP under interval locks without blocking queries.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
@@ -23,6 +24,7 @@ from ..baselines.interfaces import (
     as_key_value_arrays,
 )
 from ..obs import metrics as obs_metrics
+from ..obs import slo as obs_slo
 from ..obs import trace as obs_trace
 from ..robustness import faults
 from .batch_plan import BatchQueryPlan, build_plan
@@ -110,7 +112,16 @@ class ChameleonIndex(BaseIndex):
     # -- point operations ------------------------------------------------------------
 
     def lookup(self, key: Key) -> Value | None:
-        key_f = float(key)
+        # SLO timing brackets the whole operation (span + locks included);
+        # disarmed cost is one attribute load and a pointer comparison.
+        slo = obs_slo.ACTIVE
+        t0 = time.monotonic_ns() if slo is not None else 0
+        result = self._lookup_op(float(key))
+        if slo is not None:
+            slo.observe("lookup", time.monotonic_ns() - t0)
+        return result
+
+    def _lookup_op(self, key_f: float) -> Value | None:
         with obs_trace.span("index.lookup"):
             if self.lock_manager is None:
                 leaf, path, _ = self._descend(key_f)
@@ -138,6 +149,13 @@ class ChameleonIndex(BaseIndex):
             raise EmptyIndexError("bulk_load before inserting")
         key_f = float(key)
         stored = key_f if value is None else value
+        slo = obs_slo.ACTIVE
+        t0 = time.monotonic_ns() if slo is not None else 0
+        self._insert_op(key_f, stored)
+        if slo is not None:
+            slo.observe("insert", time.monotonic_ns() - t0)
+
+    def _insert_op(self, key_f: float, stored: Value) -> None:
         with obs_trace.span("index.insert"):
             if self.lock_manager is None:
                 self._insert_locked(key_f, stored)
@@ -211,6 +229,14 @@ class ChameleonIndex(BaseIndex):
         if self._root is None:
             return False
         key_f = float(key)
+        slo = obs_slo.ACTIVE
+        t0 = time.monotonic_ns() if slo is not None else 0
+        removed = self._delete_op(key_f)
+        if slo is not None:
+            slo.observe("delete", time.monotonic_ns() - t0)
+        return removed
+
+    def _delete_op(self, key_f: float) -> bool:
         with obs_trace.span("index.delete"):
             if self.lock_manager is None:
                 return self._delete_locked(key_f)

@@ -23,6 +23,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from ..baselines.counters import Counters
+from ..obs import flight as obs_flight
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..robustness import faults
@@ -283,6 +284,11 @@ class IntervalLockManager:
                 mreg.observe("chameleon_lock_wait_seconds", (t_acq - t_enter) / 1e9)
         elif rec is not None:
             rec.event("lock.retrain_timeout", {"interval": str(ids)})
+        if not acquired and obs_flight.ACTIVE is not None:
+            # Anomaly: a retrain could not drain its readers in time. The
+            # trigger rides after the trace event so the bundle's ring
+            # already contains it; dedupe/suppression happens inside.
+            obs_flight.ACTIVE.trigger("lock_timeout", {"interval": str(ids)})
         if counters is not None:
             counters.lock_acquisitions += 1
             if waited:

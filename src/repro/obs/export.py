@@ -19,8 +19,8 @@ from typing import Any
 
 from .trace import TraceRecorder
 
-#: Event phases the exporter emits: complete, instant, metadata.
-_PHASES = ("X", "i", "M")
+#: Event phases the exporter emits: complete, instant, metadata, counter.
+_PHASES = ("X", "i", "M", "C")
 
 _SAMPLE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
@@ -29,8 +29,16 @@ _SAMPLE = re.compile(
 _LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
 
 
-def chrome_trace(recorder: TraceRecorder) -> dict[str, Any]:
-    """Build a Chrome trace-event JSON document from a recorder."""
+def chrome_trace(
+    recorder: TraceRecorder,
+    extra_events: list[dict[str, Any]] | None = None,
+) -> dict[str, Any]:
+    """Build a Chrome trace-event JSON document from a recorder.
+
+    ``extra_events`` are appended verbatim after the recorder's events —
+    the hook :meth:`repro.obs.timeline.TimelineSampler.chrome_counter_events`
+    uses to merge ``"C"`` counter tracks into the same Perfetto view.
+    """
     trace_events: list[dict[str, Any]] = []
     for tid, thread_name in sorted(recorder.thread_names().items()):
         trace_events.append(
@@ -58,6 +66,8 @@ def chrome_trace(recorder: TraceRecorder) -> dict[str, Any]:
         if attrs:
             event["args"] = attrs
         trace_events.append(event)
+    if extra_events:
+        trace_events.extend(extra_events)
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -129,6 +139,12 @@ def validate_chrome_trace(doc: Any) -> list[str]:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"{where}: complete event with bad dur {dur!r}")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter event without args")
+            elif not all(isinstance(v, (int, float)) for v in args.values()):
+                problems.append(f"{where}: counter args must be numeric")
         for field in ("pid", "tid"):
             if not isinstance(event.get(field), int):
                 problems.append(f"{where}: missing integer {field}")

@@ -29,11 +29,13 @@ containments, same recoveries. ``benchmarks/bench_chaos.py`` and
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from ..baselines.interfaces import DuplicateKeyError
 from ..core.index import ChameleonIndex
+from ..obs import flight as obs_flight
 from ..obs import trace as obs_trace
 from ..core.interval_lock import IntervalLockManager
 from ..datasets import face_like
@@ -95,6 +97,15 @@ class ChaosConfig:
             recovery cross-check (recover the directory into a fresh
             index and compare against the oracle).
         wal_fsync: WAL fsync policy for durable runs.
+        flight_dir: when set, a flight recorder is armed for the run
+            (bundles land here), ticked every operation, and pointed at
+            the index; any anomaly during the storm dumps a post-mortem
+            bundle (``ChaosReport.flight_bundles``).
+        inject_lock_timeout_at_sweep: when set, the harness holds query
+            locks on every h-th-level interval across that sweep (0-based)
+            so each drifted interval's retrain lock times out — a
+            deterministic ``lock_timeout`` anomaly for flight-recorder
+            tests. The sweep itself just skips the busy intervals.
     """
 
     n_keys: int = 3000
@@ -114,6 +125,8 @@ class ChaosConfig:
     lock_asserts: bool = True
     durability_dir: str | None = None
     wal_fsync: str = "always"
+    flight_dir: str | None = None
+    inject_lock_timeout_at_sweep: int | None = None
 
 
 @dataclass
@@ -144,6 +157,7 @@ class ChaosReport:
     live_keys: int = 0
     events: list[str] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
+    flight_bundles: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -191,9 +205,38 @@ def _verify(index: ChameleonIndex, expected: dict[float, float],
         report.events.append(f"{when}: {violation}")
 
 
+def _drifted_intervals(
+    index: ChameleonIndex, threshold: int
+) -> list[tuple[int, ...]]:
+    """h-th-level interval ids whose subtrees crossed the drift threshold."""
+    return [
+        ids
+        for ids, parent, rank in index.h_level_entries()
+        if index.subtree_update_count(parent, rank) >= threshold
+    ]
+
+
 def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
     """Execute one seeded chaos run; see the module docstring."""
     config = config or ChaosConfig()
+    flight_recorder: obs_flight.FlightRecorder | None = None
+    if config.flight_dir is not None:
+        from .. import obs as obs_pkg
+
+        flight_recorder = obs_pkg.arm_flight(config.flight_dir)
+    try:
+        report = _run_chaos(config)
+    finally:
+        if flight_recorder is not None:
+            from .. import obs as obs_pkg
+
+            obs_pkg.disarm_flight()
+    if flight_recorder is not None:
+        report.flight_bundles = [str(path) for path in flight_recorder.bundles]
+    return report
+
+
+def _run_chaos(config: ChaosConfig) -> ChaosReport:
     report = ChaosReport()
 
     keys = face_like(config.n_keys, seed=config.seed)
@@ -218,6 +261,8 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
         durable.bulk_load(loaded)
     else:
         index.bulk_load(loaded)
+    if obs_flight.ACTIVE is not None:
+        obs_flight.ACTIVE.watch(index)
     supervisor = SupervisedRetrainer(
         index,
         manager,
@@ -242,7 +287,24 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
     with injector.installed(), obs_trace.span("chaos.run").put("n_ops", len(ops)):
         for i, op in enumerate(ops):
             if i > 0 and i % sweep_every == 0 and report.sweeps_run < config.sweeps:
-                rebuilt = supervisor.sweep_once()
+                if config.inject_lock_timeout_at_sweep == report.sweeps_run:
+                    # Hold shared query locks across the sweep: every
+                    # drifted interval's retrain lock must time out (the
+                    # reader never drains — same thread), firing the
+                    # lock_timeout anomaly deterministically.
+                    with ExitStack() as stack:
+                        for ids in _drifted_intervals(
+                            index, config.update_threshold
+                        ):
+                            # ExitStack guarantees release for a dynamic
+                            # number of locks; RL001 only sees the direct
+                            # with-statement shape.
+                            stack.enter_context(
+                                manager.query_lock(ids, index.counters)  # repro-lint: disable=RL001
+                            )
+                        rebuilt = supervisor.sweep_once()
+                else:
+                    rebuilt = supervisor.sweep_once()
                 report.sweeps_run += 1
                 if rebuilt is None:
                     report.events.append(
@@ -289,6 +351,8 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
                         )
                     expected.pop(key, None)
             report.ops_executed += 1
+            if obs_flight.ACTIVE is not None:
+                obs_flight.ACTIVE.tick()
 
     # Faults off: the supervisor must heal. A couple of probe sweeps model
     # the daemon's cooldown retries after the failure storm passes.
@@ -308,6 +372,11 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
     report.lock_protocol_violations = manager.race_report()
     for violation_text in report.lock_protocol_violations:
         report.events.append(f"race detector: {violation_text}")
+    if report.lock_protocol_violations and obs_flight.ACTIVE is not None:
+        obs_flight.ACTIVE.trigger(
+            "lock_protocol_violation",
+            {"violations": list(report.lock_protocol_violations)},
+        )
     report.live_keys = len(expected)
     report.counters = index.counters.snapshot()
 
@@ -339,4 +408,6 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
                 f"{recovery_report.failed_applies} failed applies "
                 f"({'; '.join(recovery_report.notes[-3:])})"
             )
+    if obs_flight.ACTIVE is not None:
+        report.flight_bundles = [str(path) for path in obs_flight.ACTIVE.bundles]
     return report

@@ -33,6 +33,7 @@ from typing import Callable
 
 from ...analysis.contracts import declared_contract
 from ...baselines.interfaces import BaseIndex, DuplicateKeyError
+from ...obs import flight as obs_flight
 from ...obs import metrics as obs_metrics
 from ...obs import trace as obs_trace
 from . import wal as wal_mod
@@ -145,6 +146,11 @@ class RecoveryManager:
                 report.notes.append(
                     f"manifest names missing snapshot {manifest.snapshot}"
                 )
+                if obs_flight.ACTIVE is not None:
+                    obs_flight.ACTIVE.trigger(
+                        "recovery_fallback",
+                        {"missing_snapshot": manifest.snapshot},
+                    )
         for snap in reversed(list_snapshots(self.directory)):
             if snap not in candidates:
                 candidates.append(snap)
@@ -158,6 +164,11 @@ class RecoveryManager:
                     # every fallback decision lands in the trace.
                     obs_trace.event(
                         "durability.snapshot_demoted",
+                        {"snapshot": snap.name, "error": str(exc)},
+                    )
+                if obs_flight.ACTIVE is not None:
+                    obs_flight.ACTIVE.trigger(
+                        "recovery_fallback",
                         {"snapshot": snap.name, "error": str(exc)},
                     )
                 continue

@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import IO, Iterator, Sequence
 
 from ...analysis.contracts import declared_contract
+from ...obs import flight as obs_flight
 from ...obs import metrics as obs_metrics
 from ...obs import trace as obs_trace
 from .. import faults
@@ -252,6 +253,11 @@ def scan(directory: str | Path) -> ScanResult:
         # truncation decision to the trace so operators can see it.
         obs_trace.event(
             "durability.scan_truncated",
+            {"detail": detail.lstrip("; "), "recovered_records": len(records)},
+        )
+    if truncated and obs_flight.ACTIVE is not None:
+        obs_flight.ACTIVE.trigger(
+            "wal_scan_truncated",
             {"detail": detail.lstrip("; "), "recovered_records": len(records)},
         )
     return ScanResult(

@@ -30,6 +30,7 @@ from typing import Callable
 from ..core.index import ChameleonIndex
 from ..core.interval_lock import IntervalLockManager
 from ..core.retrainer import RetrainerStats, RetrainingThread
+from ..obs import flight as obs_flight
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 
@@ -225,6 +226,11 @@ class SupervisedRetrainer:
         else:
             self._health = RetrainerHealth.DEGRADED
         self._observe_transition(old, self._health, failures)
+        if obs_flight.ACTIVE is not None:
+            obs_flight.ACTIVE.trigger(
+                "retrain_failure",
+                {"error": repr(exc), "consecutive_failures": failures},
+            )
 
     def _on_success(self) -> None:
         recovered = self._health is not RetrainerHealth.HEALTHY
@@ -309,6 +315,11 @@ class SupervisedRetrainer:
                 if obs_trace.ACTIVE is not None:
                     obs_trace.ACTIVE.event(
                         "supervisor.watchdog_restart",
+                        {"thread_id": worker.ident, "thread_name": worker.name},
+                    )
+                if obs_flight.ACTIVE is not None:
+                    obs_flight.ACTIVE.trigger(
+                        "watchdog_restart",
                         {"thread_id": worker.ident, "thread_name": worker.name},
                     )
                 self._spawn_worker()

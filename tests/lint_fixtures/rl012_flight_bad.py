@@ -1,0 +1,31 @@
+"""Known-bad fixture for RL012 on flight-recorder-shaped surfaces.
+
+Never imported. A diagnostics sink promising ``no_raise`` must contain
+its own disk I/O — these surfaces leak it.
+"""
+
+from repro.analysis.contracts import declared_contract
+
+
+class Recorder:
+    def __init__(self, directory):
+        self.directory = directory
+        self.errors = []
+
+    def _dump(self, reason):
+        bundle = self.directory / reason
+        bundle.write_text(reason)
+        return bundle
+
+    @declared_contract("no_raise")
+    def trigger(self, reason):  # expect[RL012]
+        # _dump's write_text (OSError) escapes: no handler at all.
+        return self._dump(reason)
+
+    @declared_contract("no_raise")
+    def tick(self):  # expect[RL012]
+        try:
+            # read_text raises OSError; a ValueError handler misses it.
+            return self.directory.read_text()
+        except ValueError:
+            return ""

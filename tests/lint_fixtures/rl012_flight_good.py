@@ -1,0 +1,34 @@
+"""Known-good fixture for RL012 on flight-recorder-shaped surfaces.
+
+Never imported. The containment idiom the real flight recorder uses:
+whole-body ``try``/``except Exception`` with failures noted, never
+raised.
+"""
+
+from repro.analysis.contracts import declared_contract
+
+
+class Recorder:
+    def __init__(self, directory):
+        self.directory = directory
+        self.errors = []
+
+    def _dump(self, reason):
+        bundle = self.directory / reason
+        bundle.write_text(reason)
+        return bundle
+
+    @declared_contract("no_raise")
+    def trigger(self, reason):
+        try:
+            return self._dump(reason)
+        except Exception as exc:
+            self.errors.append(repr(exc))
+            return None
+
+    @declared_contract("no_raise")
+    def tick(self):
+        try:
+            return self.directory.read_text()
+        except Exception:
+            return ""

@@ -1,0 +1,28 @@
+"""Known-bad fixture for RL013 on timeline-sampler-shaped surfaces.
+
+Never imported. Telemetry sampling reads observability state; touching
+structural Counters from a sampler skews the cost model it observes.
+"""
+
+from repro.analysis.contracts import declared_contract
+
+
+class Sampler:
+    def __init__(self, counters):
+        self.counters = counters
+        self.frames = []
+
+    def _walk(self, leaves):
+        self.counters.node_hops += len(leaves)
+        return list(leaves)
+
+    @declared_contract("counter_neutral")
+    def sample_once(self):  # expect[RL013]
+        self.counters.comparisons += 1
+        self.frames.append(len(self.frames))
+        return self.frames[-1]
+
+    @declared_contract("counter_neutral")
+    def leaf_frame(self, leaves):  # expect[RL013]
+        # Mutates transitively through _walk with no bracket.
+        return self._walk(leaves)

@@ -1,0 +1,30 @@
+"""Known-good fixture for RL013 on timeline-sampler-shaped surfaces.
+
+Never imported. Samplers stay counter-neutral by reading only, or by
+bracketing any mutating helper with snapshot/restore.
+"""
+
+from repro.analysis.contracts import declared_contract
+
+
+class Sampler:
+    def __init__(self, counters):
+        self.counters = counters
+        self.frames = []
+
+    def _walk(self, leaves):
+        self.counters.node_hops += len(leaves)
+        return list(leaves)
+
+    @declared_contract("counter_neutral")
+    def sample_once(self):
+        self.frames.append(len(self.frames))
+        return self.frames[-1]
+
+    @declared_contract("counter_neutral")
+    def leaf_frame(self, leaves):
+        before = self.counters.snapshot()
+        try:
+            return self._walk(leaves)
+        finally:
+            self.counters.restore(before)

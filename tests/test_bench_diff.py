@@ -1,0 +1,195 @@
+"""Tests for the baseline diff: classification, gating, CLI exit codes."""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+from repro.bench.diff import DEFAULT_REL_TOLERANCE, diff_baselines, main
+
+REPO = Path(__file__).parent.parent
+
+
+def make_doc(**overrides):
+    doc = {
+        "schema": "repro-perf-baseline/v5",
+        "dataset": "UDEN",
+        "n_keys": 100_000,
+        "n_queries": 100_000,
+        "batch_size": 1024,
+        "seed": 0,
+        "python": "3.12.0",
+        "machine": "x86_64",
+        "results": {
+            "Chameleon": {
+                "scalar_ops_per_sec": 200_000.0,
+                "batch_ops_per_sec": 1_600_000.0,
+                "speedup": 8.0,
+                "vectorized": True,
+                "results_equal": True,
+                "counters_equal": True,
+            },
+        },
+        "obs_overhead": {
+            "overhead_ratio": 1.3,
+            "counters_equal": True,
+            "null_alloc_bytes_per_op": 0.0,
+        },
+        "telemetry_overhead": {
+            "overhead_ratio": 1.1,
+            "counters_equal": True,
+            "flight_disarmed_bytes_per_op": 0.001,
+        },
+        "durability": {"recovered_equal": True, "overhead_ratio_always": 5.0},
+        "write_path": {
+            "delete": {"speedup": 6.0},
+            "wal_overhead_ratio": 4.0,
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestClassification:
+    def test_self_diff_is_clean(self):
+        doc = make_doc()
+        diff = diff_baselines(doc, copy.deepcopy(doc))
+        assert diff.comparable
+        assert diff.regressions() == []
+        assert diff.exit_code == 0
+        assert all(d.status == "ok" for d in diff.deltas)
+
+    def test_bool_flip_gates_even_cross_scale(self):
+        new = make_doc(n_keys=20_000)  # different scale
+        new["durability"]["recovered_equal"] = False
+        diff = diff_baselines(make_doc(), new)
+        assert not diff.comparable
+        (reg,) = diff.regressions()
+        assert reg.path == "durability.recovered_equal"
+        assert reg.kind == "bool"
+        assert diff.exit_code == 1
+
+    def test_speedup_drop_gates_only_when_comparable(self):
+        new = make_doc()
+        new["results"]["Chameleon"]["speedup"] = 4.0  # -50%
+        diff = diff_baselines(make_doc(), new)
+        (reg,) = diff.regressions()
+        assert reg.path == "results.Chameleon.speedup"
+        assert reg.kind == "ratio"
+
+        cross = make_doc(n_keys=20_000)
+        cross["results"]["Chameleon"]["speedup"] = 4.0
+        diff = diff_baselines(make_doc(), cross)
+        assert diff.regressions() == []
+        flagged = [d for d in diff.deltas if d.status == "regressed"]
+        assert any(d.path == "results.Chameleon.speedup" for d in flagged)
+
+    def test_overhead_growth_gates_in_the_lower_direction(self):
+        new = make_doc()
+        new["telemetry_overhead"]["overhead_ratio"] = 2.0
+        diff = diff_baselines(make_doc(), new)
+        (reg,) = diff.regressions()
+        assert reg.path == "telemetry_overhead.overhead_ratio"
+
+    def test_bound_crossing_gates_at_any_scale(self):
+        new = make_doc(n_keys=20_000)
+        new["telemetry_overhead"]["flight_disarmed_bytes_per_op"] = 24.0
+        diff = diff_baselines(make_doc(), new)
+        (reg,) = diff.regressions()
+        assert reg.path == "telemetry_overhead.flight_disarmed_bytes_per_op"
+        assert reg.kind == "bound"
+
+    def test_fsync_overhead_never_gates(self):
+        new = make_doc()
+        new["durability"]["overhead_ratio_always"] = 9.0  # +80%
+        new["write_path"]["wal_overhead_ratio"] = 8.0  # +100%
+        diff = diff_baselines(make_doc(), new)
+        assert diff.regressions() == []
+        flagged = {
+            d.path for d in diff.deltas if d.status == "regressed"
+        }
+        assert flagged == {
+            "durability.overhead_ratio_always",
+            "write_path.wal_overhead_ratio",
+        }
+        assert all(
+            d.kind == "fsync" and not d.gating
+            for d in diff.deltas
+            if d.path in flagged
+        )
+
+    def test_throughput_never_gates(self):
+        new = make_doc()
+        new["results"]["Chameleon"]["scalar_ops_per_sec"] = 50_000.0  # -75%
+        diff = diff_baselines(make_doc(), new)
+        assert diff.regressions() == []
+        (delta,) = [d for d in diff.deltas if d.status == "regressed"]
+        assert delta.kind == "throughput" and not delta.gating
+
+    def test_within_tolerance_is_ok(self):
+        new = make_doc()
+        new["results"]["Chameleon"]["speedup"] = 8.0 * (
+            1 - DEFAULT_REL_TOLERANCE / 2
+        )
+        diff = diff_baselines(make_doc(), new)
+        assert diff.exit_code == 0
+
+    def test_added_and_removed_sections_do_not_gate(self):
+        old = make_doc()
+        del old["telemetry_overhead"]  # a v4 file against a v5 file
+        old["schema"] = "repro-perf-baseline/v4"
+        diff = diff_baselines(old, make_doc())
+        assert diff.exit_code == 0
+        added = {d.path for d in diff.deltas if d.status == "added"}
+        assert "telemetry_overhead.overhead_ratio" in added
+        assert any("schema changed" in note for note in diff.notes)
+
+    def test_machine_change_is_noted(self):
+        diff = diff_baselines(make_doc(), make_doc(machine="arm64"))
+        assert any("machine/python" in note for note in diff.notes)
+
+
+class TestCli:
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_exit_codes_and_reports(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", make_doc())
+        same = self.write(tmp_path, "same.json", make_doc())
+        assert main([old, same]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        bad_doc = make_doc()
+        bad_doc["results"]["Chameleon"]["speedup"] = 2.0
+        bad_doc["obs_overhead"]["counters_equal"] = False
+        bad = self.write(tmp_path, "bad.json", bad_doc)
+        md = tmp_path / "report.md"
+        json_out = tmp_path / "report.json"
+        assert main([old, bad, "--md", str(md), "--json", str(json_out)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "[GATING]" in out
+
+        report = md.read_text()
+        assert "FAIL (2 gating regressions)" in report
+        assert "`results.Chameleon.speedup`" in report
+        payload = json.loads(json_out.read_text())
+        assert payload["schema"] == "repro-bench-diff/v1"
+        assert payload["gating_regressions"] == 2
+
+    def test_rel_tolerance_flag(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", make_doc())
+        near_doc = make_doc()
+        near_doc["results"]["Chameleon"]["speedup"] = 6.5  # -18.75%
+        near = self.write(tmp_path, "near.json", near_doc)
+        assert main([old, near]) == 0
+        capsys.readouterr()
+        assert main([old, near, "--rel-tolerance", "0.1"]) == 1
+        capsys.readouterr()
+
+    def test_committed_baseline_self_diff_is_clean(self, capsys):
+        committed = str(REPO / "BENCH_PR10.json")
+        assert main([committed, committed]) == 0
+        assert "PASS" in capsys.readouterr().out

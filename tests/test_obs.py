@@ -25,7 +25,9 @@ from repro.bench.baseline import _run_obs_workload
 from repro.bench.visualize import leaf_heatmap
 from repro.core import ChameleonIndex, IntervalLockManager
 from repro.datasets import face_like
+from repro.obs import flight as flight_mod
 from repro.obs import metrics as metrics_mod
+from repro.obs import slo as slo_mod
 from repro.obs import trace as trace_mod
 from repro.obs.export import (
     chrome_trace,
@@ -46,12 +48,16 @@ from repro.robustness import faults as faults_mod
 
 @pytest.fixture(autouse=True)
 def no_leaked_sinks():
-    """Every test must leave both global sinks disarmed."""
+    """Every test must leave all four global sinks disarmed."""
     yield
     assert trace_mod.ACTIVE is None
     assert metrics_mod.ACTIVE is None
+    assert flight_mod.ACTIVE is None
+    assert slo_mod.ACTIVE is None
     trace_mod.ACTIVE = None
     metrics_mod.ACTIVE = None
+    flight_mod.ACTIVE = None
+    slo_mod.ACTIVE = None
 
 
 def by_name(recorder: obs.TraceRecorder, name: str):

@@ -68,7 +68,9 @@ def findings_for(path: Path, rule_id: str) -> set[tuple[str, int]]:
         ("RL010", "rl010_bad.py", "rl010_good.py"),
         ("RL011", "rl011_bad.py", "rl011_good.py"),
         ("RL012", "rl012_bad.py", "rl012_good.py"),
+        ("RL012", "rl012_flight_bad.py", "rl012_flight_good.py"),
         ("RL013", "rl013_bad.py", "rl013_good.py"),
+        ("RL013", "rl013_timeline_bad.py", "rl013_timeline_good.py"),
         (
             "RL013",
             "core/rl013_fused_insert_bad.py",

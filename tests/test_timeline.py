@@ -1,0 +1,171 @@
+"""Tests for the timeline sampler: delta frames, exports, thread hygiene."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import ChameleonIndex
+from repro.datasets import face_like
+from repro.obs import flight as flight_mod
+from repro.obs import metrics as metrics_mod
+from repro.obs import slo as slo_mod
+from repro.obs import trace as trace_mod
+from repro.obs.export import chrome_trace, validate_chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_sinks():
+    yield
+    assert trace_mod.ACTIVE is None
+    assert metrics_mod.ACTIVE is None
+    assert flight_mod.ACTIVE is None
+    assert slo_mod.ACTIVE is None
+    trace_mod.ACTIVE = None
+    metrics_mod.ACTIVE = None
+    flight_mod.ACTIVE = None
+    slo_mod.ACTIVE = None
+
+
+def make_registry():
+    registry = obs.MetricsRegistry()
+    registry.inc("chameleon_ops_total", 3)
+    registry.set_gauge("chameleon_depth", 2.0)
+    registry.observe("chameleon_latency_seconds", 0.01)
+    return registry
+
+
+class TestSampling:
+    def test_no_registry_no_frame(self):
+        sampler = obs.TimelineSampler()
+        assert sampler.sample_once() is None
+        assert sampler.frames() == []
+        assert sampler.errors == []
+
+    def test_delta_encoding_records_changes_only(self):
+        registry = make_registry()
+        sampler = obs.TimelineSampler(registry=registry)
+        first = sampler.sample_once()
+        assert first["counters"]["chameleon_ops_total"] == 3.0
+        assert first["counters"]["chameleon_latency_seconds_count"] == 1.0
+        assert first["gauges"]["chameleon_depth"] == 2.0
+
+        quiet = sampler.sample_once()  # nothing moved: empty frame
+        assert quiet["counters"] == {} and quiet["gauges"] == {}
+
+        registry.inc("chameleon_ops_total", 2)
+        registry.set_gauge("chameleon_depth", 5.0)
+        third = sampler.sample_once()
+        assert third["counters"] == {"chameleon_ops_total": 2.0}
+        assert third["gauges"] == {"chameleon_depth": 5.0}
+        assert sampler.samples == 3
+
+    def test_falls_back_to_armed_registry(self):
+        sampler = obs.TimelineSampler()
+        with obs.armed(tracing=False) as (_, registry):
+            registry.inc("chameleon_ops_total")
+            frame = sampler.sample_once()
+        assert frame["counters"] == {"chameleon_ops_total": 1.0}
+
+    def test_ring_eviction_counts_dropped(self):
+        registry = make_registry()
+        sampler = obs.TimelineSampler(registry=registry, capacity=4)
+        for i in range(10):
+            registry.inc("chameleon_ops_total")
+            sampler.sample_once()
+        assert len(sampler.frames()) == 4
+        assert sampler.dropped == 6
+        assert sampler.samples == 10
+
+    def test_leaf_frames_every_nth_sample(self):
+        index = ChameleonIndex(strategy="ChaB")
+        index.bulk_load(face_like(1200, seed=1))
+        registry = make_registry()
+        sampler = obs.TimelineSampler(
+            registry=registry, index=index, leaf_every=3
+        )
+        for _ in range(7):
+            sampler.sample_once()
+        # Samples 1, 4, 7 carry leaf snapshots.
+        frames = sampler.leaf_frames()
+        assert len(frames) == 3
+        t_rel, records = frames[0]
+        assert t_rel >= 0
+        assert {"low_key", "high_key", "update_count"} <= set(records[0])
+
+    def test_series_readers(self):
+        registry = make_registry()
+        sampler = obs.TimelineSampler(registry=registry)
+        sampler.sample_once()
+        registry.inc("chameleon_ops_total", 4)
+        sampler.sample_once()
+        counters, gauges = sampler.series_names()
+        assert "chameleon_ops_total" in counters
+        assert gauges == ["chameleon_depth"]
+        series = sampler.counter_series("chameleon_ops_total")
+        assert [v for _, v in series] == [3.0, 7.0]  # cumulative
+        depth = sampler.gauge_series("chameleon_depth")
+        assert [v for _, v in depth] == [2.0, 2.0]  # held flat
+
+
+class TestThread:
+    def test_background_thread_samples_and_stops(self):
+        registry = make_registry()
+        sampler = obs.TimelineSampler(registry=registry, interval_s=0.005)
+        sampler.start()
+        sampler.start()  # idempotent
+        deadline = time.time() + 2.0
+        while sampler.samples < 3 and time.time() < deadline:
+            time.sleep(0.005)
+        sampler.stop()
+        assert sampler.samples >= 3
+        assert sampler.errors == []
+        before = sampler.samples
+        time.sleep(0.03)
+        assert sampler.samples == before  # really stopped
+        sampler.stop()  # idempotent
+
+
+class TestExports:
+    def test_to_json_schema(self):
+        sampler = obs.TimelineSampler(registry=make_registry())
+        sampler.sample_once()
+        doc = json.loads(sampler.to_json())
+        assert doc["schema"] == "repro-timeline/v1"
+        assert doc["samples"] == 1
+        assert doc["frames"][0]["counters"]["chameleon_ops_total"] == 3.0
+
+    def test_to_csv_long_format(self):
+        registry = make_registry()
+        sampler = obs.TimelineSampler(registry=registry)
+        sampler.sample_once()
+        lines = sampler.to_csv().strip().splitlines()
+        assert lines[0] == "t_rel_ns,kind,name,value"
+        kinds = {line.split(",")[1] for line in lines[1:]}
+        assert kinds == {"counter_delta", "gauge"}
+        assert any(",chameleon_ops_total,3" in line for line in lines)
+
+    def test_chrome_counter_events_merge_into_valid_trace(self):
+        registry = make_registry()
+        sampler = obs.TimelineSampler(registry=registry)
+        with obs.armed(registry=registry) as (recorder, _):
+            with trace_mod.span("probe"):
+                pass
+            sampler.sample_once()
+            registry.inc("chameleon_ops_total", 2)
+            sampler.sample_once()
+        events = sampler.chrome_counter_events()
+        assert events and all(e["ph"] == "C" for e in events)
+        totals = [
+            e["args"]["value"]
+            for e in events
+            if e["name"] == "chameleon_ops_total"
+        ]
+        assert totals == [3.0, 5.0]  # cumulative counter track
+        doc = chrome_trace(recorder, extra_events=events)
+        assert validate_chrome_trace(doc) == []
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "C"} <= phases

@@ -1,15 +1,19 @@
 """Tests for the text-mode visualisations."""
 
 import numpy as np
+import pytest
 
 from repro.bench.visualize import (
     cdf_plot,
     latency_trace,
+    leaf_heatmap,
+    leaf_heatmap_timeline,
     segmentation_view,
     skew_profile,
 )
 from repro.core import ChameleonIndex
 from repro.datasets import face_like, uden
+from repro.obs.structure import sample_index
 
 
 class TestCdfPlot:
@@ -66,6 +70,76 @@ class TestSegmentationView:
         body = strip.split("|")[1]
         assert " " in body or "." in body  # some sparse columns
         assert any(c in body for c in "#%@+*=")  # some dense columns
+
+
+class TestLeafHeatmap:
+    def make_index(self):
+        index = ChameleonIndex(strategy="ChaB")
+        index.bulk_load(face_like(3000, seed=2))
+        return index
+
+    def test_pre_sampled_records_render_identically(self):
+        """Passing records must not re-sample the index (and must render
+        exactly the snapshot that was passed)."""
+        index = self.make_index()
+        records = sample_index(index, registry=None)
+        assert leaf_heatmap(index) == leaf_heatmap(records=records)
+        # Mutate after sampling: the snapshot rendering must not move.
+        frozen = leaf_heatmap(records=records)
+        for k in face_like(3000, seed=9)[:200]:
+            index.insert(float(k) + 0.5)
+        assert leaf_heatmap(records=records) == frozen
+        assert leaf_heatmap(index) != frozen
+
+    def test_requires_index_or_records(self):
+        with pytest.raises(ValueError, match="index or records"):
+            leaf_heatmap()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown heat field"):
+            leaf_heatmap(self.make_index(), by="nope")
+
+    def test_empty(self):
+        assert "empty" in leaf_heatmap(records=[])
+
+
+class TestLeafHeatmapTimeline:
+    def frames(self):
+        index = ChameleonIndex(strategy="ChaB")
+        keys = face_like(2500, seed=4)
+        index.bulk_load(keys)
+        frames = [(0, sample_index(index, registry=None))]
+        lo, hi = float(keys.min()), float(keys.max())
+        rng = np.random.default_rng(0)
+        for step in range(1, 6):
+            # A migrating hot band: writes land further right each step.
+            band_lo = lo + (hi - lo) * 0.15 * (step - 1)
+            for k in rng.uniform(band_lo, band_lo + (hi - lo) * 0.1, 150):
+                index.insert(float(k))
+            frames.append((step * 1_000_000, sample_index(index, registry=None)))
+        return frames
+
+    def test_renders_one_strip_per_frame(self):
+        frames = self.frames()
+        out = leaf_heatmap_timeline(frames, width=40)
+        lines = out.splitlines()
+        assert len(lines) == len(frames) + 1  # strips + footer
+        assert all("|" in line for line in lines[:-1])
+        assert "6 frames" in lines[-1]
+        # Later frames carry more heat than the first (cold) one.
+        assert lines[1] != lines[-2]
+
+    def test_subsampling_keeps_first_and_last(self):
+        frames = self.frames()
+        out = leaf_heatmap_timeline(frames, width=40, max_rows=3)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].strip().startswith("0.0ms")
+        assert lines[2].strip().startswith("5.0ms")
+
+    def test_empty(self):
+        assert "no leaf snapshots" in leaf_heatmap_timeline([])
+        assert "no leaf snapshots" in leaf_heatmap_timeline([(0, [])])
 
 
 class TestLatencyTrace:
